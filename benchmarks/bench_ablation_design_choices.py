@@ -1,0 +1,162 @@
+"""Ablations of the paper's §4-§6 design choices.
+
+1. **Checksum width** (§7.1): 4-byte checksums shave wire bytes and still
+   reconcile tens of thousands of differences; we sweep 2/4/8 bytes.
+2. **Count field** (§6 vs §7.1): var-int delta-compressed counts vs
+   dropping the field entirely (membership probes decide sides).
+3. **α = 0.5 vs optimal α = 0.64** (§4.2): the paper accepts 3% more
+   communication for sqrt-only sampling; we measure both sides of that
+   trade (overhead and mapping speed).
+4. **Heap encoder vs direct walk** (§6): the heap pays off for streaming;
+   a known-length sketch is cheaper to build by walking each symbol.
+"""
+
+import random
+import time
+
+from bench_util import by_scale, sets_with_difference
+from conftest import report_table
+from repro.analysis.montecarlo import IntSymbolCodec, overhead_stats
+from repro.core.countless import countless_cell_bytes, reconcile_countless
+from repro.core.encoder import RatelessEncoder
+from repro.core.session import ReconciliationSession
+from repro.core.sketch import RatelessSketch
+from repro.core.symbols import SymbolCodec
+
+D = by_scale(20, 100, 400)
+SET_SIZE = by_scale(200, 1500, 5000)
+RUNS = by_scale(2, 8, 20)
+
+
+def test_ablation_checksum_width(benchmark):
+    rows = []
+
+    def run():
+        for checksum_size in (2, 4, 8):
+            codec = SymbolCodec(8, checksum_size=checksum_size)
+            rng = random.Random(checksum_size)
+            successes = 0
+            total_bytes = 0
+            for _ in range(RUNS):
+                a, b = sets_with_difference(rng, SET_SIZE, D, 8)
+                session = ReconciliationSession(a, b, codec)
+                try:
+                    outcome = session.run(max_symbols=20 * D)
+                except RuntimeError:
+                    continue
+                if (
+                    outcome.only_in_a == a - b
+                    and outcome.only_in_b == b - a
+                ):
+                    successes += 1
+                    total_bytes += outcome.bytes_on_wire
+            mean_bytes = total_bytes / max(1, successes)
+            rows.append((checksum_size, successes / RUNS, mean_bytes))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'checksum B':>10} {'success':>8} {'wire bytes':>11}"]
+    lines += [f"{c:>10} {s:>8.2f} {b:>11.0f}" for c, s, b in rows]
+    lines.append(
+        "§7.1: 4-byte checksums reliably reconcile tens of thousands of"
+        " diffs while saving 4 B/cell; 2 bytes is the collision cliff"
+    )
+    report_table("Ablation — checksum width", lines)
+    by_width = {c: (s, b) for c, s, b in rows}
+    assert by_width[8][0] == 1.0
+    assert by_width[4][0] == 1.0
+    assert by_width[4][1] < by_width[8][1]  # real wire saving
+
+
+def test_ablation_count_field(benchmark):
+    rows = []
+
+    def run():
+        codec = SymbolCodec(8)
+        rng = random.Random(42)
+        a, b = sets_with_difference(rng, SET_SIZE, D, 8)
+        session = ReconciliationSession(a, b, codec)
+        with_count = session.run()
+        countless = reconcile_countless(a, b, codec)
+        assert countless.success
+        countless_bytes = countless.symbols_used * countless_cell_bytes(codec)
+        rows.append(
+            ("varint count", with_count.symbols_used, with_count.bytes_on_wire)
+        )
+        rows.append(("no count", countless.symbols_used, countless_bytes))
+        rows.append(
+            ("8B fixed count", with_count.symbols_used,
+             with_count.symbols_used * (8 + 8 + 8))
+        )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'variant':>15} {'symbols':>8} {'wire bytes':>11}"]
+    lines += [f"{name:>15} {s:>8} {b:>11}" for name, s, b in rows]
+    lines.append("§6's varint ≈ no-count + 1 byte/cell; both beat fixed 8 B")
+    report_table("Ablation — count field encoding", lines)
+    by_name = {name: bytes_ for name, _, bytes_ in rows}
+    assert by_name["no count"] < by_name["varint count"] < by_name["8B fixed count"]
+
+
+def test_ablation_alpha_tradeoff(benchmark):
+    rows = []
+
+    def run():
+        for alpha in (0.5, 0.64):
+            stats = overhead_stats(D * 4, runs=max(3, RUNS // 2), alpha=alpha, seed=9)
+            codec = IntSymbolCodec(alpha=alpha)
+            rng = random.Random(7)
+            values = [rng.getrandbits(64) | 1 for _ in range(SET_SIZE)]
+            encoder = RatelessEncoder(codec)
+            for value in values:
+                encoder.add_value(value)
+            start = time.perf_counter()
+            for _ in range(4 * D):
+                encoder.produce_next()
+            elapsed = time.perf_counter() - start
+            rows.append((alpha, stats.mean, elapsed))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'alpha':>6} {'overhead':>9} {'encode s':>9}"]
+    lines += [f"{a:>6.2f} {o:>9.3f} {t:>9.4f}" for a, o, t in rows]
+    lines.append(
+        "§4.2 trade: alpha=0.64 saves ~3% communication but needs a"
+        " non-integer power per mapping step (sqrt suffices at 0.5)"
+    )
+    report_table("Ablation — alpha choice", lines)
+    by_alpha = {a: o for a, o, _ in rows}
+    assert by_alpha[0.64] < by_alpha[0.5] + 0.03
+
+
+def test_ablation_heap_vs_direct_walk(benchmark):
+    rows = []
+
+    def run():
+        rng = random.Random(13)
+        codec = SymbolCodec(8)
+        items = set()
+        while len(items) < SET_SIZE:
+            items.add(rng.randbytes(8))
+        size = 4 * D
+        start = time.perf_counter()
+        direct = RatelessSketch.from_items(items, size, codec)
+        direct_time = time.perf_counter() - start
+        start = time.perf_counter()
+        encoder = RatelessEncoder(codec, items)
+        heap_cells = encoder.produce(size)
+        heap_time = time.perf_counter() - start
+        assert heap_cells == list(direct.cells)
+        rows.append(("direct walk", direct_time))
+        rows.append(("heap encoder", heap_time))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'builder':>13} {'seconds':>9}"]
+    lines += [f"{name:>13} {t:>9.4f}" for name, t in rows]
+    lines.append(
+        "identical output; the heap's log-factor buys incremental"
+        " production (unknown prefix length), the §6 requirement"
+    )
+    report_table("Ablation — sketch construction strategy", lines)

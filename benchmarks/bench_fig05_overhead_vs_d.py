@@ -1,0 +1,50 @@
+"""Figure 5: overhead of Rateless IBLT versus the difference size d.
+
+Paper: the average overhead peaks at 1.72 when d = 4 and converges to
+1.35 (the DE prediction) once d reaches the low hundreds; for all d > 128
+it stays below 1.40.
+"""
+
+from bench_util import by_scale
+from conftest import report_table
+from repro.analysis.montecarlo import overhead_stats
+
+GRID = by_scale(
+    [(4, 20), (64, 10), (512, 5)],
+    [
+        (1, 200), (2, 200), (4, 200), (8, 100), (16, 100), (32, 60),
+        (64, 60), (128, 40), (256, 30), (512, 20), (1024, 15),
+        (2048, 10), (4096, 8), (8192, 5),
+    ],
+    [
+        (1, 500), (2, 400), (4, 400), (8, 200), (16, 200), (32, 100),
+        (64, 100), (128, 100), (256, 60), (512, 40), (1024, 30),
+        (2048, 20), (4096, 15), (8192, 10), (16384, 8), (65536, 3),
+    ],
+)
+
+
+def test_fig05_overhead_vs_difference(benchmark):
+    results = []
+
+    def run():
+        for d, runs in GRID:
+            results.append(overhead_stats(d, runs=runs, seed=5))
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'d':>8} {'runs':>6} {'overhead':>10} {'stddev':>8}"]
+    for stats in results:
+        lines.append(
+            f"{stats.difference_size:>8} {stats.runs:>6} "
+            f"{stats.mean:>10.3f} {stats.std:>8.3f}"
+        )
+    lines.append("paper: peak 1.72 at d=4; <=1.40 for d>128; -> 1.35 asymptote")
+    report_table("Fig 5 — overhead vs set difference (alpha=0.5)", lines)
+
+    by_d = {s.difference_size: s.mean for s in results}
+    if 4 in by_d:
+        assert 1.4 <= by_d[4] <= 2.1  # the small-d peak
+    for d, mean in by_d.items():
+        if d > 128:
+            assert mean < 1.50

@@ -1,0 +1,48 @@
+"""Figure 10: encoding time of 1000 differences vs set size N.
+
+Paper: encoding cost is linear in N (every item is mapped to the same
+expected number of the first m cells), e.g. 2.9 ms at N = 10^4 vs 294 ms
+at N = 10^6 — exactly 100×.
+"""
+
+import random
+import time
+
+from bench_util import by_scale, make_items
+from conftest import report_table
+from repro.core.encoder import RatelessEncoder
+from repro.core.symbols import SymbolCodec
+
+ITEM = 8
+D = 1000
+SYMBOLS = int(1.4 * D)
+SIZES = by_scale([1_000, 10_000], [1_000, 10_000, 100_000], [1_000, 10_000, 100_000, 1_000_000])
+
+
+def encode_time(items):
+    encoder = RatelessEncoder(SymbolCodec(ITEM), items)
+    start = time.perf_counter()
+    for _ in range(SYMBOLS):
+        encoder.produce_next()
+    return time.perf_counter() - start
+
+
+def test_fig10_encode_time_vs_set_size(benchmark):
+    rng = random.Random(100)
+    rows = []
+
+    def run():
+        for n in SIZES:
+            items = make_items(rng, n, ITEM)
+            rows.append((n, encode_time(items)))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'N':>9} {'encode time (s)':>16} {'time/N (us)':>12}"]
+    lines += [f"{n:>9} {t:>16.4f} {t / n * 1e6:>12.2f}" for n, t in rows]
+    lines.append("paper: linear in N (100x items -> 100x time)")
+    report_table("Fig 10 — encoding time of 1000 diffs vs set size", lines)
+
+    # linearity: per-item cost roughly constant across two decades
+    per_item = [t / n for n, t in rows]
+    assert max(per_item) / min(per_item) < 4.0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Blockchain state sync: Rateless IBLT vs Merkle-trie state heal (§7.3).
+
+Builds a synthetic Ethereum-like ledger, lets Bob fall 10 minutes behind,
+then synchronises him with Alice two ways over a simulated 20 Mbps /
+50 ms link:
+
+1. streaming Rateless IBLT coded symbols (this paper);
+2. Geth-style state heal over the Merkle trie (production baseline).
+
+Run:  python examples/blockchain_sync.py
+"""
+
+from repro.baselines.merkle import Trie, state_heal
+from repro.ledger import Chain, build_scenario
+from repro.ledger.workload import measure_riblt_plan
+from repro.net.protocols import simulate_riblt_sync, simulate_state_heal
+
+BANDWIDTH = 20e6  # 20 Mbps
+DELAY = 0.05  # 50 ms one-way
+
+
+def main() -> None:
+    print("building ledger: 20,000 accounts, 50 blocks of churn ...")
+    chain = Chain(num_accounts=20_000, seed=7, updates_per_block=24)
+    chain.advance(50)
+
+    scenario = build_scenario(chain, staleness_blocks=50)  # 10 minutes
+    print(f"Bob is {scenario.staleness_seconds // 60} minutes stale; "
+          f"|A triangle B| = {scenario.difference_size} items of 92 bytes")
+
+    # --- Rateless IBLT -----------------------------------------------------
+    plan = measure_riblt_plan(scenario, calibrated_line_rate_bps=170e6)
+    riblt = simulate_riblt_sync(plan, BANDWIDTH, DELAY)
+    print("\nRateless IBLT:")
+    print(f"  coded symbols needed : {plan.symbols_needed} "
+          f"({plan.symbols_needed / scenario.difference_size:.2f} per diff)")
+    print(f"  completion time      : {riblt.completion_time:.3f} s")
+    print(f"  data transferred     : {riblt.bytes_down_total / 1e6:.3f} MB")
+
+    # --- state heal ---------------------------------------------------------
+    store = scenario.bob_store.copy()
+    report = state_heal(store, scenario.alice_trie)
+    heal = simulate_state_heal(report, BANDWIDTH, DELAY)
+    healed = Trie(store, scenario.alice_trie.root_hash)
+    assert dict(healed.items()) == dict(scenario.alice_trie.items())
+    print("\nMerkle-trie state heal (Geth baseline):")
+    print(f"  lock-step rounds     : {heal.round_trips}")
+    print(f"  trie nodes fetched   : {heal.nodes_fetched} "
+          f"(only {report.leaves_fetched} are account leaves)")
+    print(f"  completion time      : {heal.completion_time:.3f} s")
+    print(f"  data transferred     : {heal.bytes_down / 1e6:.3f} MB")
+
+    print(f"\nRateless IBLT is {heal.completion_time / riblt.completion_time:.1f}x "
+          "faster on this link (paper: 4.8-13.6x at mainnet scale)")
+
+
+if __name__ == "__main__":
+    main()

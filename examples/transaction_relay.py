@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Erlay-style transaction relay with Rateless IBLT (§1, §2 motivation).
+
+Bitcoin's Erlay replaced flood-relay with set reconciliation to cut
+bandwidth.  This demo builds a small gossip network whose mempools have
+drifted apart, then runs periodic pairwise reconciliation rounds until
+every node holds every transaction — counting what flooding would have
+cost instead.
+
+Transactions are identified by 32-byte ids (txids), the exact workload
+shape of Fig 7.
+
+Run:  python examples/transaction_relay.py
+"""
+
+import random
+
+from repro.core.session import ReconciliationSession
+from repro.core.symbols import SymbolCodec
+
+TXID_BYTES = 32
+NODES = 8
+TOTAL_TXS = 3_000
+RECONCILIATIONS_PER_ROUND = NODES  # each node syncs one random peer
+
+
+def main() -> None:
+    rng = random.Random(17)
+    codec = SymbolCodec(TXID_BYTES)
+    all_txs = [rng.randbytes(TXID_BYTES) for _ in range(TOTAL_TXS)]
+
+    # every node saw most transactions, missed a random 3%
+    mempools = []
+    for _ in range(NODES):
+        missed = set(rng.sample(all_txs, int(0.03 * TOTAL_TXS)))
+        mempools.append(set(all_txs) - missed)
+    union = set().union(*mempools)
+
+    total_bytes = 0
+    total_symbols = 0
+    rounds = 0
+    while any(pool != union for pool in mempools):
+        rounds += 1
+        for node in range(NODES):
+            peer = rng.choice([p for p in range(NODES) if p != node])
+            session = ReconciliationSession(mempools[peer], mempools[node], codec)
+            outcome = session.run()
+            mempools[node] |= outcome.only_in_a
+            mempools[peer] |= outcome.only_in_b
+            total_bytes += outcome.bytes_on_wire
+            total_symbols += outcome.symbols_used
+        print(f"round {rounds}: "
+              + ", ".join(f"n{i}:{len(union) - len(p):>3} missing"
+                          for i, p in enumerate(mempools)))
+
+    flood_bytes = NODES * rounds * int(0.03 * TOTAL_TXS) * TXID_BYTES * (NODES - 1)
+    naive_exchange = NODES * rounds * TOTAL_TXS * TXID_BYTES
+    print(f"\nconverged in {rounds} gossip rounds")
+    print(f"reconciliation traffic : {total_bytes / 1e3:,.1f} KB "
+          f"({total_symbols} coded symbols)")
+    print(f"txid-exchange baseline : {naive_exchange / 1e3:,.1f} KB "
+          "(each sync ships every txid)")
+    print(f"saving                 : {naive_exchange / total_bytes:,.0f}x")
+    assert all(pool == union for pool in mempools)
+
+
+if __name__ == "__main__":
+    main()

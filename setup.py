@@ -1,0 +1,6 @@
+"""Legacy shim so editable installs work without the ``wheel`` package
+(this sandbox has no network to fetch build-isolation dependencies)."""
+
+from setuptools import setup
+
+setup()

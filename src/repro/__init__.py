@@ -1,0 +1,56 @@
+"""repro — a from-scratch reproduction of *Practical Rateless Set
+Reconciliation* (Yang, Gilad, Alizadeh; ACM SIGCOMM 2024).
+
+The package is organised as one sub-package per system described in
+DESIGN.md:
+
+``repro.core``
+    The paper's primary contribution: the Rateless IBLT codec
+    (encoder, decoder, sketches, wire format, reconciliation sessions)
+    plus the Irregular variant of §8.
+``repro.hashing``
+    Keyed 64-bit hashing (SipHash-2-4, BLAKE2b) and deterministic PRNGs.
+``repro.baselines``
+    Every scheme the paper compares against: regular IBLT, the strata
+    estimator, MET-IBLT, PinSketch (BCH), CPI, and Merkle-trie state heal.
+``repro.net``
+    A discrete-event network simulator and the two synchronization
+    protocols used in the Ethereum experiments (§7.3).
+``repro.ledger``
+    A synthetic Ethereum-like ledger used as the §7.3 workload.
+``repro.analysis``
+    Density evolution (§5) and Monte Carlo harnesses for Figs 4-6 and 15.
+
+Quickstart::
+
+    from repro import reconcile
+
+    alice = {b"item-%03d" % i for i in range(100)}
+    bob = {b"item-%03d" % i for i in range(5, 105)}
+    result = reconcile(alice, bob, symbol_size=8)
+"""
+
+from repro.core.coded import CodedSymbol
+from repro.core.decoder import DecodeResult, RatelessDecoder
+from repro.core.encoder import RatelessEncoder
+from repro.core.irregular import IrregularConfig, PAPER_IRREGULAR
+from repro.core.mapping import IndexGenerator, RandomMapping
+from repro.core.session import ReconciliationSession, reconcile
+from repro.core.sketch import RatelessSketch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodedSymbol",
+    "DecodeResult",
+    "IndexGenerator",
+    "IrregularConfig",
+    "PAPER_IRREGULAR",
+    "RandomMapping",
+    "RatelessDecoder",
+    "RatelessEncoder",
+    "RatelessSketch",
+    "ReconciliationSession",
+    "reconcile",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Analysis tools for §5 and the simulation figures (4, 5, 6, 15).
+
+``density_evolution`` — closed-form asymptotics from Theorem 5.1:
+    the overhead threshold η*(α), and the fixed-point recovered fraction
+    as a function of symbols received.
+``montecarlo``        — finite-d simulation harness running the *real*
+    encoder/decoder over 64-bit items with a cheap integer hash.
+"""
+
+from repro.analysis.density_evolution import (
+    eta_star,
+    f_limit,
+    optimal_alpha,
+    recovered_fraction_curve,
+    recovered_fraction_limit,
+)
+from repro.analysis.montecarlo import (
+    IntSymbolCodec,
+    OverheadStats,
+    overhead_stats,
+    recovered_fraction_sim,
+    simulate_overhead_once,
+)
+
+__all__ = [
+    "IntSymbolCodec",
+    "OverheadStats",
+    "eta_star",
+    "f_limit",
+    "optimal_alpha",
+    "overhead_stats",
+    "recovered_fraction_curve",
+    "recovered_fraction_limit",
+    "recovered_fraction_sim",
+    "simulate_overhead_once",
+]

@@ -1,0 +1,107 @@
+"""Decode-failure probability vs overhead margin.
+
+The rateless protocol never *fails* — Bob just keeps receiving — but
+engineering decisions (how many symbols to prefetch, how to size a fixed
+sketch for a datagram, when to give up and fall back) need the complement
+question: *if I ship only m = c·d coded symbols, how likely is decoding
+to complete?*  This module estimates that curve by Monte Carlo and
+derives provisioning recommendations from it, the rateless analogue of
+the regular-IBLT sizing tables.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.montecarlo import IntSymbolCodec, _random_values
+from repro.core.decoder import RatelessDecoder
+from repro.core.encoder import RatelessEncoder
+from repro.core.irregular import IrregularConfig
+from repro.core.params import DEFAULT_ALPHA
+
+
+@dataclass
+class FailureCurve:
+    """P(decode incomplete | m = c·d) sampled over overhead factors c."""
+
+    difference_size: int
+    runs: int
+    points: list[tuple[float, float]]  # (overhead factor, failure prob)
+
+    def failure_at(self, overhead: float) -> float:
+        """Failure probability at the nearest sampled overhead ≤ given."""
+        best = 1.0
+        for c, p in self.points:
+            if c <= overhead + 1e-9:
+                best = p
+        return best
+
+    def overhead_for(self, target_failure: float) -> Optional[float]:
+        """Smallest sampled overhead whose failure prob ≤ target."""
+        for c, p in sorted(self.points):
+            if p <= target_failure:
+                return c
+        return None
+
+
+def failure_curve(
+    d: int,
+    overheads: Sequence[float],
+    runs: int = 100,
+    alpha: float = DEFAULT_ALPHA,
+    irregular: Optional[IrregularConfig] = None,
+    seed: int = 0,
+) -> FailureCurve:
+    """Estimate the failure curve for difference size ``d``.
+
+    Each run streams max(overheads)·d symbols once and records, at every
+    requested overhead checkpoint, whether decoding had completed.
+    """
+    overheads = sorted(set(float(c) for c in overheads))
+    max_symbols = int(math.ceil(overheads[-1] * d))
+    failures = [0] * len(overheads)
+    rng = random.Random(seed ^ (d * 0xA24BAED4963EE407))
+    for _ in range(runs):
+        codec = IntSymbolCodec(
+            alpha=alpha, irregular=irregular, key=rng.getrandbits(64)
+        )
+        encoder = RatelessEncoder(codec)
+        for value in _random_values(d, rng):
+            encoder.add_value(value)
+        decoder = RatelessDecoder(codec)
+        decoded_at: Optional[int] = None
+        for produced in range(1, max_symbols + 1):
+            decoder.add_coded_symbol(encoder.produce_next())
+            if decoder.decoded:
+                decoded_at = produced
+                break
+        for i, c in enumerate(overheads):
+            if decoded_at is None or decoded_at > c * d:
+                failures[i] += 1
+    points = [(c, failures[i] / runs) for i, c in enumerate(overheads)]
+    return FailureCurve(difference_size=d, runs=runs, points=points)
+
+
+def recommended_prefix(
+    d: int,
+    target_failure: float = 0.01,
+    runs: int = 200,
+    seed: int = 0,
+) -> int:
+    """Symbols to prefetch for a d-item difference at a failure target.
+
+    A datagram-style deployment (send one fixed sketch, no feedback
+    channel) uses this the way regular IBLT uses its sizing table — but
+    here an undershoot only costs another round, never a restart.
+    """
+    if d < 1:
+        raise ValueError("difference size must be positive")
+    overheads = [1.0 + 0.1 * k for k in range(0, 26)]
+    curve = failure_curve(d, overheads, runs=runs, seed=seed)
+    overhead = curve.overhead_for(target_failure)
+    if overhead is None:
+        overhead = overheads[-1]
+    return int(math.ceil(overhead * d))

@@ -1,0 +1,409 @@
+"""Characteristic Polynomial Interpolation set reconciliation (CPI).
+
+Minsky, Trachtenberg & Zippel (2003): Alice evaluates her set's
+characteristic polynomial ``χ_A(z) = Π_{a∈A}(z − a)`` at ``m`` agreed
+sample points over a prime field and sends the evaluations.  Bob forms
+``f(z_i) = χ_A(z_i)/χ_B(z_i)``; because common items cancel,
+``f = χ_{A\\B}/χ_{B\\A}`` is a rational function of total degree
+``d = |A △ B|``, recoverable by rational interpolation from ``d+1``
+points — communication-optimal (the Fig 7 overhead-1 reference point along
+with PinSketch) but with O(d³) interpolation and O(|B|·m) evaluation cost,
+which is why the paper's lineage moved to PinSketch and then IBLTs (§2).
+
+Implementation notes: the field is GF(p) with p = 2^61 − 1 (Mersenne), so
+items must be integers in [0, p); the linear system is solved by Gaussian
+elimination; numerator roots (A\\B, unknown to Bob) are found by
+Cantor–Zassenhaus-style splitting, denominator roots by rational-root
+checks against Bob's own set.  The decoder verifies on held-out points and
+raises :class:`CPIDecodeFailure` if the difference exceeded the sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.hashing.prng import Splitmix64
+
+# The Mersenne prime 2^61 − 1.
+PRIME = (1 << 61) - 1
+
+
+class CPIDecodeFailure(Exception):
+    """Raised when the evaluations cannot explain the difference."""
+
+
+# --- GF(p) helpers -----------------------------------------------------------
+
+
+def _inv(a: int) -> int:
+    """Inverse mod PRIME (Fermat)."""
+    if a % PRIME == 0:
+        raise ZeroDivisionError("0 has no inverse")
+    return pow(a, PRIME - 2, PRIME)
+
+
+def _poly_eval(coeffs: Sequence[int], x: int) -> int:
+    """Horner evaluation; coeffs[i] is the degree-i coefficient."""
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % PRIME
+    return acc
+
+
+def _poly_trim(p: list[int]) -> list[int]:
+    while p and p[-1] == 0:
+        p.pop()
+    return p
+
+
+def _poly_mul(p: Sequence[int], q: Sequence[int]) -> list[int]:
+    if not p or not q:
+        return []
+    out = [0] * (len(p) + len(q) - 1)
+    for i, a in enumerate(p):
+        if a:
+            for j, b in enumerate(q):
+                out[i + j] = (out[i + j] + a * b) % PRIME
+    return _poly_trim(out)
+
+
+def _poly_mod(p: Sequence[int], q: Sequence[int]) -> list[int]:
+    rem = list(p)
+    dq = len(q) - 1
+    lead_inv = _inv(q[-1])
+    while len(rem) - 1 >= dq and rem:
+        shift = len(rem) - 1 - dq
+        factor = rem[-1] * lead_inv % PRIME
+        for i, c in enumerate(q):
+            rem[i + shift] = (rem[i + shift] - factor * c) % PRIME
+        _poly_trim(rem)
+    return rem
+
+
+def _poly_gcd(p: Sequence[int], q: Sequence[int]) -> list[int]:
+    a, b = list(p), list(q)
+    while b:
+        a, b = b, _poly_mod(a, b)
+    if a:
+        lead_inv = _inv(a[-1])
+        a = [c * lead_inv % PRIME for c in a]
+    return a
+
+
+def _poly_pow_mod(base: Sequence[int], exponent: int, modulus: Sequence[int]) -> list[int]:
+    result = [1]
+    acc = _poly_mod(base, modulus)
+    while exponent:
+        if exponent & 1:
+            result = _poly_mod(_poly_mul(result, acc), modulus)
+        acc = _poly_mod(_poly_mul(acc, acc), modulus)
+        exponent >>= 1
+    return result
+
+
+def _poly_roots(p: Sequence[int], seed: int = 0xC91) -> list[int]:
+    """All roots of a squarefree product of linear factors over GF(p).
+
+    Equal-degree splitting: gcd(p, (x+a)^((p−1)/2) − 1) separates roots by
+    the quadratic character of (root + a); recurse with random shifts.
+    Returns fewer roots than deg(p) if p has irreducible factors.
+    """
+    p = _poly_trim(list(p))
+    if not p:
+        return []
+    lead_inv = _inv(p[-1])
+    p = [c * lead_inv % PRIME for c in p]
+    # Keep only the part that splits into linear factors: gcd(p, x^p − x).
+    xp = _poly_pow_mod([0, 1], PRIME, p)
+    xp_minus_x = _poly_trim(
+        [(c - (1 if i == 1 else 0)) % PRIME for i, c in enumerate(xp + [0, 0])]
+    )
+    linear_part = _poly_gcd(p, xp_minus_x) if xp_minus_x else p
+    rng = Splitmix64(seed)
+    roots: list[int] = []
+    stack = [linear_part]
+    while stack:
+        current = stack.pop()
+        deg = len(current) - 1
+        if deg <= 0:
+            continue
+        if deg == 1:
+            roots.append((-current[0]) * _inv(current[1]) % PRIME)
+            continue
+        while True:
+            shift = rng.next_u64() % PRIME
+            probe = _poly_pow_mod([shift, 1], (PRIME - 1) // 2, current)
+            probe = _poly_trim([(c - (1 if i == 0 else 0)) % PRIME for i, c in enumerate(probe + [0])])
+            g = _poly_gcd(current, probe)
+            if 0 < len(g) - 1 < deg:
+                quotient = _poly_div_exact(current, g)
+                stack.append(g)
+                stack.append(quotient)
+                break
+    return roots
+
+
+def _poly_div_exact(p: Sequence[int], q: Sequence[int]) -> list[int]:
+    rem = list(p)
+    dq = len(q) - 1
+    lead_inv = _inv(q[-1])
+    quot = [0] * max(0, len(p) - dq)
+    while len(rem) - 1 >= dq and rem:
+        shift = len(rem) - 1 - dq
+        factor = rem[-1] * lead_inv % PRIME
+        quot[shift] = factor
+        for i, c in enumerate(q):
+            rem[i + shift] = (rem[i + shift] - factor * c) % PRIME
+        _poly_trim(rem)
+    if rem:
+        raise ArithmeticError("division was not exact")
+    return _poly_trim(quot)
+
+
+def _solve_linear_system(matrix: list[list[int]], rhs: list[int]) -> list[int] | None:
+    """Solve ``matrix·x = rhs`` mod PRIME by Gaussian elimination.
+
+    Returns None when the system is singular (the caller falls back to a
+    smaller degree split or reports failure).
+    """
+    n = len(matrix)
+    cols = len(matrix[0]) if n else 0
+    aug = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    pivot_row = 0
+    pivot_cols = []
+    for col in range(cols):
+        pivot = next(
+            (r for r in range(pivot_row, n) if aug[r][col] % PRIME != 0), None
+        )
+        if pivot is None:
+            return None
+        aug[pivot_row], aug[pivot] = aug[pivot], aug[pivot_row]
+        inv = _inv(aug[pivot_row][col])
+        aug[pivot_row] = [c * inv % PRIME for c in aug[pivot_row]]
+        for r in range(n):
+            if r != pivot_row and aug[r][col]:
+                factor = aug[r][col]
+                aug[r] = [
+                    (c - factor * pc) % PRIME
+                    for c, pc in zip(aug[r], aug[pivot_row])
+                ]
+        pivot_cols.append(col)
+        pivot_row += 1
+        if pivot_row == n:
+            break
+    if pivot_row < cols:
+        return None
+    solution = [0] * cols
+    for r, col in enumerate(pivot_cols):
+        solution[col] = aug[r][cols]
+    return solution
+
+
+# --- sample points --------------------------------------------------------------
+#
+# Agreed evaluation points must avoid set items; items are hashed into
+# [0, 2^60) and points are taken descending from PRIME − 1.
+
+
+def sample_point(index: int) -> int:
+    """The ``index``-th agreed evaluation point."""
+    return PRIME - 1 - index
+
+
+MAX_ITEM = PRIME - (1 << 20)  # keep a gap between items and sample points
+
+
+class CPISketch:
+    """Evaluations of a set's characteristic polynomial at agreed points."""
+
+    def __init__(self, set_size: int, evaluations: list[int]) -> None:
+        self.set_size = set_size
+        self.evaluations = evaluations
+
+    @classmethod
+    def from_items(cls, items: Iterable[int], num_points: int) -> "CPISketch":
+        """Evaluate χ_A at the first ``num_points`` sample points.
+
+        O(|A|·num_points) multiplications — the encoding cost CPI is
+        penalised for in §2.
+        """
+        items = list(items)
+        for item in items:
+            if not 0 <= item < MAX_ITEM:
+                raise ValueError(f"CPI items must be in [0, {MAX_ITEM})")
+        evals = []
+        for i in range(num_points):
+            z = sample_point(i)
+            acc = 1
+            for item in items:
+                acc = acc * (z - item) % PRIME
+            evals.append(acc)
+        return cls(len(items), evals)
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: 8 per evaluation plus the set size."""
+        return 8 * len(self.evaluations) + 8
+
+    def decode_against(self, bob_items: Iterable[int]) -> tuple[list[int], list[int]]:
+        """Recover (A \\ B, B \\ A) given Bob's full set.
+
+        Uses all but one evaluation for interpolation and the remainder
+        for verification.  Raises :class:`CPIDecodeFailure` when the
+        difference does not fit.
+        """
+        bob = list(bob_items)
+        m = len(self.evaluations)
+        if m < 2:
+            raise CPIDecodeFailure("need at least two evaluation points")
+        # Ratios f_i = χ_A(z_i) / χ_B(z_i).
+        ratios = []
+        for i, alice_eval in enumerate(self.evaluations):
+            z = sample_point(i)
+            bob_eval = 1
+            for item in bob:
+                bob_eval = bob_eval * (z - item) % PRIME
+            if alice_eval == 0 or bob_eval == 0:
+                raise CPIDecodeFailure("sample point collides with a set item")
+            ratios.append(alice_eval * _inv(bob_eval) % PRIME)
+        delta = self.set_size - len(bob)
+        # Try the largest representable difference first, then shrink: the
+        # verification points reject over-fitted splits.
+        budget = m - 1  # one point held out for verification
+        start = budget - ((budget - abs(delta)) % 2)
+        for total in range(start, abs(delta) - 1, -2):
+            # total = deg P + deg Q with deg P − deg Q = delta.
+            deg_p = (total + delta) // 2
+            deg_q = (total - delta) // 2
+            solution = self._try_interpolate(ratios, deg_p, deg_q)
+            if solution is None:
+                continue
+            # After gcd reduction the true degrees may be smaller than the
+            # fitted ones; compare against the reduced polynomials.
+            p_coeffs, q_coeffs = solution
+            true_p = len(p_coeffs) - 1
+            true_q = len(q_coeffs) - 1
+            only_a = _poly_roots(p_coeffs)
+            only_b = _poly_roots(q_coeffs)
+            if len(only_a) != true_p or len(only_b) != true_q:
+                continue
+            if len(set(only_a)) != true_p or len(set(only_b)) != true_q:
+                continue
+            bob_set = set(bob)
+            if any(b not in bob_set for b in only_b):
+                continue
+            return sorted(only_a), sorted(only_b)
+        raise CPIDecodeFailure(
+            f"difference does not fit in {m} evaluation points"
+        )
+
+    def _try_interpolate(
+        self, ratios: list[int], deg_p: int, deg_q: int
+    ) -> tuple[list[int], list[int]] | None:
+        """Fit monic P (deg_p) and monic Q (deg_q) to P(z_i) = f_i·Q(z_i).
+
+        Uses deg_p + deg_q equations; all remaining points must verify.
+        """
+        unknowns = deg_p + deg_q
+        m = len(ratios)
+        if unknowns + 1 > m:
+            return None
+        matrix: list[list[int]] = []
+        rhs: list[int] = []
+        for i in range(unknowns):
+            z = sample_point(i)
+            f = ratios[i]
+            row = [pow(z, j, PRIME) for j in range(deg_p)]
+            row.extend((-f) * pow(z, j, PRIME) % PRIME for j in range(deg_q))
+            matrix.append(row)
+            rhs.append((f * pow(z, deg_q, PRIME) - pow(z, deg_p, PRIME)) % PRIME)
+        if unknowns == 0:
+            solution: list[int] = []
+        else:
+            solution = _solve_linear_system(matrix, rhs)
+            if solution is None:
+                return None
+        p_coeffs = _poly_trim(solution[:deg_p] + [1])
+        q_coeffs = _poly_trim(solution[deg_p:] + [1])
+        # Verify on the held-out points.
+        for i in range(unknowns, m):
+            z = sample_point(i)
+            lhs = _poly_eval(p_coeffs, z)
+            rhs_val = ratios[i] * _poly_eval(q_coeffs, z) % PRIME
+            if lhs != rhs_val:
+                return None
+        # Reduce common factors (items counted on both sides).
+        gcd = _poly_gcd(p_coeffs, q_coeffs)
+        if len(gcd) - 1 > 0:
+            p_coeffs = _poly_div_exact(p_coeffs, gcd)
+            q_coeffs = _poly_div_exact(q_coeffs, gcd)
+        return p_coeffs, q_coeffs
+
+
+def reconcile_cpi(
+    alice_items: Iterable[int],
+    bob_items: Iterable[int],
+    difference_bound: int,
+) -> tuple[list[int], list[int]]:
+    """One-shot CPI reconciliation with an explicit difference bound."""
+    bob = list(bob_items)
+    sketch = CPISketch.from_items(alice_items, difference_bound + 2)
+    return sketch.decode_against(bob)
+
+
+class StreamingCPI:
+    """Rateless-style CPI: evaluations stream one at a time (§2).
+
+    The paper credits CPI [19] with first mentioning incremental coded
+    symbols: χ_A evaluations at successive sample points *are* a
+    parameter-free stream — each new point supports one more unit of
+    difference.  What kept it impractical is the cost this class makes
+    measurable: every appended evaluation costs Alice O(|A|)
+    multiplications, and every decode attempt costs O(d³), versus
+    O(log d) per symbol and O(d log d) for Rateless IBLT.
+    """
+
+    def __init__(self, alice_items: Iterable[int]) -> None:
+        self.items = list(alice_items)
+        for item in self.items:
+            if not 0 <= item < MAX_ITEM:
+                raise ValueError(f"CPI items must be in [0, {MAX_ITEM})")
+        self.evaluations: list[int] = []
+
+    def produce_next(self) -> int:
+        """Evaluate χ_A at the next sample point — O(|A|) multiplies."""
+        z = sample_point(len(self.evaluations))
+        acc = 1
+        for item in self.items:
+            acc = acc * (z - item) % PRIME
+        self.evaluations.append(acc)
+        return acc
+
+    def sketch(self) -> CPISketch:
+        """The sketch formed by everything produced so far."""
+        return CPISketch(len(self.items), list(self.evaluations))
+
+
+def reconcile_cpi_streaming(
+    alice_items: Iterable[int],
+    bob_items: Iterable[int],
+    max_points: int = 256,
+    batch: int = 2,
+) -> tuple[list[int], list[int], int]:
+    """Stream evaluations until decode succeeds; no difference bound.
+
+    Returns ``(only_a, only_b, points_used)``.  Bob retries decoding
+    every ``batch`` new evaluations (each retry is an O(d³)
+    interpolation — the cost that makes this impractical vs Rateless
+    IBLT, which retries for free as part of peeling).
+    """
+    bob = list(bob_items)
+    stream = StreamingCPI(alice_items)
+    while len(stream.evaluations) < max_points:
+        for _ in range(batch):
+            stream.produce_next()
+        try:
+            only_a, only_b = stream.sketch().decode_against(bob)
+        except CPIDecodeFailure:
+            continue
+        return only_a, only_b, len(stream.evaluations)
+    raise CPIDecodeFailure(f"no decode within {max_points} evaluation points")

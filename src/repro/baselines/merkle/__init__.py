@@ -1,0 +1,19 @@
+"""Hexary Merkle trie + the *state heal* protocol (paper §7.3 baseline).
+
+Ethereum synchronises ledger state with Merkle tries: replicas compare
+root hashes and descend, in lock steps, into sub-tries whose hashes
+differ.  Geth's production protocol ("state heal") batches node requests
+per round trip.  This package implements:
+
+* :class:`~repro.baselines.merkle.trie.Trie` — a persistent (structure-
+  sharing) hexary trie with content-addressed nodes, leaf-level path
+  compression, and deterministic root hashes;
+* :mod:`~repro.baselines.merkle.heal` — the round-based heal protocol,
+  producing the per-round transcript (requests, bodies, node counts) that
+  the network simulator replays under bandwidth/latency/compute models.
+"""
+
+from repro.baselines.merkle.heal import HealReport, state_heal
+from repro.baselines.merkle.trie import NodeStore, Trie
+
+__all__ = ["HealReport", "NodeStore", "Trie", "state_heal"]

@@ -1,0 +1,23 @@
+"""Nibble-path helpers for the hexary trie (16-ary branching on 4-bit digits)."""
+
+from __future__ import annotations
+
+
+def key_to_nibbles(key: bytes) -> tuple[int, ...]:
+    """Split a key into 4-bit digits, most significant nibble first."""
+    out = []
+    for byte in key:
+        out.append(byte >> 4)
+        out.append(byte & 0xF)
+    return tuple(out)
+
+
+def nibble_at(key: bytes, depth: int) -> int:
+    """The ``depth``-th nibble of ``key`` without materialising the path."""
+    byte = key[depth >> 1]
+    return byte >> 4 if depth % 2 == 0 else byte & 0xF
+
+
+def max_depth(key_length: int) -> int:
+    """Number of nibbles in a ``key_length``-byte key."""
+    return 2 * key_length

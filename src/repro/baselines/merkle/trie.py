@@ -1,0 +1,270 @@
+"""A persistent hexary Merkle trie with content-addressed nodes.
+
+Design choices mirror what the paper's §7.3 baseline needs:
+
+* **16-ary branching** on key nibbles, like Geth's trie;
+* **leaf-level compression**: a subtree holding a single key collapses to
+  one leaf node carrying the full key, which subsumes Geth's "shorten
+  sub-tries that have no branches" optimisation for hashed keys;
+* **content addressing**: nodes are stored by the 32-byte BLAKE2b hash of
+  their serialisation, so identical subtrees in different snapshots share
+  storage and a replica can check "do I already have this node?" by hash —
+  the primitive state heal is built on;
+* **persistence**: ``update`` returns a new root, sharing all untouched
+  nodes with the previous version.  Chain snapshots are therefore just a
+  list of root hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Iterator, Optional
+
+from repro.baselines.merkle.nibbles import max_depth, nibble_at
+
+HASH_SIZE = 32
+EMPTY_HASH = b"\x00" * HASH_SIZE
+
+_LEAF_TAG = 0x4C  # 'L'
+_BRANCH_TAG = 0x42  # 'B'
+
+
+def hash_node(encoding: bytes) -> bytes:
+    """Content address of a node encoding."""
+    return hashlib.blake2b(encoding, digest_size=HASH_SIZE).digest()
+
+
+class NodeStore:
+    """A content-addressed node database (hash → encoding)."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[bytes, bytes] = {}
+
+    def put(self, encoding: bytes) -> bytes:
+        node_hash = hash_node(encoding)
+        self._nodes[node_hash] = encoding
+        return node_hash
+
+    def put_hashed(self, node_hash: bytes, encoding: bytes) -> None:
+        """Insert a node fetched from a peer, verifying its hash."""
+        if hash_node(encoding) != node_hash:
+            raise ValueError("node encoding does not match its hash")
+        self._nodes[node_hash] = encoding
+
+    def get(self, node_hash: bytes) -> bytes:
+        return self._nodes[node_hash]
+
+    def __contains__(self, node_hash: bytes) -> bool:
+        return node_hash in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def copy(self) -> "NodeStore":
+        """Shallow copy (encodings are immutable bytes)."""
+        out = NodeStore()
+        out._nodes = dict(self._nodes)
+        return out
+
+    def total_bytes(self) -> int:
+        """Sum of stored encoding sizes."""
+        return sum(len(e) for e in self._nodes.values())
+
+
+# --- node encodings -----------------------------------------------------------
+
+
+def encode_leaf(key: bytes, value: bytes) -> bytes:
+    return bytes([_LEAF_TAG, len(key)]) + key + value
+
+
+def encode_branch(children: list[bytes]) -> bytes:
+    """Children is a 16-list of hashes (EMPTY_HASH = no child).
+
+    A bitmap plus the non-empty hashes keeps sparse branches compact,
+    matching how production nodes serialise.
+    """
+    bitmap = 0
+    body = bytearray()
+    for i, child in enumerate(children):
+        if child != EMPTY_HASH:
+            bitmap |= 1 << i
+            body.extend(child)
+    return bytes([_BRANCH_TAG]) + bitmap.to_bytes(2, "little") + bytes(body)
+
+
+def decode_node(encoding: bytes) -> tuple[str, object]:
+    """Decode to ("leaf", (key, value)) or ("branch", [16 child hashes])."""
+    tag = encoding[0]
+    if tag == _LEAF_TAG:
+        key_len = encoding[1]
+        key = encoding[2 : 2 + key_len]
+        value = encoding[2 + key_len :]
+        return "leaf", (key, value)
+    if tag == _BRANCH_TAG:
+        bitmap = int.from_bytes(encoding[1:3], "little")
+        children = []
+        offset = 3
+        for i in range(16):
+            if bitmap & (1 << i):
+                children.append(encoding[offset : offset + HASH_SIZE])
+                offset += HASH_SIZE
+            else:
+                children.append(EMPTY_HASH)
+        return "branch", children
+    raise ValueError(f"unknown node tag {tag:#x}")
+
+
+# --- the trie -------------------------------------------------------------------
+
+
+class Trie:
+    """An immutable view of one trie version (root hash + shared store)."""
+
+    def __init__(self, store: NodeStore, root_hash: bytes = EMPTY_HASH) -> None:
+        self.store = store
+        self.root_hash = root_hash
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[tuple[bytes, bytes]], store: Optional[NodeStore] = None
+    ) -> "Trie":
+        trie = cls(store if store is not None else NodeStore())
+        for key, value in items:
+            trie = trie.update(key, value)
+        return trie
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Value stored under ``key``, or None."""
+        node_hash = self.root_hash
+        depth = 0
+        while node_hash != EMPTY_HASH:
+            kind, payload = decode_node(self.store.get(node_hash))
+            if kind == "leaf":
+                leaf_key, value = payload  # type: ignore[misc]
+                return value if leaf_key == key else None
+            children = payload  # type: ignore[assignment]
+            node_hash = children[nibble_at(key, depth)]  # type: ignore[index]
+            depth += 1
+        return None
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """All (key, value) pairs, in depth-first nibble order."""
+        if self.root_hash == EMPTY_HASH:
+            return
+        stack = [self.root_hash]
+        while stack:
+            node_hash = stack.pop()
+            kind, payload = decode_node(self.store.get(node_hash))
+            if kind == "leaf":
+                yield payload  # type: ignore[misc]
+            else:
+                for child in reversed(payload):  # type: ignore[arg-type]
+                    if child != EMPTY_HASH:
+                        stack.append(child)
+
+    def node_count(self) -> int:
+        """Number of distinct nodes reachable from this root."""
+        if self.root_hash == EMPTY_HASH:
+            return 0
+        seen = {self.root_hash}
+        stack = [self.root_hash]
+        while stack:
+            kind, payload = decode_node(self.store.get(stack.pop()))
+            if kind == "branch":
+                for child in payload:  # type: ignore[attr-defined]
+                    if child != EMPTY_HASH and child not in seen:
+                        seen.add(child)
+                        stack.append(child)
+        return len(seen)
+
+    # -- writes -----------------------------------------------------------
+
+    def update(self, key: bytes, value: bytes) -> "Trie":
+        """Insert or overwrite ``key``; returns the new trie version."""
+        new_root = self._update(self.root_hash, key, value, 0)
+        return Trie(self.store, new_root)
+
+    def _update(self, node_hash: bytes, key: bytes, value: bytes, depth: int) -> bytes:
+        store = self.store
+        if node_hash == EMPTY_HASH:
+            return store.put(encode_leaf(key, value))
+        kind, payload = decode_node(store.get(node_hash))
+        if kind == "leaf":
+            leaf_key, leaf_value = payload  # type: ignore[misc]
+            if leaf_key == key:
+                return store.put(encode_leaf(key, value))
+            return self._split_leaf(leaf_key, leaf_value, key, value, depth)
+        children = list(payload)  # type: ignore[arg-type]
+        branch_nibble = nibble_at(key, depth)
+        children[branch_nibble] = self._update(
+            children[branch_nibble], key, value, depth + 1
+        )
+        return store.put(encode_branch(children))
+
+    def _split_leaf(
+        self,
+        old_key: bytes,
+        old_value: bytes,
+        new_key: bytes,
+        new_value: bytes,
+        depth: int,
+    ) -> bytes:
+        """Replace a leaf by the branch chain separating two distinct keys."""
+        store = self.store
+        limit = max_depth(len(new_key))
+        if depth >= limit:
+            raise ValueError("duplicate key with different value reached max depth")
+        old_nibble = nibble_at(old_key, depth)
+        new_nibble = nibble_at(new_key, depth)
+        children = [EMPTY_HASH] * 16
+        if old_nibble == new_nibble:
+            children[old_nibble] = self._split_leaf(
+                old_key, old_value, new_key, new_value, depth + 1
+            )
+        else:
+            children[old_nibble] = store.put(encode_leaf(old_key, old_value))
+            children[new_nibble] = store.put(encode_leaf(new_key, new_value))
+        return store.put(encode_branch(children))
+
+    def reachable_store(self) -> NodeStore:
+        """A fresh store holding exactly the nodes this root reaches.
+
+        Used to give a replica *only its own* snapshot (the chain's shared
+        store holds every version).
+        """
+        out = NodeStore()
+        if self.root_hash == EMPTY_HASH:
+            return out
+        stack = [self.root_hash]
+        seen = {self.root_hash}
+        while stack:
+            node_hash = stack.pop()
+            encoding = self.store.get(node_hash)
+            out.put_hashed(node_hash, encoding)
+            kind, payload = decode_node(encoding)
+            if kind == "branch":
+                for child in payload:  # type: ignore[attr-defined]
+                    if child != EMPTY_HASH and child not in seen:
+                        seen.add(child)
+                        stack.append(child)
+        return out
+
+    # -- comparisons ---------------------------------------------------------
+
+    def diff_leaves(self, other: "Trie") -> tuple[set[bytes], set[bytes]]:
+        """Keys of leaves reachable only from self / only from other.
+
+        Used by tests to cross-check reconciliation results.
+        """
+        mine = dict(self.items())
+        theirs = dict(other.items())
+        only_self = {
+            k for k, v in mine.items() if theirs.get(k) != v
+        }
+        only_other = {
+            k for k, v in theirs.items() if mine.get(k) != v
+        }
+        return only_self, only_other

@@ -1,0 +1,223 @@
+"""MET-IBLT: a rate-compatible IBLT optimised for preset difference sizes.
+
+Lázaro & Matuz (IEEE Trans. Commun. 2023) jointly optimise IBLT degree
+distributions for several pre-selected difference sizes ``d_1 < … < d_n``
+such that the cell list for ``d_i`` is a prefix of the one for ``d_j``
+(j > i).  The sender can therefore extend an in-flight table — but only in
+coarse jumps to the next optimised size, which is exactly the limitation
+Fig 7 shows: overhead is competitive *at* the preset sizes and 4-10×
+worse between them.
+
+The published parameter tables are not reproducible from the citing
+paper, so this module implements the construction generically (multi-edge
+types = per-block edge counts) with defaults calibrated by simulation; see
+DESIGN.md "Substitutions".  The defining properties are preserved:
+
+* cells are organised in append-only *blocks*, so longer tables extend
+  shorter ones (rate compatibility);
+* each item maps to ``edges_per_block[j]`` distinct cells in block ``j``,
+  giving the multi-edge-type degree structure;
+* decoding with the first ``t`` blocks peels like any IBLT.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.coded import CodedSymbol
+from repro.core.decoder import DecodeResult
+from repro.core.symbols import SymbolCodec
+from repro.hashing.prng import mix64
+
+# Same wire accounting as regular IBLT (§7.1 setup).
+CELL_OVERHEAD_BYTES = 16
+
+_BLOCK_SALT = 0xC2B2AE3D27D4EB4F
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass(frozen=True)
+class MetConfig:
+    """Geometry of a MET-IBLT: block sizes, per-block degrees, targets."""
+
+    block_sizes: tuple[int, ...]
+    edges_per_block: tuple[int, ...]
+    target_differences: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.block_sizes)
+            == len(self.edges_per_block)
+            == len(self.target_differences)
+        ):
+            raise ValueError("config tuples must have equal length")
+        if any(b < 1 for b in self.block_sizes):
+            raise ValueError("block sizes must be positive")
+        if any(e < 1 for e in self.edges_per_block):
+            raise ValueError("edge counts must be positive")
+        if list(self.target_differences) != sorted(self.target_differences):
+            raise ValueError("target differences must be increasing")
+
+    @property
+    def levels(self) -> int:
+        return len(self.block_sizes)
+
+    def cumulative_cells(self, level: int) -> int:
+        """Total cells when the first ``level`` blocks are in use."""
+        return sum(self.block_sizes[:level])
+
+    def level_for_difference(self, d: int) -> int:
+        """Smallest level whose optimised target covers ``d`` differences."""
+        for level, target in enumerate(self.target_differences, start=1):
+            if d <= target:
+                return level
+        return self.levels
+
+    def block_of_cell(self, index: int) -> int:
+        """Which block a flat cell index belongs to."""
+        acc = 0
+        for j, size in enumerate(self.block_sizes):
+            acc += size
+            if index < acc:
+                return j
+        raise IndexError(index)
+
+
+# Calibrated default: optimised for d ∈ {10, 50, 250, 1250, 6250}; see the
+# calibration test in tests/test_met_iblt.py which checks ≥95% decode
+# success at each target.
+DEFAULT_MET_CONFIG = MetConfig(
+    block_sizes=(24, 90, 520, 2700, 14500),
+    edges_per_block=(3, 2, 1, 1, 1),
+    target_differences=(10, 50, 250, 1250, 6250),
+)
+
+
+class MetIBLT:
+    """A MET-IBLT of a set, decodable at any block-aligned prefix."""
+
+    def __init__(self, codec: SymbolCodec, config: MetConfig = DEFAULT_MET_CONFIG) -> None:
+        self.codec = codec
+        self.config = config
+        self.num_cells = config.cumulative_cells(config.levels)
+        self.cells = [CodedSymbol() for _ in range(self.num_cells)]
+
+    # -- geometry -----------------------------------------------------------
+
+    def _positions_in_block(self, checksum: int, block: int) -> list[int]:
+        """Distinct cells of ``block`` an item occupies."""
+        size = self.config.block_sizes[block]
+        base = self.config.cumulative_cells(block)
+        edges = self.config.edges_per_block[block]
+        positions: list[int] = []
+        attempt = 0
+        while len(positions) < min(edges, size):
+            h = mix64((checksum + (block * 131 + attempt) * _BLOCK_SALT) & _MASK)
+            pos = base + h % size
+            attempt += 1
+            if pos not in positions:
+                positions.append(pos)
+        return positions
+
+    def _positions(self, checksum: int, levels: int) -> list[int]:
+        positions: list[int] = []
+        for block in range(levels):
+            positions.extend(self._positions_in_block(checksum, block))
+        return positions
+
+    # -- construction ---------------------------------------------------------
+
+    def insert(self, data: bytes) -> None:
+        self.insert_value(self.codec.to_int(data))
+
+    def insert_value(self, value: int) -> None:
+        checksum = self.codec.checksum_int(value)
+        for pos in self._positions(checksum, self.config.levels):
+            self.cells[pos].apply(value, checksum, 1)
+
+    @classmethod
+    def from_items(
+        cls,
+        items: Iterable[bytes],
+        codec: SymbolCodec,
+        config: MetConfig = DEFAULT_MET_CONFIG,
+    ) -> "MetIBLT":
+        table = cls(codec, config)
+        for item in items:
+            table.insert(item)
+        return table
+
+    # -- linearity ---------------------------------------------------------------
+
+    def subtract(self, other: "MetIBLT") -> "MetIBLT":
+        if self.config != other.config or not self.codec.compatible_with(other.codec):
+            raise ValueError("MET-IBLTs have different geometry")
+        out = MetIBLT(self.codec, self.config)
+        out.cells = [a.subtract(b) for a, b in zip(self.cells, other.cells)]
+        return out
+
+    # -- decoding -----------------------------------------------------------------
+
+    def decode(self, levels: int | None = None) -> DecodeResult:
+        """Peel using the first ``levels`` blocks (default: all)."""
+        if levels is None:
+            levels = self.config.levels
+        if not 1 <= levels <= self.config.levels:
+            raise ValueError(f"levels must be in 1..{self.config.levels}")
+        limit = self.config.cumulative_cells(levels)
+        cells = [cell.copy() for cell in self.cells[:limit]]
+        codec = self.codec
+        queue = deque(idx for idx, cell in enumerate(cells) if cell.count in (1, -1))
+        remote: list[int] = []
+        local: list[int] = []
+        seen: set[int] = set()
+        while queue:
+            idx = queue.popleft()
+            cell = cells[idx]
+            direction = cell.count
+            if direction != 1 and direction != -1:
+                continue
+            checksum = cell.checksum
+            if codec.checksum_int(cell.sum) != checksum:
+                continue
+            if checksum in seen:
+                continue
+            value = cell.sum
+            seen.add(checksum)
+            if direction == 1:
+                remote.append(value)
+            else:
+                local.append(value)
+            for pos in self._positions(checksum, levels):
+                target = cells[pos]
+                target.apply(value, checksum, -direction)
+                if target.count in (1, -1):
+                    queue.append(pos)
+        success = all(cell.is_zero() for cell in cells)
+        return DecodeResult(
+            success=success,
+            remote=[codec.to_bytes(v) for v in remote],
+            local=[codec.to_bytes(v) for v in local],
+            symbols_used=limit,
+        )
+
+    def decode_smallest_prefix(self) -> tuple[DecodeResult, int]:
+        """Decode with the fewest blocks that succeed (rate-compatible use).
+
+        Returns ``(result, cells_consumed)`` — the communication actually
+        spent when the sender ships blocks one at a time.
+        """
+        for levels in range(1, self.config.levels + 1):
+            result = self.decode(levels)
+            if result.success:
+                return result, self.config.cumulative_cells(levels)
+        return result, self.config.cumulative_cells(self.config.levels)
+
+    def wire_size(self, levels: int | None = None) -> int:
+        """Bytes on the wire for a ``levels``-block prefix."""
+        if levels is None:
+            levels = self.config.levels
+        cells = self.config.cumulative_cells(levels)
+        return cells * (self.codec.symbol_size + CELL_OVERHEAD_BYTES)

@@ -1,0 +1,21 @@
+"""PinSketch [Dodis, Ostrovsky, Reyzin & Smith 2008] from scratch.
+
+PinSketch encodes a set of nonzero elements of GF(2^m) as the odd power
+sums (BCH syndromes) ``s_j = Σ x^j`` for ``j = 1, 3, …, 2t−1``.  Sketches
+XOR-subtract; the difference sketch decodes via Berlekamp–Massey plus
+polynomial root finding, recovering up to ``t`` symmetric-difference
+elements from exactly ``t·m`` bits — the information-theoretic optimum
+that Fig 7 plots as overhead 1.
+
+The price is computation: encoding is O(t) field multiplications *per
+item*, and decoding is O(t²) — the quadratic wall the paper measures in
+Figs 8-9 (PinSketch is 2-2000× slower than Rateless IBLT).
+
+This package stands in for Minisketch (the production C++ library the
+paper benchmarks); same algorithm, interpreter-speed constants.
+"""
+
+from repro.baselines.pinsketch.gf2 import GF2m
+from repro.baselines.pinsketch.sketch import DecodeFailure, PinSketch
+
+__all__ = ["GF2m", "PinSketch", "DecodeFailure"]

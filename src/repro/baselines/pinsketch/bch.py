@@ -1,0 +1,82 @@
+"""BCH syndrome machinery: power sums and Berlekamp–Massey.
+
+A set S ⊂ GF(2^m)\\{0} has syndromes ``s_j = Σ_{x∈S} x^j``.  Over
+characteristic 2, even syndromes are redundant (``s_2j = s_j²``), so a
+PinSketch stores only the odd ones, ``t`` of them to correct up to ``t``
+differences.  Decoding reconstructs ``s_1..s_2t`` and runs
+Berlekamp–Massey to find the error locator ``Λ(x) = Π(1 − x·X_i)`` whose
+inverse roots are the difference elements.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pinsketch.gf2 import GF2m
+from repro.baselines.pinsketch.poly import Poly, trim
+
+
+def odd_syndromes(field: GF2m, element: int, t: int) -> list[int]:
+    """[x, x³, x⁵, …, x^(2t−1)] for one element — its sketch contribution."""
+    if element == 0:
+        raise ValueError("PinSketch elements must be nonzero")
+    powers = [0] * t
+    square = field.sqr(element)
+    current = element
+    for j in range(t):
+        powers[j] = current
+        current = field.mul(current, square)
+    return powers
+
+
+def expand_syndromes(field: GF2m, odd: list[int]) -> list[int]:
+    """Reconstruct s_1..s_2t from the stored odd syndromes (s_2j = s_j²)."""
+    t = len(odd)
+    full = [0] * (2 * t)
+    for j in range(t):
+        full[2 * j] = odd[j]  # s_{2j+1}
+    # s_{2k} = s_k² ; fill even positions in increasing k so dependencies
+    # (s_k for k ≤ t) are already available.
+    for k in range(1, t + 1):
+        full[2 * k - 1] = field.sqr(full[k - 1])
+    return full
+
+
+def berlekamp_massey(field: GF2m, sequence: list[int]) -> Poly:
+    """Minimal LFSR (connection polynomial) generating ``sequence``.
+
+    Returns ``C = [1, c1, …, cL]`` such that for all n ≥ L:
+    ``s_n = Σ_{i=1..L} c_i·s_{n−i}`` (all arithmetic in GF(2^m), where
+    + and − coincide).  For BCH syndromes of ``v ≤ t`` errors this is the
+    error locator Λ(x) with ``deg Λ = v``.
+    """
+    c: Poly = [1]
+    b: Poly = [1]
+    length = 0
+    shift = 1
+    prev_disc = 1
+    fmul = field.mul
+    for n, s_n in enumerate(sequence):
+        # Discrepancy: s_n + Σ c_i s_{n-i}.
+        disc = s_n
+        for i in range(1, length + 1):
+            if i < len(c) and c[i]:
+                disc ^= fmul(c[i], sequence[n - i])
+        if disc == 0:
+            shift += 1
+            continue
+        coef = fmul(disc, field.inv(prev_disc))
+        adjustment = [0] * shift + [fmul(coef, x) for x in b]
+        if 2 * length <= n:
+            old_c = list(c)
+            length = n + 1 - length
+            b = old_c
+            prev_disc = disc
+            shift = 1
+        else:
+            shift += 1
+        # c = c - adjustment (XOR in char 2), aligned lengths.
+        if len(adjustment) > len(c):
+            c = c + [0] * (len(adjustment) - len(c))
+        for i, a in enumerate(adjustment):
+            c[i] ^= a
+        trim(c)
+    return c

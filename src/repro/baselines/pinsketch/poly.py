@@ -1,0 +1,222 @@
+"""Polynomials over GF(2^m): the decoding toolbox for PinSketch.
+
+Polynomials are lists of field elements, index = degree, normalised so the
+leading coefficient is nonzero (the zero polynomial is the empty list).
+Includes the Berlekamp trace-splitting root finder, which locates all
+roots of a squarefree polynomial in O(deg²·m) field operations — no
+exhaustive Chien search over 2^m points.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pinsketch.gf2 import GF2m
+from repro.hashing.prng import Splitmix64
+
+Poly = list[int]
+
+
+def trim(p: Poly) -> Poly:
+    """Drop leading zero coefficients in place; return p."""
+    while p and p[-1] == 0:
+        p.pop()
+    return p
+
+
+def degree(p: Poly) -> int:
+    """Degree; −1 for the zero polynomial."""
+    return len(p) - 1
+
+
+def add(p: Poly, q: Poly) -> Poly:
+    """p + q (coefficient-wise XOR)."""
+    if len(p) < len(q):
+        p, q = q, p
+    out = list(p)
+    for i, c in enumerate(q):
+        out[i] ^= c
+    return trim(out)
+
+
+def scale(field: GF2m, p: Poly, c: int) -> Poly:
+    """c · p."""
+    if c == 0:
+        return []
+    if c == 1:
+        return list(p)
+    table = field.mul_table(c)
+    mul_with = field.mul_with
+    return trim([mul_with(coef, table) for coef in p])
+
+
+def mul(field: GF2m, p: Poly, q: Poly) -> Poly:
+    """Schoolbook product."""
+    if not p or not q:
+        return []
+    if len(p) > len(q):
+        p, q = q, p  # build window tables for the shorter operand
+    out = [0] * (len(p) + len(q) - 1)
+    mul_with = field.mul_with
+    for i, a in enumerate(p):
+        if a == 0:
+            continue
+        table = field.mul_table(a)
+        for j, b in enumerate(q):
+            if b:
+                out[i + j] ^= mul_with(b, table)
+    return trim(out)
+
+
+def divmod_poly(field: GF2m, p: Poly, q: Poly) -> tuple[Poly, Poly]:
+    """Quotient and remainder of p / q."""
+    q = trim(list(q))
+    if not q:
+        raise ZeroDivisionError("division by the zero polynomial")
+    rem = trim(list(p))
+    dq = degree(q)
+    lead_inv = field.inv(q[-1])
+    quot = [0] * max(0, len(p) - dq)
+    fmul = field.mul
+    mul_with = field.mul_with
+    # Precompute window tables for the divisor's nonzero coefficients —
+    # they multiply a fresh factor on every elimination step.
+    q_terms = [(i, field.mul_table(c)) for i, c in enumerate(q) if c]
+    while degree(rem) >= dq:
+        shift = degree(rem) - dq
+        factor = fmul(rem[-1], lead_inv)
+        quot[shift] = factor
+        for i, table in q_terms:
+            rem[i + shift] ^= mul_with(factor, table)
+        trim(rem)
+        if not rem:
+            break
+    return trim(quot), rem
+
+
+def mod(field: GF2m, p: Poly, q: Poly) -> Poly:
+    """Remainder of p / q."""
+    return divmod_poly(field, p, q)[1]
+
+
+def monic(field: GF2m, p: Poly) -> Poly:
+    """Scale p so its leading coefficient is 1."""
+    if not p:
+        return []
+    return scale(field, p, field.inv(p[-1]))
+
+
+def gcd(field: GF2m, p: Poly, q: Poly) -> Poly:
+    """Monic greatest common divisor."""
+    a, b = trim(list(p)), trim(list(q))
+    while b:
+        a, b = b, mod(field, a, b)
+    return monic(field, a)
+
+
+def evaluate(field: GF2m, p: Poly, x: int) -> int:
+    """Horner evaluation of p at x."""
+    acc = 0
+    table = field.mul_table(x)
+    mul_with = field.mul_with
+    for c in reversed(p):
+        acc = mul_with(acc, table) ^ c
+    return acc
+
+
+def from_roots(field: GF2m, roots: list[int]) -> Poly:
+    """Monic polynomial Π(x − r)."""
+    p: Poly = [1]
+    for r in roots:
+        p = mul(field, p, [r, 1])
+    return p
+
+
+def sqr_mod(field: GF2m, p: Poly, modulus: Poly) -> Poly:
+    """p² mod modulus — cheap in characteristic 2 (coefficients spread)."""
+    if not p:
+        return []
+    out = [0] * (2 * len(p) - 1)
+    fsqr = field.sqr
+    for i, c in enumerate(p):
+        if c:
+            out[2 * i] = fsqr(c)
+    return mod(field, trim(out), modulus)
+
+
+def mul_mod(field: GF2m, p: Poly, q: Poly, modulus: Poly) -> Poly:
+    """p·q mod modulus."""
+    return mod(field, mul(field, p, q), modulus)
+
+
+def _frobenius_basis(field: GF2m, modulus: Poly) -> list[Poly]:
+    """[x^(2^i) mod modulus for i in 0..m-1] — the Frobenius power basis.
+
+    With this precomputed, the trace polynomial of any β costs only m
+    scalar-by-polynomial products: T(βx) mod p = Σ_i β^(2^i)·(x^(2^i) mod p).
+    """
+    basis: list[Poly] = [[0, 1]]
+    for _ in range(field.m - 1):
+        basis.append(sqr_mod(field, basis[-1], modulus))
+    return basis
+
+
+def find_roots(field: GF2m, p: Poly, seed: int = 0xB10C5) -> list[int]:
+    """All roots in GF(2^m) of a squarefree polynomial ``p``.
+
+    Berlekamp trace algorithm: for random β, the trace polynomial
+    ``T(βx) = Σ_{i<m} (βx)^{2^i}`` evaluates to 0 or 1 at every point, so
+    ``gcd(p, T(βx) mod p)`` splits the roots into the trace-0 and trace-1
+    classes; recurse until linear.  The Frobenius basis is computed once
+    per factor and *reduced* (not re-squared) on recursion, so each split
+    attempt is O(m·d) instead of O(m·d²).
+
+    Returns fewer than ``deg p`` roots when some factors have no roots in
+    the field (the caller detects this as a decode failure).
+    """
+    p = monic(field, trim(list(p)))
+    if not p or degree(p) == 0:
+        return []
+    rng = Splitmix64(seed ^ (degree(p) * 0x9E3779B97F4A7C15))
+    roots: list[int] = []
+    stack: list[tuple[Poly, list[Poly]]] = [(p, _frobenius_basis(field, p))]
+    fsqr = field.sqr
+    while stack:
+        current, basis = stack.pop()
+        deg = degree(current)
+        if deg <= 0:
+            continue
+        if deg == 1:
+            # monic x + c0 has the single root c0 (char 2).
+            roots.append(current[0])
+            continue
+        split_found = False
+        for _ in range(4 * field.m):
+            beta = rng.next_u64() & field.mask
+            if beta == 0:
+                continue
+            # T(βx) mod current from the precomputed basis.
+            acc: Poly = []
+            beta_power = beta
+            for frob in basis:
+                acc = add(acc, scale(field, frob, beta_power))
+                beta_power = fsqr(beta_power)
+            for candidate in (acc, add(acc, [1])):
+                g = gcd(field, current, candidate)
+                dg = degree(g)
+                if 0 < dg < deg:
+                    quotient, rem = divmod_poly(field, current, g)
+                    if rem:
+                        raise ArithmeticError("gcd does not divide polynomial")
+                    stack.append((g, [mod(field, f, g) for f in basis]))
+                    stack.append(
+                        (quotient, [mod(field, f, quotient) for f in basis])
+                    )
+                    split_found = True
+                    break
+            if split_found:
+                break
+        if not split_found:
+            # No roots in the field for this factor (irreducible of deg ≥ 2)
+            # — legitimate when the input polynomial was not a product of
+            # linear factors; the caller treats missing roots as failure.
+            continue
+    return roots

@@ -1,0 +1,131 @@
+"""The PinSketch set sketch: syndrome encode, XOR subtract, BCH decode.
+
+API mirrors Minisketch: a sketch of *capacity* ``t`` occupies exactly
+``t·m`` bits and reconciles up to ``t`` differences.  ``decode`` either
+returns the exact symmetric difference or raises :class:`DecodeFailure`;
+it never silently returns a wrong answer (roots are verified against the
+syndromes before being accepted).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.baselines.pinsketch import poly
+from repro.baselines.pinsketch.bch import (
+    berlekamp_massey,
+    expand_syndromes,
+    odd_syndromes,
+)
+from repro.baselines.pinsketch.gf2 import GF2m
+
+
+class DecodeFailure(Exception):
+    """Raised when the difference exceeds the sketch capacity."""
+
+
+class PinSketch:
+    """BCH-syndrome sketch over GF(2^m) with capacity ``t``."""
+
+    def __init__(self, field: GF2m, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.field = field
+        self.capacity = capacity
+        self.syndromes = [0] * capacity
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, element: int) -> None:
+        """Toggle one nonzero field element in the sketch.
+
+        Adding an element twice removes it (XOR), matching set semantics
+        under symmetric difference.
+        """
+        if not 0 < element < self.field.order:
+            raise ValueError(
+                f"element must be in [1, 2^{self.field.m}), got {element}"
+            )
+        for j, power in enumerate(odd_syndromes(self.field, element, self.capacity)):
+            self.syndromes[j] ^= power
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[int], field: GF2m, capacity: int
+    ) -> "PinSketch":
+        sketch = cls(field, capacity)
+        for item in items:
+            sketch.add(item)
+        return sketch
+
+    # -- linearity ----------------------------------------------------------
+
+    def subtract(self, other: "PinSketch") -> "PinSketch":
+        """Sketch of the symmetric difference (XOR of syndromes)."""
+        if self.field != other.field or self.capacity != other.capacity:
+            raise ValueError("sketches have different geometry")
+        out = PinSketch(self.field, self.capacity)
+        out.syndromes = [a ^ b for a, b in zip(self.syndromes, other.syndromes)]
+        return out
+
+    # -- wire ------------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Pack the syndromes into ⌈t·m/8⌉ bytes."""
+        blob = 0
+        for j, s in enumerate(self.syndromes):
+            blob |= s << (j * self.field.m)
+        return blob.to_bytes((self.capacity * self.field.m + 7) // 8, "little")
+
+    @classmethod
+    def deserialize(cls, data: bytes, field: GF2m, capacity: int) -> "PinSketch":
+        expected = (capacity * field.m + 7) // 8
+        if len(data) != expected:
+            raise ValueError(f"expected {expected} bytes, got {len(data)}")
+        blob = int.from_bytes(data, "little")
+        sketch = cls(field, capacity)
+        sketch.syndromes = [
+            (blob >> (j * field.m)) & field.mask for j in range(capacity)
+        ]
+        return sketch
+
+    def wire_size(self) -> int:
+        """Serialised size in bytes."""
+        return (self.capacity * self.field.m + 7) // 8
+
+    # -- decoding -----------------------------------------------------------------
+
+    def decode(self) -> list[int]:
+        """Recover the elements of a (difference) sketch.
+
+        Raises :class:`DecodeFailure` when more than ``capacity`` elements
+        are present.  The empty difference decodes to ``[]``.
+        """
+        field = self.field
+        if all(s == 0 for s in self.syndromes):
+            return []
+        full = expand_syndromes(field, self.syndromes)
+        locator = berlekamp_massey(field, full)
+        v = poly.degree(locator)
+        if v < 1 or v > self.capacity:
+            raise DecodeFailure(f"locator degree {v} out of range")
+        # Λ(x) = Π(1 − X_i x); its reversal Π(x − X_i) has the elements as
+        # roots.  (Reversal = coefficient list reversed.)
+        reversed_locator = poly.trim(list(reversed(locator)))
+        roots = poly.find_roots(field, reversed_locator)
+        if len(roots) != v or len(set(roots)) != v or any(r == 0 for r in roots):
+            raise DecodeFailure(
+                f"locator of degree {v} produced {len(roots)} distinct roots"
+            )
+        self._verify(roots)
+        return sorted(roots)
+
+    def _verify(self, roots: Sequence[int]) -> None:
+        """Check the recovered elements regenerate the sketch exactly."""
+        field = self.field
+        check = [0] * self.capacity
+        for r in roots:
+            for j, power in enumerate(odd_syndromes(field, r, self.capacity)):
+                check[j] ^= power
+        if check != self.syndromes:
+            raise DecodeFailure("recovered roots do not reproduce the syndromes")

@@ -1,0 +1,232 @@
+"""Command-line interface: reconcile files of fixed-width items.
+
+Commands
+--------
+
+``repro sketch INPUT -o OUT --symbols M``
+    Encode INPUT's items into the first M coded symbols (§6 wire format).
+``repro decode SKETCH LOCAL``
+    Bob's side: subtract LOCAL's items from a received sketch stream and
+    peel; prints the differences.
+``repro reconcile FILE_A FILE_B``
+    Run the full streaming protocol between two local files and report
+    the difference plus communication statistics.
+``repro estimate FILE_A FILE_B``
+    Strata-estimate the difference size (what a regular-IBLT deployment
+    would do first).
+
+Item files are either raw binary (fixed-width records, ``--item-size``)
+or newline-delimited hex (``--format hex``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.baselines.strata import StrataEstimator
+from repro.core.decoder import RatelessDecoder
+from repro.core.encoder import RatelessEncoder
+from repro.core.session import ReconciliationSession
+from repro.core.symbols import SymbolCodec
+from repro.core.wire import decode_stream, encode_stream
+from repro.hashing.keyed import make_hasher
+
+
+class CliError(Exception):
+    """User-facing failure (bad input file, mismatched sizes, ...)."""
+
+
+def read_items(path: Path, item_size: int | None, file_format: str) -> list[bytes]:
+    """Load a file of items; infers the item size for hex input."""
+    if not path.exists():
+        raise CliError(f"no such file: {path}")
+    if file_format == "hex":
+        items = []
+        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                items.append(bytes.fromhex(line))
+            except ValueError as exc:
+                raise CliError(f"{path}:{line_no}: invalid hex: {exc}") from exc
+        if not items:
+            raise CliError(f"{path}: no items")
+        sizes = {len(item) for item in items}
+        if len(sizes) != 1:
+            raise CliError(f"{path}: items have mixed sizes {sorted(sizes)}")
+        actual = sizes.pop()
+        if item_size is not None and actual != item_size:
+            raise CliError(
+                f"{path}: items are {actual} bytes, expected {item_size}"
+            )
+        return items
+    # raw binary, fixed-width records
+    if item_size is None:
+        raise CliError("--item-size is required for binary files")
+    blob = path.read_bytes()
+    if len(blob) % item_size:
+        raise CliError(
+            f"{path}: size {len(blob)} is not a multiple of {item_size}"
+        )
+    return [blob[i : i + item_size] for i in range(0, len(blob), item_size)]
+
+
+def build_codec(items: Sequence[bytes], args: argparse.Namespace) -> SymbolCodec:
+    hasher = make_hasher(args.hasher, bytes.fromhex(args.key))
+    return SymbolCodec(len(items[0]), hasher, checksum_size=args.checksum_size)
+
+
+def check_unique(items: Iterable[bytes], label: str) -> set[bytes]:
+    items = list(items)
+    unique = set(items)
+    if len(unique) != len(items):
+        raise CliError(f"{label}: duplicate items (sets must be duplicate-free)")
+    return unique
+
+
+def cmd_sketch(args: argparse.Namespace) -> int:
+    items = read_items(Path(args.input), args.item_size, args.format)
+    unique = check_unique(items, args.input)
+    codec = build_codec(items, args)
+    encoder = RatelessEncoder(codec, unique)
+    cells = [encoder.produce_next().copy() for _ in range(args.symbols)]
+    blob = encode_stream(codec, len(unique), cells)
+    Path(args.output).write_bytes(blob)
+    print(
+        f"wrote {args.symbols} coded symbols ({len(blob)} bytes) for "
+        f"{len(unique)} items to {args.output}"
+    )
+    return 0
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    local_items = read_items(Path(args.local), args.item_size, args.format)
+    local = check_unique(local_items, args.local)
+    codec = build_codec(local_items, args)
+    cells, remote_size = decode_stream(codec, Path(args.sketch).read_bytes())
+    bob = RatelessEncoder(codec, local)
+    decoder = RatelessDecoder(codec)
+    for cell in cells:
+        decoder.add_subtracted(cell, bob.produce_next())
+        if decoder.decoded:
+            break
+    result = decoder.result()
+    print(f"remote set size : {remote_size}")
+    print(f"symbols used    : {result.symbols_used} of {len(cells)}")
+    print(f"decoded         : {'yes' if result.success else 'NO (need a longer sketch)'}")
+    if result.success:
+        print(f"missing locally : {len(result.remote)}")
+        print(f"extra locally   : {len(result.local)}")
+        if args.show_items:
+            for item in sorted(result.remote):
+                print(f"  + {item.hex()}")
+            for item in sorted(result.local):
+                print(f"  - {item.hex()}")
+    return 0 if result.success else 3
+
+
+def cmd_reconcile(args: argparse.Namespace) -> int:
+    items_a = read_items(Path(args.file_a), args.item_size, args.format)
+    items_b = read_items(Path(args.file_b), args.item_size, args.format)
+    if len(items_a[0]) != len(items_b[0]):
+        raise CliError("the two files hold items of different sizes")
+    set_a = check_unique(items_a, args.file_a)
+    set_b = check_unique(items_b, args.file_b)
+    codec = build_codec(items_a, args)
+    session = ReconciliationSession(set_a, set_b, codec)
+    outcome = session.run(max_symbols=args.max_symbols)
+    print(f"|A| = {len(set_a)}, |B| = {len(set_b)}")
+    print(f"difference      : {outcome.difference_size}")
+    print(f"coded symbols   : {outcome.symbols_used} "
+          f"(overhead {outcome.overhead:.2f})")
+    print(f"bytes on wire   : {outcome.bytes_on_wire}")
+    if args.show_items:
+        for item in sorted(outcome.only_in_a):
+            print(f"  A-only {item.hex()}")
+        for item in sorted(outcome.only_in_b):
+            print(f"  B-only {item.hex()}")
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    items_a = read_items(Path(args.file_a), args.item_size, args.format)
+    items_b = read_items(Path(args.file_b), args.item_size, args.format)
+    estimator_a = StrataEstimator.from_items(items_a)
+    estimator_b = StrataEstimator.from_items(items_b)
+    estimate = estimator_a.estimate(estimator_b)
+    true_d = len(set(items_a) ^ set(items_b))
+    print(f"estimated difference : {estimate}")
+    print(f"true difference      : {true_d}")
+    print(f"estimator wire size  : {estimator_a.wire_size()} bytes")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rateless IBLT set reconciliation (SIGCOMM 2024 reproduction)",
+    )
+    parser.add_argument(
+        "--item-size", type=int, default=None,
+        help="record width in bytes (required for binary files)",
+    )
+    parser.add_argument(
+        "--format", choices=("bin", "hex"), default="bin",
+        help="input file format (default: bin)",
+    )
+    parser.add_argument(
+        "--hasher", choices=("blake2b", "siphash"), default="blake2b",
+        help="keyed checksum hash family",
+    )
+    parser.add_argument(
+        "--key", default="000102030405060708090a0b0c0d0e0f",
+        help="16-byte hash key, hex (share it with the peer)",
+    )
+    parser.add_argument(
+        "--checksum-size", type=int, default=8,
+        help="checksum bytes per cell, 1-8 (default 8)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sketch = sub.add_parser("sketch", help="encode a file into coded symbols")
+    p_sketch.add_argument("input")
+    p_sketch.add_argument("-o", "--output", required=True)
+    p_sketch.add_argument("--symbols", type=int, required=True)
+    p_sketch.set_defaults(func=cmd_sketch)
+
+    p_decode = sub.add_parser("decode", help="decode a received sketch against a local file")
+    p_decode.add_argument("sketch")
+    p_decode.add_argument("local")
+    p_decode.add_argument("--show-items", action="store_true")
+    p_decode.set_defaults(func=cmd_decode)
+
+    p_rec = sub.add_parser("reconcile", help="reconcile two local files")
+    p_rec.add_argument("file_a")
+    p_rec.add_argument("file_b")
+    p_rec.add_argument("--max-symbols", type=int, default=None)
+    p_rec.add_argument("--show-items", action="store_true")
+    p_rec.set_defaults(func=cmd_reconcile)
+
+    p_est = sub.add_parser("estimate", help="strata-estimate the difference size")
+    p_est.add_argument("file_a")
+    p_est.add_argument("file_b")
+    p_est.set_defaults(func=cmd_estimate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Rateless IBLT — the paper's primary contribution (§4, §6, §8).
+
+Module map:
+
+``params``    — shared constants (α = 0.5, checksum width).
+``varint``    — LEB128/zigzag integers for the compressed ``count`` field.
+``symbols``   — :class:`SymbolCodec`: fixed-length byte items ↔ integers,
+                keyed checksums, mapping-generator construction.
+``mapping``   — the §4.2 index generator realising ρ(i) = 1/(1+αi).
+``coded``     — the (sum, checksum, count) coded-symbol cell.
+``encoder``   — incremental heap-based encoder (§6).
+``decoder``   — incremental peeling decoder (§3, §4).
+``sketch``    — fixed-length prefixes ("sketches") with linear subtraction.
+``wire``      — §6 wire format with var-int compressed counts.
+``session``   — in-memory reconciliation protocol driver.
+``irregular`` — §8 Irregular Rateless IBLT configuration.
+"""
+
+from repro.core.coded import CodedSymbol
+from repro.core.decoder import DecodeResult, RatelessDecoder
+from repro.core.encoder import RatelessEncoder
+from repro.core.irregular import IrregularConfig, PAPER_IRREGULAR
+from repro.core.mapping import IndexGenerator, RandomMapping
+from repro.core.session import ReconciliationSession, reconcile
+from repro.core.sketch import RatelessSketch
+from repro.core.symbols import SymbolCodec
+
+__all__ = [
+    "CodedSymbol",
+    "DecodeResult",
+    "IndexGenerator",
+    "IrregularConfig",
+    "PAPER_IRREGULAR",
+    "RandomMapping",
+    "RatelessDecoder",
+    "RatelessEncoder",
+    "RatelessSketch",
+    "ReconciliationSession",
+    "SymbolCodec",
+    "reconcile",
+]

@@ -1,0 +1,75 @@
+"""The coded-symbol cell: (sum, checksum, count) — paper §3, Fig 1.
+
+``sum``       XOR of the source symbols mapped here (stored as an int).
+``checksum``  XOR of their keyed 64-bit hashes.
+``count``     signed number of mapped symbols; in a subtracted stream a
+              count of +1 (−1) marks a symbol exclusive to Alice (Bob).
+"""
+
+from __future__ import annotations
+
+
+class CodedSymbol:
+    """One cell of a Rateless IBLT.
+
+    Mutable by design — the decoder peels symbols out of cells in place —
+    with value-semantics helpers (:meth:`copy`, :meth:`subtract`) where the
+    caller needs a fresh cell.
+    """
+
+    __slots__ = ("sum", "checksum", "count")
+
+    def __init__(self, sum: int = 0, checksum: int = 0, count: int = 0) -> None:
+        self.sum = sum
+        self.checksum = checksum
+        self.count = count
+
+    def apply(self, value: int, checksum: int, direction: int) -> None:
+        """XOR one source symbol in (``direction=+1``) or out (``-1``).
+
+        XOR is its own inverse, so "in" and "out" differ only in the count
+        bookkeeping.
+        """
+        self.sum ^= value
+        self.checksum ^= checksum
+        self.count += direction
+
+    def subtract(self, other: "CodedSymbol") -> "CodedSymbol":
+        """Return ``self ⊖ other`` (paper §3: pairwise sketch subtraction)."""
+        return CodedSymbol(
+            self.sum ^ other.sum,
+            self.checksum ^ other.checksum,
+            self.count - other.count,
+        )
+
+    def subtract_in_place(self, other: "CodedSymbol") -> None:
+        """In-place version of :meth:`subtract`."""
+        self.sum ^= other.sum
+        self.checksum ^= other.checksum
+        self.count -= other.count
+
+    def is_zero(self) -> bool:
+        """True when no symbol remains in this cell."""
+        return self.count == 0 and self.sum == 0 and self.checksum == 0
+
+    def copy(self) -> "CodedSymbol":
+        """Value copy of this cell."""
+        return CodedSymbol(self.sum, self.checksum, self.count)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CodedSymbol):
+            return NotImplemented
+        return (
+            self.sum == other.sum
+            and self.checksum == other.checksum
+            and self.count == other.count
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sum, self.checksum, self.count))
+
+    def __repr__(self) -> str:
+        return (
+            f"CodedSymbol(sum={self.sum:#x}, checksum={self.checksum:#x}, "
+            f"count={self.count})"
+        )

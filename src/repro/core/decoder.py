@@ -1,0 +1,228 @@
+"""Incremental peeling decoder (paper §3, extended to rateless streams).
+
+The decoder consumes the *subtracted* stream ``a_i ⊖ b_i`` one cell at a
+time.  A cell is *pure* when it holds exactly one source symbol:
+``count ∈ {+1, −1}`` and ``checksum == H(sum)``.  Recovering a pure cell's
+symbol lets us peel it out of every other cell it maps to, possibly
+exposing new pure cells — classic sparse-graph peeling.
+
+Ratelessness adds one twist: a recovered symbol also maps to coded indices
+the decoder has not received yet.  Each recovered symbol therefore parks
+its index generator in a heap keyed by its next index ≥ the current
+frontier; when that cell eventually arrives, the symbol is peeled out of
+it before the cell is even examined (cost O(1) amortised per edge).
+
+Termination: the stream is fully decoded exactly when every received cell
+has been reduced to zero.  Because ρ(0) = 1, cell 0 participates in every
+source symbol and zeroises last, matching §4.1's observation that the
+first coded symbol is the completion signal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import count as _counter
+from typing import Iterable, Optional
+
+from repro.core.coded import CodedSymbol
+from repro.core.mapping import IndexGenerator
+from repro.core.symbols import SymbolCodec
+
+
+class _RecoveredEntry:
+    """A recovered source symbol waiting to be peeled from future cells."""
+
+    __slots__ = ("value", "checksum", "direction", "gen")
+
+    def __init__(self, value: int, checksum: int, direction: int, gen: IndexGenerator) -> None:
+        self.value = value
+        self.checksum = checksum
+        self.direction = direction
+        self.gen = gen
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding a coded-symbol stream.
+
+    ``remote`` holds items exclusive to the sender (count +1, i.e. A \\ B);
+    ``local`` holds items exclusive to the receiver (count −1, B \\ A).
+    """
+
+    success: bool
+    remote: list[bytes] = field(default_factory=list)
+    local: list[bytes] = field(default_factory=list)
+    symbols_used: int = 0
+
+    @property
+    def difference_size(self) -> int:
+        """|A △ B| as recovered."""
+        return len(self.remote) + len(self.local)
+
+    @property
+    def overhead(self) -> float:
+        """Coded symbols consumed per recovered difference."""
+        if self.difference_size == 0:
+            return float(self.symbols_used)
+        return self.symbols_used / self.difference_size
+
+
+class RatelessDecoder:
+    """Peels source symbols out of an incrementally arriving coded stream."""
+
+    def __init__(self, codec: SymbolCodec) -> None:
+        self.codec = codec
+        self._cells: list[CodedSymbol] = []
+        self._pending: list[tuple[int, int, _RecoveredEntry]] = []
+        self._seq = _counter()
+        self._queue: deque[int] = deque()
+        self._remote: list[int] = []
+        self._local: list[int] = []
+        self._seen: set[int] = set()
+        self._nonzero = 0
+
+    # -- stream ingestion --------------------------------------------------
+
+    @property
+    def symbols_received(self) -> int:
+        """Number of coded symbols consumed so far."""
+        return len(self._cells)
+
+    @property
+    def decoded(self) -> bool:
+        """True when at least one cell arrived and all cells are zeroised."""
+        return bool(self._cells) and self._nonzero == 0
+
+    def add_coded_symbol(self, cell: CodedSymbol) -> None:
+        """Consume the next subtracted cell ``a_i ⊖ b_i`` (takes ownership)."""
+        index = len(self._cells)
+        pending = self._pending
+        # Symbols recovered earlier may map to this new index: peel them out
+        # before the cell is examined.
+        while pending and pending[0][0] == index:
+            _, _, rec = heapq.heappop(pending)
+            cell.apply(rec.value, rec.checksum, -rec.direction)
+            heapq.heappush(pending, (rec.gen.next_index(), next(self._seq), rec))
+        self._cells.append(cell)
+        if not cell.is_zero():
+            self._nonzero += 1
+        if cell.count == 1 or cell.count == -1:
+            self._queue.append(index)
+            self._peel()
+
+    def add_subtracted(self, remote_cell: CodedSymbol, local_cell: CodedSymbol) -> None:
+        """Convenience: consume ``remote ⊖ local`` without mutating inputs."""
+        self.add_coded_symbol(remote_cell.subtract(local_cell))
+
+    def add_stream(self, cells: Iterable[CodedSymbol], stop_when_decoded: bool = True) -> int:
+        """Consume cells until the stream is exhausted or decoding completes.
+
+        Returns the number of cells consumed from ``cells``.
+        """
+        used = 0
+        for cell in cells:
+            self.add_coded_symbol(cell)
+            used += 1
+            if stop_when_decoded and self.decoded:
+                break
+        return used
+
+    # -- peeling -----------------------------------------------------------
+
+    def _peel(self) -> None:
+        """Drain the pure-candidate queue, recovering symbols recursively."""
+        queue = self._queue
+        cells = self._cells
+        codec = self.codec
+        while queue:
+            index = queue.popleft()
+            cell = cells[index]
+            direction = cell.count
+            if direction != 1 and direction != -1:
+                continue
+            checksum = cell.checksum
+            if codec.checksum_int(cell.sum) != checksum:
+                continue  # not actually pure (multiple symbols cancel counts)
+            if checksum in self._seen:
+                continue  # ghost duplicate of an already-recovered symbol
+            value = cell.sum
+            self._seen.add(checksum)
+            if direction == 1:
+                self._remote.append(value)
+            else:
+                self._local.append(value)
+            # Peel the recovered symbol out of every cell it maps to.
+            gen = codec.new_mapping(checksum)
+            frontier = len(cells)
+            idx = 0
+            while idx < frontier:
+                target = cells[idx]
+                was_zero = target.is_zero()
+                target.apply(value, checksum, -direction)
+                if target.is_zero():
+                    if not was_zero:
+                        self._nonzero -= 1
+                else:
+                    if was_zero:
+                        self._nonzero += 1
+                    if target.count == 1 or target.count == -1:
+                        queue.append(idx)
+                idx = gen.next_index()
+            entry = _RecoveredEntry(value, checksum, direction, gen)
+            heapq.heappush(self._pending, (idx, next(self._seq), entry))
+
+    # -- results -----------------------------------------------------------
+
+    def remote_values(self) -> list[int]:
+        """Recovered items exclusive to the sender, in integer form."""
+        return list(self._remote)
+
+    def local_values(self) -> list[int]:
+        """Recovered items exclusive to the receiver, in integer form."""
+        return list(self._local)
+
+    def remote_items(self) -> list[bytes]:
+        """Recovered items exclusive to the sender (A \\ B)."""
+        return [self.codec.to_bytes(v) for v in self._remote]
+
+    def local_items(self) -> list[bytes]:
+        """Recovered items exclusive to the receiver (B \\ A)."""
+        return [self.codec.to_bytes(v) for v in self._local]
+
+    def result(self) -> DecodeResult:
+        """Snapshot the current decoding outcome."""
+        return DecodeResult(
+            success=self.decoded,
+            remote=self.remote_items(),
+            local=self.local_items(),
+            symbols_used=len(self._cells),
+        )
+
+
+def decode_sketch_cells(
+    cells: Iterable[CodedSymbol],
+    codec: SymbolCodec,
+    copy: bool = True,
+) -> DecodeResult:
+    """Decode a complete (already subtracted) list of cells in one call."""
+    decoder = RatelessDecoder(codec)
+    for cell in cells:
+        decoder.add_coded_symbol(cell.copy() if copy else cell)
+    return decoder.result()
+
+
+def peel_until_decoded(
+    decoder: RatelessDecoder,
+    stream: Iterable[CodedSymbol],
+    max_symbols: Optional[int] = None,
+) -> DecodeResult:
+    """Feed ``stream`` into ``decoder`` until success or ``max_symbols``."""
+    for cell in stream:
+        decoder.add_coded_symbol(cell)
+        if decoder.decoded:
+            break
+        if max_symbols is not None and decoder.symbols_received >= max_symbols:
+            break
+    return decoder.result()

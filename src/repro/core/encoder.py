@@ -1,0 +1,155 @@
+"""Incremental Rateless IBLT encoder (paper §4 design, §6 optimisations).
+
+The encoder owns a set of source symbols and lazily materialises the
+infinite coded-symbol sequence one prefix cell at a time.  Following §6,
+the symbols whose *next* mapped index is smallest sit at the head of a
+binary heap, so producing coded symbol ``i`` touches exactly the symbols
+mapped to ``i`` — O(k·log n) rather than a full scan.
+
+Linearity (§4.1) makes the produced prefix *updatable*: adding or removing
+a source symbol after ``m`` cells were produced simply XORs that symbol
+into the affected cells of the cached prefix, which is how a node
+maintains one universal stream while its set churns (§7.3: 11 ms to patch
+50M cached symbols per Ethereum block, amortised).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count as _counter
+from typing import Iterable, Optional
+
+from repro.core.coded import CodedSymbol
+from repro.core.mapping import IndexGenerator
+from repro.core.symbols import SymbolCodec
+
+
+class _SourceEntry:
+    """A source symbol plus its live position in the index stream."""
+
+    __slots__ = ("value", "checksum", "gen", "alive")
+
+    def __init__(self, value: int, checksum: int, gen: IndexGenerator) -> None:
+        self.value = value
+        self.checksum = checksum
+        self.gen = gen
+        self.alive = True
+
+
+class RatelessEncoder:
+    """Streams the coded-symbol sequence of a mutable set.
+
+    >>> from repro.core.symbols import SymbolCodec
+    >>> enc = RatelessEncoder(SymbolCodec(8))
+    >>> enc.add_item(b"01234567")
+    >>> cell = enc.produce_next()
+    >>> cell.count
+    1
+    """
+
+    def __init__(self, codec: SymbolCodec, items: Optional[Iterable[bytes]] = None) -> None:
+        self.codec = codec
+        self._entries: dict[int, _SourceEntry] = {}
+        self._heap: list[tuple[int, int, _SourceEntry]] = []
+        self._seq = _counter()
+        self._produced: list[CodedSymbol] = []
+        if items is not None:
+            for item in items:
+                self.add_item(item)
+
+    # -- set mutation ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def set_size(self) -> int:
+        """Number of source symbols currently encoded."""
+        return len(self._entries)
+
+    @property
+    def produced_count(self) -> int:
+        """Length of the cached coded-symbol prefix."""
+        return len(self._produced)
+
+    def __contains__(self, data: bytes) -> bool:
+        return self.codec.to_int(data) in self._entries
+
+    def add_item(self, data: bytes) -> None:
+        """Add an ℓ-byte item to the set being encoded."""
+        self.add_value(self.codec.to_int(data))
+
+    def add_value(self, value: int) -> None:
+        """Add an item already packed into integer form."""
+        if value in self._entries:
+            raise KeyError(f"duplicate item: {value:#x}")
+        checksum = self.codec.checksum_int(value)
+        gen = self.codec.new_mapping(checksum)
+        entry = _SourceEntry(value, checksum, gen)
+        self._entries[value] = entry
+        frontier = len(self._produced)
+        if frontier:
+            # Patch the already-produced prefix (linearity, §4.1): walk the
+            # symbol's mapped indices below the frontier, XOR-ing it in.
+            idx = 0
+            produced = self._produced
+            while idx < frontier:
+                produced[idx].apply(value, checksum, 1)
+                idx = gen.next_index()
+        heapq.heappush(self._heap, (gen.current, next(self._seq), entry))
+
+    def remove_item(self, data: bytes) -> None:
+        """Remove an item; the cached prefix is patched in place."""
+        self.remove_value(self.codec.to_int(data))
+
+    def remove_value(self, value: int) -> None:
+        """Remove an item given in integer form."""
+        entry = self._entries.pop(value, None)
+        if entry is None:
+            raise KeyError(f"item not in set: {value:#x}")
+        entry.alive = False  # lazily dropped from the heap
+        frontier = len(self._produced)
+        if frontier:
+            # XOR is self-inverse: replay the mapping to peel the symbol
+            # back out of the cached prefix.
+            gen = self.codec.new_mapping(entry.checksum)
+            idx = 0
+            produced = self._produced
+            while idx < frontier:
+                produced[idx].apply(value, entry.checksum, -1)
+                idx = gen.next_index()
+
+    # -- coded symbol production -----------------------------------------
+
+    def produce_next(self) -> CodedSymbol:
+        """Produce (and cache) the next coded symbol in the sequence.
+
+        Returns the *internal* cell: it stays live so later set mutations
+        patch it (universal-stream semantics).  Copy it if you need a
+        frozen snapshot.
+        """
+        index = len(self._produced)
+        cell = CodedSymbol()
+        heap = self._heap
+        while heap and heap[0][0] == index:
+            _, _, entry = heapq.heappop(heap)
+            if not entry.alive:
+                continue
+            cell.apply(entry.value, entry.checksum, 1)
+            heapq.heappush(heap, (entry.gen.next_index(), next(self._seq), entry))
+        self._produced.append(cell)
+        return cell
+
+    def produce(self, n: int) -> list[CodedSymbol]:
+        """Produce the next ``n`` coded symbols (internal cells)."""
+        return [self.produce_next() for _ in range(n)]
+
+    def prefix(self, m: int) -> list[CodedSymbol]:
+        """Frozen copies of coded symbols ``0..m-1``, producing as needed."""
+        while len(self._produced) < m:
+            self.produce_next()
+        return [cell.copy() for cell in self._produced[:m]]
+
+    def cached(self, index: int) -> CodedSymbol:
+        """The live cached cell at ``index`` (must be produced already)."""
+        return self._produced[index]

@@ -1,0 +1,72 @@
+"""Irregular Rateless IBLT (paper §8).
+
+Source symbols are partitioned into ``c`` subsets by their checksum hash;
+subset ``j`` (chosen with probability ``w_j``) uses mapping probability
+``ρ_j(i) = 1/(1+α_j·i)``.  The paper's brute-force search found the
+configuration below (c = 3) whose overhead converges to ≈1.10 — 19% below
+regular Rateless IBLT — at the price of ≈1.9× slower mapping generation
+(generic-α sampling needs a non-integer power instead of a square root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class IrregularConfig:
+    """Subset weights and per-subset mapping parameters.
+
+    ``weights[j]`` is the probability a random symbol lands in subset ``j``;
+    ``alphas[j]`` is that subset's α in ρ_j(i) = 1/(1+α_j·i).
+    """
+
+    weights: Tuple[float, ...]
+    alphas: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.alphas):
+            raise ValueError("weights and alphas must have the same length")
+        if not self.weights:
+            raise ValueError("need at least one subset")
+        if any(w <= 0.0 for w in self.weights):
+            raise ValueError("subset weights must be positive")
+        if any(a <= 0.0 for a in self.alphas):
+            raise ValueError("subset alphas must be positive")
+        total = sum(self.weights)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"subset weights must sum to 1, got {total}")
+
+    @property
+    def subsets(self) -> int:
+        """Number of subsets ``c``."""
+        return len(self.weights)
+
+    def subset_for(self, u: float) -> int:
+        """Subset index for a symbol whose (uniform) hash maps to ``u``∈[0,1)."""
+        acc = 0.0
+        for j, w in enumerate(self.weights):
+            acc += w
+            if u < acc:
+                return j
+        return len(self.weights) - 1  # guard against rounding at u ≈ 1
+
+    def alpha_for(self, u: float) -> float:
+        """Mapping parameter α for a symbol with uniform hash ``u``."""
+        return self.alphas[self.subset_for(u)]
+
+    def mean_rho(self, index: int) -> float:
+        """Subset-averaged mapping probability E_j[ρ_j(index)] — the
+        expected fill of coded cell ``index`` per source symbol."""
+        return sum(
+            w / (1.0 + a * index) for w, a in zip(self.weights, self.alphas)
+        )
+
+
+# The configuration found by the paper's parameter search (§8):
+#   c = 3, w = (0.18, 0.56, 0.26), α = (0.11, 0.68, 0.82), overhead → 1.10.
+PAPER_IRREGULAR = IrregularConfig(
+    weights=(0.18, 0.56, 0.26),
+    alphas=(0.11, 0.68, 0.82),
+)

@@ -1,0 +1,114 @@
+"""Concurrent multi-peer synchronisation (paper §1 and §2).
+
+Because coded symbols are *universal*, a node can reconcile with several
+peers at once: each peer streams its own universal sequence, the node
+runs one subtract-and-peel decoder per peer against its own encoder, and
+folds every newly learned item back into its set.  The paper motivates
+this for blockchain nodes recovering the union of overlapping peer
+states; full multi-party reconciliation is listed as future work — this
+module implements the concurrent pairwise construction the paper
+describes, with round-robin scheduling and per-peer accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set
+
+from repro.core.decoder import RatelessDecoder
+from repro.core.encoder import RatelessEncoder
+from repro.core.symbols import SymbolCodec
+
+
+@dataclass
+class PeerStats:
+    """Per-peer accounting of a union synchronisation."""
+
+    symbols_used: int = 0
+    learned: Set[bytes] = field(default_factory=set)
+    pushed: Set[bytes] = field(default_factory=set)
+    decoded: bool = False
+
+
+class UnionSynchronizer:
+    """Pulls the union of several peers' sets into a local set.
+
+    The local node keeps **one** encoder; every peer session decodes the
+    stream ``peer_i ⊖ local`` independently.  Peers finish at different
+    times (each when its own difference is fully peeled).  Items learned
+    from one peer are *not* retroactively folded into other in-flight
+    sessions — each pairwise difference stays well-defined — but are
+    merged into the final result, so the node ends holding
+    ``local ∪ peer_1 ∪ … ∪ peer_k``.
+    """
+
+    def __init__(
+        self,
+        codec: SymbolCodec,
+        local_items: Iterable[bytes],
+        peers: Dict[str, Iterable[bytes]],
+    ) -> None:
+        if not peers:
+            raise ValueError("need at least one peer")
+        self.codec = codec
+        self.local_set: Set[bytes] = set(local_items)
+        self._local_encoders = {
+            name: RatelessEncoder(codec, self.local_set) for name in peers
+        }
+        self._peer_encoders = {
+            name: RatelessEncoder(codec, items) for name, items in peers.items()
+        }
+        self._decoders = {name: RatelessDecoder(codec) for name in peers}
+        self.stats = {name: PeerStats() for name in peers}
+
+    @property
+    def all_decoded(self) -> bool:
+        return all(stats.decoded for stats in self.stats.values())
+
+    def step(self) -> bool:
+        """One round-robin pass: move one symbol per unfinished peer.
+
+        Returns True when every peer session has completed.
+        """
+        for name, decoder in self._decoders.items():
+            stats = self.stats[name]
+            if stats.decoded:
+                continue
+            remote = self._peer_encoders[name].produce_next()
+            local = self._local_encoders[name].produce_next()
+            decoder.add_subtracted(remote, local)
+            stats.symbols_used += 1
+            if decoder.decoded:
+                stats.decoded = True
+                stats.learned = set(decoder.remote_items())
+                stats.pushed = set(decoder.local_items())
+        return self.all_decoded
+
+    def run(self, max_symbols_per_peer: int = 1_000_000) -> Set[bytes]:
+        """Drive every session to completion; returns the union set."""
+        rounds = 0
+        while not self.step():
+            rounds += 1
+            if rounds > max_symbols_per_peer:
+                unfinished = [
+                    name for name, s in self.stats.items() if not s.decoded
+                ]
+                raise RuntimeError(f"peers did not converge: {unfinished}")
+        union = set(self.local_set)
+        for stats in self.stats.values():
+            union |= stats.learned
+        return union
+
+
+def synchronize_union(
+    local_items: Iterable[bytes],
+    peers: Dict[str, Iterable[bytes]],
+    symbol_size: int,
+    codec: SymbolCodec | None = None,
+) -> tuple[Set[bytes], Dict[str, PeerStats]]:
+    """Convenience wrapper: returns (union set, per-peer stats)."""
+    if codec is None:
+        codec = SymbolCodec(symbol_size)
+    sync = UnionSynchronizer(codec, local_items, peers)
+    union = sync.run()
+    return union, sync.stats

@@ -1,0 +1,20 @@
+"""Shared constants for the Rateless IBLT codec.
+
+The paper fixes α = 0.5 in the final design (§4.2) because the inverse CDF
+then needs only a square root; §5 shows the asymptotic overhead at α = 0.5
+is ≈ 1.3455, within 3% of the optimum α ≈ 0.64.
+"""
+
+# Mapping-probability parameter in ρ(i) = 1 / (1 + αi).
+DEFAULT_ALPHA = 0.5
+
+# Width of the checksum field on the wire (§4.3: a keyed 64-bit hash).
+CHECKSUM_BYTES = 8
+
+# Asymptotic overhead η* at α = 0.5 predicted by density evolution (§5).
+ASYMPTOTIC_OVERHEAD = 1.35
+
+# Safety cap on coded-symbol indices so a pathological PRNG draw (r → 1)
+# cannot produce astronomically large skips. 2^48 indices is far beyond any
+# practical prefix length.
+MAX_INDEX = 1 << 48

@@ -1,0 +1,135 @@
+"""Fixed-length sketches: any prefix of the infinite coded sequence.
+
+A :class:`RatelessSketch` of size ``m`` is exactly the first ``m`` coded
+symbols of a set.  Sketches of equal size under compatible codecs can be
+subtracted cell-wise; by linearity (§4.1) the result is the sketch of the
+symmetric difference, which decodes with the standard peeling decoder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.coded import CodedSymbol
+from repro.core.decoder import DecodeResult, RatelessDecoder
+from repro.core.symbols import SymbolCodec
+
+
+class RatelessSketch:
+    """The first ``m`` coded symbols of a set, with linear subtraction."""
+
+    __slots__ = ("codec", "cells", "set_size")
+
+    def __init__(
+        self,
+        codec: SymbolCodec,
+        cells: Sequence[CodedSymbol],
+        set_size: int = 0,
+    ) -> None:
+        self.codec = codec
+        self.cells = list(cells)
+        self.set_size = set_size
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[bytes], size: int, codec: SymbolCodec
+    ) -> "RatelessSketch":
+        """Encode ``items`` into the first ``size`` coded symbols.
+
+        One-shot builds walk each symbol's mapped indices directly — no
+        heap needed because the prefix length is known up front.
+        """
+        cells = [CodedSymbol() for _ in range(size)]
+        count = 0
+        for data in items:
+            count += 1
+            value = codec.to_int(data)
+            checksum = codec.checksum_int(value)
+            gen = codec.new_mapping(checksum)
+            idx = 0
+            while idx < size:
+                cells[idx].apply(value, checksum, 1)
+                idx = gen.next_index()
+        return cls(codec, cells, set_size=count)
+
+    @classmethod
+    def zero(cls, size: int, codec: SymbolCodec) -> "RatelessSketch":
+        """The sketch of the empty set."""
+        return cls(codec, [CodedSymbol() for _ in range(size)], set_size=0)
+
+    # -- linear algebra ----------------------------------------------------
+
+    def subtract(self, other: "RatelessSketch") -> "RatelessSketch":
+        """Cell-wise ``self ⊖ other`` → sketch of the symmetric difference."""
+        if not self.codec.compatible_with(other.codec):
+            raise ValueError("sketches built with incompatible codecs")
+        if len(self.cells) != len(other.cells):
+            raise ValueError(
+                f"sketch sizes differ: {len(self.cells)} vs {len(other.cells)}"
+            )
+        cells = [a.subtract(b) for a, b in zip(self.cells, other.cells)]
+        return RatelessSketch(self.codec, cells, set_size=0)
+
+    def add_item(self, data: bytes) -> None:
+        """Fold one more item into this sketch in place (linearity)."""
+        value = self.codec.to_int(data)
+        checksum = self.codec.checksum_int(value)
+        gen = self.codec.new_mapping(checksum)
+        idx = 0
+        size = len(self.cells)
+        while idx < size:
+            self.cells[idx].apply(value, checksum, 1)
+            idx = gen.next_index()
+        self.set_size += 1
+
+    def remove_item(self, data: bytes) -> None:
+        """Peel one item back out of this sketch in place."""
+        value = self.codec.to_int(data)
+        checksum = self.codec.checksum_int(value)
+        gen = self.codec.new_mapping(checksum)
+        idx = 0
+        size = len(self.cells)
+        while idx < size:
+            self.cells[idx].apply(value, checksum, -1)
+            idx = gen.next_index()
+        self.set_size -= 1
+
+    def truncated(self, size: int) -> "RatelessSketch":
+        """A shorter prefix of this sketch (prefixes nest, Fig 3)."""
+        if size > len(self.cells):
+            raise ValueError("cannot truncate to a longer size")
+        return RatelessSketch(
+            self.codec,
+            [cell.copy() for cell in self.cells[:size]],
+            set_size=self.set_size,
+        )
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self) -> DecodeResult:
+        """Peel this (already subtracted) sketch; cells are not mutated."""
+        decoder = RatelessDecoder(self.codec)
+        for cell in self.cells:
+            decoder.add_coded_symbol(cell.copy())
+            if decoder.decoded:
+                break
+        return decoder.result()
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[CodedSymbol]:
+        return iter(self.cells)
+
+    def __getitem__(self, index: int) -> CodedSymbol:
+        return self.cells[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RatelessSketch):
+            return NotImplemented
+        return self.cells == other.cells
+
+    def __repr__(self) -> str:
+        return f"RatelessSketch(size={len(self.cells)}, set_size={self.set_size})"

@@ -1,0 +1,130 @@
+"""Symbol codec: fixed-length byte items, checksums, and mapping seeds.
+
+A *source symbol* is an ℓ-byte string.  Internally the codec stores sums as
+Python integers (bitwise XOR is then a single C-level operation regardless
+of ℓ), converting back to bytes only for hashing and the wire format.
+
+The codec also owns the keyed checksum hash (§4.3) and builds the
+per-symbol :class:`~repro.core.mapping.IndexGenerator`, honouring an
+optional :class:`~repro.core.irregular.IrregularConfig` (§8).
+
+Checksum width is configurable (default 8 bytes).  §7.1 notes that 4-byte
+checksums reliably reconcile differences in the tens of thousands, shaving
+per-cell overhead when items are short; the truncation happens here so the
+decoder's purity test and the wire format stay consistent automatically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.mapping import IndexGenerator
+from repro.core.params import CHECKSUM_BYTES, DEFAULT_ALPHA
+from repro.hashing.keyed import Blake2bHasher, KeyedHasher
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.irregular import IrregularConfig
+
+
+class SymbolCodec:
+    """Converts ℓ-byte items to the integer/checksum form the codec uses.
+
+    Parameters
+    ----------
+    symbol_size:
+        ℓ, the fixed byte length of every set item.
+    hasher:
+        Keyed 64-bit hash for checksums; defaults to keyed BLAKE2b
+        (see DESIGN.md for the SipHash substitution note).
+    irregular:
+        Optional §8 configuration.  When given, each symbol's subset — and
+        hence its mapping parameter α — is chosen by its checksum hash.
+    checksum_size:
+        Checksum width on the wire and in the purity test, in bytes (1-8).
+    """
+
+    __slots__ = (
+        "symbol_size",
+        "hasher",
+        "_hash64",
+        "irregular",
+        "checksum_size",
+        "_checksum_mask",
+        "_inv_mask_span",
+    )
+
+    def __init__(
+        self,
+        symbol_size: int,
+        hasher: Optional[KeyedHasher] = None,
+        irregular: "Optional[IrregularConfig]" = None,
+        checksum_size: int = CHECKSUM_BYTES,
+    ) -> None:
+        if symbol_size < 1:
+            raise ValueError("symbol_size must be at least 1 byte")
+        if not 1 <= checksum_size <= 8:
+            raise ValueError("checksum_size must be between 1 and 8 bytes")
+        self.symbol_size = symbol_size
+        self.hasher = hasher if hasher is not None else Blake2bHasher()
+        self._hash64 = self.hasher.hash64
+        self.irregular = irregular
+        self.checksum_size = checksum_size
+        self._checksum_mask = (1 << (8 * checksum_size)) - 1
+        self._inv_mask_span = 1.0 / float(1 << (8 * checksum_size))
+
+    # -- byte/int conversions -------------------------------------------
+
+    def to_int(self, data: bytes) -> int:
+        """Pack an ℓ-byte item into an integer (little-endian)."""
+        if len(data) != self.symbol_size:
+            raise ValueError(
+                f"item must be exactly {self.symbol_size} bytes, got {len(data)}"
+            )
+        return int.from_bytes(data, "little")
+
+    def to_bytes(self, value: int) -> bytes:
+        """Unpack an integer sum back into ℓ bytes."""
+        return value.to_bytes(self.symbol_size, "little")
+
+    # -- hashing ----------------------------------------------------------
+
+    def checksum_data(self, data: bytes) -> int:
+        """Keyed checksum of a raw item, truncated to ``checksum_size``."""
+        return self._hash64(data) & self._checksum_mask
+
+    def checksum_int(self, value: int) -> int:
+        """Keyed checksum of an item given in integer form."""
+        data = value.to_bytes(self.symbol_size, "little")
+        return self._hash64(data) & self._checksum_mask
+
+    # -- mapping ----------------------------------------------------------
+
+    def alpha_for(self, checksum: int) -> float:
+        """Mapping parameter α of the subset this symbol belongs to (§8)."""
+        if self.irregular is None:
+            return DEFAULT_ALPHA
+        return self.irregular.alpha_for(checksum * self._inv_mask_span)
+
+    def new_mapping(self, checksum: int) -> IndexGenerator:
+        """Fresh index generator for the symbol with this checksum hash."""
+        return IndexGenerator(checksum, self.alpha_for(checksum))
+
+    # -- equality of configuration ---------------------------------------
+
+    def compatible_with(self, other: "SymbolCodec") -> bool:
+        """True when two codecs produce interoperable coded symbols."""
+        return (
+            self.symbol_size == other.symbol_size
+            and type(self.hasher) is type(other.hasher)
+            and self.hasher.key == other.hasher.key
+            and self.irregular == other.irregular
+            and self.checksum_size == other.checksum_size
+        )
+
+    def __repr__(self) -> str:
+        mode = "irregular" if self.irregular is not None else "regular"
+        return (
+            f"SymbolCodec(symbol_size={self.symbol_size}, "
+            f"hasher={type(self.hasher).__name__}, mode={mode}, "
+            f"checksum_size={self.checksum_size})"
+        )

@@ -1,0 +1,68 @@
+"""Variable-length integers (LEB128) and zigzag signed encoding.
+
+§6 of the paper compresses the per-symbol ``count`` field by transmitting
+the *difference* between the actual count and its expectation ``|S|·ρ(i)``
+as a variable-length quantity.  The difference is signed, hence zigzag.
+"""
+
+from __future__ import annotations
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as LEB128 (7 bits per byte)."""
+    if value < 0:
+        raise ValueError("uvarint cannot encode negative values")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 integer from ``data`` at ``offset``.
+
+    Returns ``(value, new_offset)``.  Raises ``ValueError`` on truncation.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("uvarint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer to an unsigned one (0,-1,1,-2,... → 0,1,2,3,...).
+
+    Works for arbitrary-precision integers (no word-size assumption).
+    """
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_svarint(value: int) -> bytes:
+    """Encode a signed integer: zigzag then LEB128."""
+    return encode_uvarint(zigzag_encode(value))
+
+
+def decode_svarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a signed integer written by :func:`encode_svarint`."""
+    raw, pos = decode_uvarint(data, offset)
+    return zigzag_decode(raw), pos

@@ -1,0 +1,27 @@
+"""Hashing substrate: keyed 64-bit hashes and deterministic PRNG streams.
+
+The paper (§4.3) keys the per-symbol checksum with SipHash so that an
+adversary who can inject set items cannot aim hash collisions at a victim.
+This sub-package provides:
+
+* :func:`repro.hashing.siphash.siphash24` — a faithful pure-Python
+  SipHash-2-4, validated against the reference test vectors;
+* :class:`repro.hashing.keyed.Blake2bHasher` — a keyed 64-bit PRF backed by
+  ``hashlib.blake2b`` (C speed, used as the default checksum hash);
+* :class:`repro.hashing.prng.Splitmix64` — the deterministic stream that
+  drives the coded-symbol index mapping.
+"""
+
+from repro.hashing.keyed import Blake2bHasher, KeyedHasher, SipHasher, make_hasher
+from repro.hashing.prng import Splitmix64, mix64
+from repro.hashing.siphash import siphash24
+
+__all__ = [
+    "Blake2bHasher",
+    "KeyedHasher",
+    "SipHasher",
+    "Splitmix64",
+    "make_hasher",
+    "mix64",
+    "siphash24",
+]

@@ -1,0 +1,76 @@
+"""Keyed 64-bit hash families for symbol checksums.
+
+§4.3 of the paper argues that a *keyed* 64-bit hash suffices against
+adversarial workloads: the attacker can enumerate collisions for a known
+function, but not for a secret key.  Two interchangeable families are
+provided:
+
+* :class:`SipHasher` — the paper's choice, backed by our pure-Python
+  SipHash-2-4 (bit-faithful but interpreter-speed);
+* :class:`Blake2bHasher` — ``hashlib.blake2b`` with ``digest_size=8`` and
+  the same 16-byte key, a keyed PRF that runs at C speed.  This is the
+  default for benchmarks; DESIGN.md documents the substitution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Protocol
+
+from repro.hashing.siphash import siphash24
+
+DEFAULT_KEY = bytes(range(16))
+
+
+class KeyedHasher(Protocol):
+    """Anything that maps ``bytes`` to an unsigned 64-bit integer."""
+
+    key: bytes
+
+    def hash64(self, data: bytes) -> int:
+        """Return the keyed 64-bit hash of ``data``."""
+        ...
+
+
+class SipHasher:
+    """SipHash-2-4 keyed hasher (the paper's checksum hash)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: bytes = DEFAULT_KEY) -> None:
+        if len(key) != 16:
+            raise ValueError("SipHash key must be 16 bytes")
+        self.key = key
+
+    def hash64(self, data: bytes) -> int:
+        return siphash24(self.key, data)
+
+
+class Blake2bHasher:
+    """Keyed BLAKE2b truncated to 64 bits; C-speed stand-in for SipHash."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: bytes = DEFAULT_KEY) -> None:
+        if not 1 <= len(key) <= 64:
+            raise ValueError("BLAKE2b key must be 1..64 bytes")
+        self.key = key
+
+    def hash64(self, data: bytes) -> int:
+        digest = hashlib.blake2b(data, digest_size=8, key=self.key).digest()
+        return int.from_bytes(digest, "little")
+
+
+def make_hasher(kind: str = "blake2b", key: bytes = DEFAULT_KEY) -> KeyedHasher:
+    """Build a keyed hasher by name (``"blake2b"`` or ``"siphash"``)."""
+    if kind == "blake2b":
+        return Blake2bHasher(key)
+    if kind == "siphash":
+        return SipHasher(key)
+    raise ValueError(f"unknown hasher kind: {kind!r}")
+
+
+def hash_fn_of(hasher: KeyedHasher) -> Callable[[bytes], int]:
+    """Return the bound ``hash64`` of ``hasher`` (a micro-optimisation that
+    avoids attribute lookups in the encoder/decoder hot loops)."""
+    return hasher.hash64

@@ -1,0 +1,59 @@
+"""Deterministic 64-bit PRNG streams used by the coded-symbol mapping.
+
+The mapping rule of §4.2 derives, for each source symbol, a deterministic
+stream of uniform random numbers seeded by the symbol's checksum hash.  We
+use splitmix64 (Steele, Lea & Flood; the seeding PRNG of java.util), which
+passes BigCrush, needs two multiplications per output, and — critically —
+is a pure function of its 64-bit state, so encoder and decoder derive
+identical streams from a recovered symbol.
+"""
+
+from __future__ import annotations
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+# 2^-53: floats are mapped from the top 53 bits so the result is strictly
+# below 1.0 (a full 64-bit value times 2^-64 can round *up* to 1.0).
+_INV_2_53 = 1.0 / 9007199254740992.0
+
+
+def mix64(z: int) -> int:
+    """The splitmix64 finaliser: a cheap, high-quality 64-bit mixer.
+
+    Used as the checksum hash in the Monte Carlo fast path, where source
+    symbols are already uniform 64-bit integers and keying is irrelevant.
+    """
+    z = (z ^ (z >> 30)) * _MIX1 & _MASK
+    z = (z ^ (z >> 27)) * _MIX2 & _MASK
+    return z ^ (z >> 31)
+
+
+class Splitmix64:
+    """A splitmix64 stream.
+
+    >>> rng = Splitmix64(seed=42)
+    >>> a, b = rng.next_u64(), rng.next_u64()
+    >>> Splitmix64(seed=42).next_u64() == a
+    True
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & _MASK
+
+    def next_u64(self) -> int:
+        """Advance the stream and return the next unsigned 64-bit output."""
+        self.state = (self.state + _GAMMA) & _MASK
+        return mix64(self.state)
+
+    def next_float(self) -> float:
+        """Return the next output mapped uniformly into ``[0, 1)``."""
+        return (self.next_u64() >> 11) * _INV_2_53
+
+    def fork(self) -> "Splitmix64":
+        """Return an independent stream seeded from this one's next output."""
+        return Splitmix64(self.next_u64())

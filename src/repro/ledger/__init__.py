@@ -1,0 +1,25 @@
+"""Synthetic Ethereum-like ledger (the §7.3 workload substrate).
+
+The paper replays mainnet snapshots (230 M accounts, blocks
+18908312-18938312).  Offline and at laptop scale we synthesise the same
+*shape*: a key-value table of 20-byte addresses → 72-byte account states,
+advanced by 12-second blocks that each touch a few hundred accounts, with
+persistent Merkle-trie snapshots at every height.  Difference size grows
+linearly with staleness exactly as in the traces; all reported metrics
+are per-difference, so the downscaled N preserves the comparisons.
+"""
+
+from repro.ledger.account import ACCOUNT_BYTES, ADDRESS_BYTES, ITEM_BYTES, Account
+from repro.ledger.chain import BlockDiff, Chain
+from repro.ledger.workload import SyncScenario, build_scenario
+
+__all__ = [
+    "ACCOUNT_BYTES",
+    "ADDRESS_BYTES",
+    "Account",
+    "BlockDiff",
+    "Chain",
+    "ITEM_BYTES",
+    "SyncScenario",
+    "build_scenario",
+]

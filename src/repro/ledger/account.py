@@ -1,0 +1,63 @@
+"""Accounts: 20-byte addresses and 72-byte states, as in §7.3.
+
+"The ledger state is a key-value table, where the keys are 20-byte wallet
+addresses, and the values are 72-byte account states such as its balance."
+A reconciliation *item* is the concatenation address ∥ state (92 bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ADDRESS_BYTES = 20
+ACCOUNT_BYTES = 72
+ITEM_BYTES = ADDRESS_BYTES + ACCOUNT_BYTES
+
+
+@dataclass(frozen=True)
+class Account:
+    """One account state: nonce (8 B) + balance (32 B) + code hash (32 B)."""
+
+    nonce: int
+    balance: int
+    code_hash: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.nonce < (1 << 64):
+            raise ValueError("nonce out of range")
+        if not 0 <= self.balance < (1 << 256):
+            raise ValueError("balance out of range")
+        if len(self.code_hash) != 32:
+            raise ValueError("code hash must be 32 bytes")
+
+    def encode(self) -> bytes:
+        """Fixed 72-byte encoding."""
+        return (
+            self.nonce.to_bytes(8, "little")
+            + self.balance.to_bytes(32, "little")
+            + self.code_hash
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Account":
+        if len(data) != ACCOUNT_BYTES:
+            raise ValueError(f"account encoding must be {ACCOUNT_BYTES} bytes")
+        return cls(
+            nonce=int.from_bytes(data[:8], "little"),
+            balance=int.from_bytes(data[8:40], "little"),
+            code_hash=data[40:],
+        )
+
+    def bumped(self, balance_delta: int) -> "Account":
+        """The account after one more transaction."""
+        new_balance = max(0, self.balance + balance_delta)
+        return Account(self.nonce + 1, new_balance, self.code_hash)
+
+
+def account_item(address: bytes, state: bytes) -> bytes:
+    """The 92-byte reconciliation item for one table entry."""
+    if len(address) != ADDRESS_BYTES:
+        raise ValueError(f"address must be {ADDRESS_BYTES} bytes")
+    if len(state) != ACCOUNT_BYTES:
+        raise ValueError(f"state must be {ACCOUNT_BYTES} bytes")
+    return address + state

@@ -1,0 +1,156 @@
+"""A chain of blocks mutating the ledger, with per-height trie snapshots.
+
+Every 12-second block updates a few hundred existing accounts and creates
+a few new ones (defaults follow mainnet's account-churn order of
+magnitude).  The persistent trie makes snapshots free: the chain just
+remembers one root hash per height, and block diffs allow reconstructing
+any height's item set by rolling back from the head.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.merkle.trie import NodeStore, Trie
+from repro.ledger.account import ADDRESS_BYTES, Account, account_item
+
+BLOCK_SECONDS = 12
+BLOCKS_PER_HOUR = 3600 // BLOCK_SECONDS
+
+
+@dataclass
+class BlockDiff:
+    """State writes of one block: (address, old_state | None, new_state)."""
+
+    number: int
+    writes: list[tuple[bytes, Optional[bytes], bytes]]
+
+    @property
+    def touched_accounts(self) -> int:
+        return len(self.writes)
+
+
+class Chain:
+    """Genesis plus a growing list of blocks, all snapshots retained."""
+
+    def __init__(
+        self,
+        num_accounts: int,
+        seed: int = 2024,
+        updates_per_block: int = 120,
+        creates_per_block: int = 10,
+    ) -> None:
+        if num_accounts < 1:
+            raise ValueError("need at least one genesis account")
+        self._rng = random.Random(seed)
+        self.updates_per_block = updates_per_block
+        self.creates_per_block = creates_per_block
+        self.store = NodeStore()
+        self.state: dict[bytes, bytes] = {}
+        self.addresses: list[bytes] = []
+        self.blocks: list[BlockDiff] = []
+        trie = Trie(self.store)
+        for _ in range(num_accounts):
+            address = self._new_address()
+            encoded = self._random_account().encode()
+            self.state[address] = encoded
+            self.addresses.append(address)
+            trie = trie.update(address, encoded)
+        self.roots: list[bytes] = [trie.root_hash]  # roots[h] = root at height h
+
+    # -- random generators ----------------------------------------------------
+
+    def _new_address(self) -> bytes:
+        while True:
+            address = self._rng.randbytes(ADDRESS_BYTES)
+            if address not in self.state:
+                return address
+
+    def _random_account(self) -> Account:
+        return Account(
+            nonce=self._rng.randrange(1 << 20),
+            balance=self._rng.randrange(1 << 68),
+            code_hash=self._rng.randbytes(32),
+        )
+
+    # -- chain growth ------------------------------------------------------------
+
+    @property
+    def head(self) -> int:
+        """Current block height (genesis = 0)."""
+        return len(self.blocks)
+
+    def advance(self, blocks: int = 1) -> None:
+        """Mine ``blocks`` new blocks of synthetic account churn."""
+        for _ in range(blocks):
+            self._mine_one()
+
+    def _mine_one(self) -> None:
+        rng = self._rng
+        writes: list[tuple[bytes, Optional[bytes], bytes]] = []
+        touched: set[bytes] = set()
+        updates = min(self.updates_per_block, len(self.addresses))
+        for address in rng.sample(self.addresses, updates):
+            if address in touched:
+                continue
+            touched.add(address)
+            old = self.state[address]
+            new = Account.decode(old).bumped(rng.randrange(-(1 << 40), 1 << 40)).encode()
+            writes.append((address, old, new))
+        for _ in range(self.creates_per_block):
+            address = self._new_address()
+            new = self._random_account().encode()
+            writes.append((address, None, new))
+            self.addresses.append(address)
+        trie = Trie(self.store, self.roots[-1])
+        for address, _, new in writes:
+            self.state[address] = new
+            trie = trie.update(address, new)
+        self.blocks.append(BlockDiff(number=len(self.blocks) + 1, writes=writes))
+        self.roots.append(trie.root_hash)
+
+    # -- snapshots ------------------------------------------------------------------
+
+    def trie_at(self, height: int) -> Trie:
+        """The trie as of block ``height`` (0 = genesis)."""
+        return Trie(self.store, self.roots[height])
+
+    def state_at(self, height: int) -> dict[bytes, bytes]:
+        """The full address → account map at ``height``, by rollback."""
+        if not 0 <= height <= self.head:
+            raise ValueError(f"height must be in 0..{self.head}")
+        snapshot = dict(self.state)
+        for block in reversed(self.blocks[height:]):
+            for address, old, _ in block.writes:
+                if old is None:
+                    del snapshot[address]
+                else:
+                    snapshot[address] = old
+        return snapshot
+
+    def items_at(self, height: int) -> set[bytes]:
+        """The 92-byte reconciliation item set at ``height``."""
+        return {
+            account_item(address, state)
+            for address, state in self.state_at(height).items()
+        }
+
+    def difference_size(self, height_a: int, height_b: int) -> int:
+        """|items(a) △ items(b)| without materialising both full sets."""
+        lo, hi = sorted((height_a, height_b))
+        old_values: dict[bytes, Optional[bytes]] = {}
+        new_values: dict[bytes, bytes] = {}
+        for block in self.blocks[lo:hi]:
+            for address, old, new in block.writes:
+                if address not in old_values:
+                    old_values[address] = old
+                new_values[address] = new
+        d = 0
+        for address, final in new_values.items():
+            first = old_values[address]
+            if first == final:
+                continue  # value returned to its original state
+            d += 2 if first is not None else 1
+        return d

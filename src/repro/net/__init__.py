@@ -1,0 +1,15 @@
+"""Discrete-event network simulation substrate (replaces the paper's
+FreeBSD + Dummynet testbed; see DESIGN.md "Substitutions").
+
+``simulator``  — the event loop.
+``link``       — duplex links with propagation delay and a serialising
+                 bandwidth bottleneck per direction.
+``trace``      — per-interval received-byte traces (Fig 13).
+``protocols``  — Rateless-IBLT streaming sync and state-heal replays.
+"""
+
+from repro.net.link import Link, Message
+from repro.net.simulator import Simulator
+from repro.net.trace import BandwidthTrace
+
+__all__ = ["BandwidthTrace", "Link", "Message", "Simulator"]

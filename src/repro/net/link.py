@@ -1,0 +1,95 @@
+"""Point-to-point links with bandwidth serialisation and propagation delay.
+
+Each direction models a single FIFO bottleneck: a message of ``size``
+bytes occupies the transmitter for ``size·8/bandwidth`` seconds starting
+no earlier than the previous message finished, then arrives after the
+one-way propagation delay — the same fluid model Dummynet implements for
+the paper's testbed (50 ms delay, 10-100 Mbps caps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.net.simulator import Simulator
+from repro.net.trace import BandwidthTrace
+
+
+@dataclass
+class Message:
+    """Bytes in flight with an opaque payload for the receiver."""
+
+    size: int
+    payload: Any
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+class _Direction:
+    """One direction of a duplex link (its own bottleneck queue)."""
+
+    # "Unlimited" bandwidth is modelled as 100 Gbps so that serialisation
+    # times stay positive and event chains make progress.
+    MAX_BANDWIDTH_BPS = 1e11
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        delay_s: float,
+        trace: Optional[BandwidthTrace] = None,
+    ) -> None:
+        self.sim = sim
+        self.bandwidth_bps = min(bandwidth_bps, self.MAX_BANDWIDTH_BPS)
+        self.delay_s = delay_s
+        self.trace = trace
+        self._free_at = 0.0
+        self.bytes_sent = 0
+
+    def send(self, message: Message, deliver: Callable[[Message], None]) -> float:
+        """Enqueue a message; returns its delivery time."""
+        sim = self.sim
+        start = max(sim.now, self._free_at)
+        serialisation = message.size * 8.0 / self.bandwidth_bps
+        self._free_at = start + serialisation
+        delivery_time = self._free_at + self.delay_s
+        message.sent_at = sim.now
+        message.delivered_at = delivery_time
+        self.bytes_sent += message.size
+        if self.trace is not None:
+            self.trace.record(delivery_time, message.size)
+        sim.schedule_at(delivery_time, lambda: deliver(message))
+        return delivery_time
+
+    @property
+    def busy_until(self) -> float:
+        """When the transmitter frees up."""
+        return self._free_at
+
+
+class Link:
+    """A duplex link between two endpoints, "a" and "b"."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        delay_s: float,
+        trace_to_b: Optional[BandwidthTrace] = None,
+        trace_to_a: Optional[BandwidthTrace] = None,
+    ) -> None:
+        self.sim = sim
+        self.a_to_b = _Direction(sim, bandwidth_bps, delay_s, trace_to_b)
+        self.b_to_a = _Direction(sim, bandwidth_bps, delay_s, trace_to_a)
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip propagation time (no serialisation)."""
+        return self.a_to_b.delay_s + self.b_to_a.delay_s
+
+    def send_to_b(self, size: int, payload: Any, deliver: Callable[[Message], None]) -> float:
+        return self.a_to_b.send(Message(size, payload), deliver)
+
+    def send_to_a(self, size: int, payload: Any, deliver: Callable[[Message], None]) -> float:
+        return self.b_to_a.send(Message(size, payload), deliver)

@@ -1,0 +1,19 @@
+"""Synchronisation protocols over the simulated network (§7.3).
+
+``riblt_sync`` — Alice streams Rateless IBLT coded symbols at line rate;
+                 Bob decodes incrementally and signals stop (half a round
+                 trip of interactivity).
+``heal_sync``  — lock-step replay of a state-heal transcript with a
+                 per-node compute model at Bob (reproducing the
+                 compute-bound plateau of Fig 14).
+"""
+
+from repro.net.protocols.heal_sync import HealSyncOutcome, simulate_state_heal
+from repro.net.protocols.riblt_sync import RatelessSyncOutcome, simulate_riblt_sync
+
+__all__ = [
+    "HealSyncOutcome",
+    "RatelessSyncOutcome",
+    "simulate_riblt_sync",
+    "simulate_state_heal",
+]

@@ -1,0 +1,63 @@
+"""A minimal discrete-event simulator: a clock and an event heap."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, Optional
+
+
+class Simulator:
+    """Priority-queue event loop with a float clock in seconds.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = count()
+        self._cancelled: set[int] = set()
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> int:
+        """Run ``action`` ``delay`` seconds from now; returns an event id."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event_id = next(self._seq)
+        heapq.heappush(self._heap, (self.now + delay, event_id, action))
+        return event_id
+
+    def schedule_at(self, when: float, action: Callable[[], None]) -> int:
+        """Run ``action`` at absolute time ``when`` (≥ now)."""
+        return self.schedule(when - self.now, action)
+
+    def cancel(self, event_id: int) -> None:
+        """Drop a scheduled event (lazy removal)."""
+        self._cancelled.add(event_id)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Process events in time order until the heap drains (or limits)."""
+        processed = 0
+        while self._heap:
+            when, event_id, action = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            self.now = when
+            action()
+            processed += 1
+            if processed >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap) - len(self._cancelled)

@@ -1,0 +1,35 @@
+"""Received-bandwidth traces, binned into fixed intervals (Fig 13)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class BandwidthTrace:
+    """Accumulates (delivery_time, bytes) and reports Mbps per bin."""
+
+    def __init__(self, bin_seconds: float = 0.1) -> None:
+        if bin_seconds <= 0:
+            raise ValueError("bin width must be positive")
+        self.bin_seconds = bin_seconds
+        self._bins: dict[int, int] = defaultdict(int)
+
+    def record(self, time_s: float, size_bytes: int) -> None:
+        self._bins[int(time_s / self.bin_seconds)] += size_bytes
+
+    def series(self, until_s: float | None = None) -> list[tuple[float, float]]:
+        """[(bin_start_seconds, Mbps)] including empty bins up to the end."""
+        if not self._bins:
+            return []
+        last = max(self._bins)
+        if until_s is not None:
+            last = max(last, int(until_s / self.bin_seconds))
+        out = []
+        for i in range(last + 1):
+            mbps = self._bins.get(i, 0) * 8.0 / self.bin_seconds / 1e6
+            out.append((i * self.bin_seconds, mbps))
+        return out
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._bins.values())

@@ -1,0 +1,56 @@
+"""Shared fixtures: deterministic RNGs, codecs, and item factories."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import settings
+
+from repro.core.symbols import SymbolCodec
+
+# Deterministic property testing: examples are derived from the test
+# body, so a run that passed keeps passing (no fresh-seed flakiness).
+settings.register_profile("deterministic", derandomize=True)
+settings.load_profile("deterministic")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG, fresh per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def codec8() -> SymbolCodec:
+    """Codec for 8-byte items (the paper's computation benchmarks)."""
+    return SymbolCodec(8)
+
+
+@pytest.fixture
+def codec32() -> SymbolCodec:
+    """Codec for 32-byte items (the paper's communication benchmarks)."""
+    return SymbolCodec(32)
+
+
+def make_items(rng: random.Random, count: int, size: int = 8) -> list[bytes]:
+    """``count`` distinct random items of ``size`` bytes.
+
+    Sorted so the workload is identical across processes — ``list(set)``
+    order would depend on the interpreter's randomised string hashing.
+    """
+    items: set[bytes] = set()
+    while len(items) < count:
+        items.add(rng.randbytes(size))
+    return sorted(items)
+
+
+def split_sets(
+    rng: random.Random, shared: int, only_a: int, only_b: int, size: int = 8
+) -> tuple[set[bytes], set[bytes]]:
+    """Two sets with the given shared/exclusive cardinalities."""
+    items = make_items(rng, shared + only_a + only_b, size)
+    common = items[:shared]
+    a_extra = items[shared : shared + only_a]
+    b_extra = items[shared + only_a :]
+    return set(common) | set(a_extra), set(common) | set(b_extra)

@@ -1,0 +1,113 @@
+"""Density evolution vs the paper's §5 numbers; Monte Carlo envelopes."""
+
+import pytest
+
+from repro.analysis.density_evolution import (
+    eta_star,
+    f_limit,
+    optimal_alpha,
+    recovered_fraction_curve,
+    recovered_fraction_limit,
+    satisfies_de_condition,
+)
+from repro.analysis.montecarlo import (
+    IntSymbolCodec,
+    overhead_stats,
+    recovered_fraction_sim,
+    simulate_overhead_once,
+)
+
+
+def test_eta_star_at_half_is_1_35():
+    """Corollary 5.2: overhead → 1.35 at α = 0.5."""
+    assert eta_star(0.5) == pytest.approx(1.35, abs=0.01)
+
+
+def test_optimal_alpha_near_0_64():
+    """§5.1: optimum α ≈ 0.64 with η* ≈ 1.31 (3% better than α = 0.5)."""
+    import numpy as np
+
+    alpha, eta = optimal_alpha(np.arange(0.55, 0.76, 0.01))
+    assert 0.60 <= alpha <= 0.70
+    assert eta == pytest.approx(1.31, abs=0.01)
+
+
+def test_eta_star_monotone_behaviour_around_optimum():
+    """η*(α) grows away from the optimum in both directions (Fig 4's U)."""
+    assert eta_star(0.2) > eta_star(0.5)
+    assert eta_star(0.95) > eta_star(0.65)
+
+
+def test_f_limit_properties():
+    assert f_limit(0.0, 1.35) == 0.0
+    assert 0.0 < f_limit(1.0, 1.35) < 1.0
+    with pytest.raises(ValueError):
+        f_limit(0.5, 0.0)
+
+
+def test_de_condition_brackets_threshold():
+    assert not satisfies_de_condition(1.30, alpha=0.5)
+    assert satisfies_de_condition(1.40, alpha=0.5)
+
+
+def test_recovered_fraction_monotone_in_eta():
+    values = [recovered_fraction_limit(eta) for eta in (0.8, 1.0, 1.2, 1.5)]
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+    assert values[-1] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_recovered_fraction_partial_below_threshold():
+    """Below η* the decoder stalls at a nontrivial fixed point (Fig 6)."""
+    fraction = recovered_fraction_limit(1.0)
+    assert 0.05 < fraction < 0.35
+
+
+def test_recovered_fraction_curve_shape():
+    curve = recovered_fraction_curve([0.5, 1.0, 1.4])
+    assert curve[0][1] < curve[1][1] < curve[2][1]
+
+
+def test_simulate_overhead_once_bounds(rng):
+    m = simulate_overhead_once(100, rng)
+    assert 100 <= m <= 300
+
+
+def test_overhead_stats_converges_towards_1_35():
+    stats = overhead_stats(2000, runs=5, seed=2)
+    assert 1.30 <= stats.mean <= 1.48
+    assert stats.std < 0.08
+
+
+def test_overhead_small_d_peaks():
+    """Fig 5: overhead peaks ≈1.7 around d = 4 (with wide variance)."""
+    stats = overhead_stats(4, runs=200, seed=3)
+    assert 1.45 <= stats.mean <= 2.0
+
+
+def test_overhead_stats_fields():
+    stats = overhead_stats(64, runs=10, seed=4)
+    assert stats.runs == 10 and len(stats.samples) == 10
+    assert stats.difference_size == 64
+    assert min(stats.samples) >= 1.0
+
+
+def test_recovered_fraction_sim_matches_de():
+    """Finite-d simulation tracks the DE fixed points (Fig 6)."""
+    sim = dict(recovered_fraction_sim(1000, [1.0, 1.5], runs=4, seed=5))
+    assert sim[1.0] == pytest.approx(recovered_fraction_limit(1.0), abs=0.06)
+    assert sim[1.5] == pytest.approx(1.0, abs=0.02)
+
+
+def test_int_codec_duck_type(rng):
+    codec = IntSymbolCodec()
+    value = rng.getrandbits(64)
+    assert codec.to_int(codec.to_bytes(value)) == value
+    assert codec.checksum_int(value) == codec.checksum_data(codec.to_bytes(value))
+    gen_a = codec.new_mapping(123)
+    gen_b = codec.new_mapping(123)
+    assert gen_a.next_index() == gen_b.next_index()
+
+
+def test_int_codec_compatibility():
+    assert IntSymbolCodec().compatible_with(IntSymbolCodec())
+    assert not IntSymbolCodec(alpha=0.6).compatible_with(IntSymbolCodec())

@@ -1,0 +1,79 @@
+"""The (sum, checksum, count) cell algebra (§3)."""
+
+from repro.core.coded import CodedSymbol
+
+
+def test_zero_cell():
+    cell = CodedSymbol()
+    assert cell.is_zero()
+    assert cell.sum == 0 and cell.checksum == 0 and cell.count == 0
+
+
+def test_apply_then_remove_is_identity():
+    cell = CodedSymbol()
+    cell.apply(0xABCD, 0x1234, 1)
+    assert not cell.is_zero()
+    cell.apply(0xABCD, 0x1234, -1)
+    assert cell.is_zero()
+
+
+def test_apply_accumulates_xor_and_count():
+    cell = CodedSymbol()
+    cell.apply(0b1100, 0b1010, 1)
+    cell.apply(0b1010, 0b0110, 1)
+    assert cell.sum == 0b0110
+    assert cell.checksum == 0b1100
+    assert cell.count == 2
+
+
+def test_subtract_matches_field_wise():
+    a = CodedSymbol(0xFF, 0xAA, 3)
+    b = CodedSymbol(0x0F, 0x0A, 1)
+    c = a.subtract(b)
+    assert c.sum == 0xF0
+    assert c.checksum == 0xA0
+    assert c.count == 2
+    # operands untouched
+    assert a.count == 3 and b.count == 1
+
+
+def test_subtract_in_place():
+    a = CodedSymbol(0xFF, 0xAA, 3)
+    b = CodedSymbol(0x0F, 0x0A, 1)
+    a.subtract_in_place(b)
+    assert (a.sum, a.checksum, a.count) == (0xF0, 0xA0, 2)
+
+
+def test_subtract_self_is_zero():
+    a = CodedSymbol(123, 456, 7)
+    assert a.subtract(a).is_zero()
+
+
+def test_negative_count_not_zero():
+    """A cell holding one 'local' symbol has count −1 and is not zero."""
+    cell = CodedSymbol()
+    cell.apply(5, 9, -1)
+    assert cell.count == -1
+    assert not cell.is_zero()
+
+
+def test_xor_cancellation_with_nonzero_count_not_zero():
+    """Sum/checksum can cancel while count tracks the multiset (a+a)."""
+    cell = CodedSymbol()
+    cell.apply(7, 8, 1)
+    cell.apply(7, 8, 1)
+    assert cell.sum == 0 and cell.checksum == 0
+    assert cell.count == 2
+    assert not cell.is_zero()
+
+
+def test_equality_and_copy():
+    a = CodedSymbol(1, 2, 3)
+    b = a.copy()
+    assert a == b and a is not b
+    b.apply(1, 1, 1)
+    assert a != b
+
+
+def test_repr_readable():
+    assert "count=2" in repr(CodedSymbol(0, 0, 2))

@@ -1,0 +1,159 @@
+"""CPI: characteristic-polynomial reconciliation over GF(p)."""
+
+import random
+
+import pytest
+
+from repro.baselines.cpi import (
+    MAX_ITEM,
+    PRIME,
+    CPIDecodeFailure,
+    CPISketch,
+    _poly_roots,
+    reconcile_cpi,
+    sample_point,
+)
+
+
+def distinct_items(rng, count):
+    out = set()
+    while len(out) < count:
+        out.add(rng.randrange(1, MAX_ITEM))
+    return sorted(out)
+
+
+def test_sample_points_above_items():
+    assert sample_point(0) == PRIME - 1
+    assert sample_point(5) == PRIME - 6
+    assert sample_point(0) >= MAX_ITEM
+
+
+def test_item_range_enforced():
+    with pytest.raises(ValueError):
+        CPISketch.from_items([MAX_ITEM], 4)
+
+
+@pytest.mark.parametrize("d", [0, 1, 2, 10, 25])
+def test_reconcile_exact(d):
+    rng = random.Random(d)
+    items = distinct_items(rng, 60 + d)
+    a = items[: 60 + d // 2]
+    b = items[: 60] + items[60 + d // 2 :]
+    only_a, only_b = reconcile_cpi(a, b, difference_bound=max(2, d + 2))
+    assert only_a == sorted(set(a) - set(b))
+    assert only_b == sorted(set(b) - set(a))
+
+
+def test_asymmetric_sizes():
+    rng = random.Random(77)
+    items = distinct_items(rng, 50)
+    a = items  # |A| = 50
+    b = items[:40]  # Bob missing 10
+    only_a, only_b = reconcile_cpi(a, b, difference_bound=12)
+    assert only_a == sorted(items[40:])
+    assert only_b == []
+
+
+def test_overflow_detected():
+    rng = random.Random(3)
+    items = distinct_items(rng, 80)
+    a = items[:50]
+    b = items[30:]
+    with pytest.raises(CPIDecodeFailure):
+        reconcile_cpi(a, b, difference_bound=10)  # true d = 60
+
+
+def test_wire_size():
+    rng = random.Random(4)
+    sketch = CPISketch.from_items(distinct_items(rng, 10), 7)
+    assert sketch.wire_size() == 7 * 8 + 8
+
+
+def test_poly_roots_product_of_linears():
+    rng = random.Random(9)
+    roots = distinct_items(rng, 8)
+    coeffs = [1]
+    for r in roots:
+        # multiply by (x − r)
+        nxt = [0] * (len(coeffs) + 1)
+        for i, c in enumerate(coeffs):
+            nxt[i] = (nxt[i] - r * c) % PRIME
+            nxt[i + 1] = (nxt[i + 1] + c) % PRIME
+        coeffs = nxt
+    assert sorted(_poly_roots(coeffs)) == sorted(roots)
+
+
+def test_poly_roots_with_irreducible_part():
+    """x² + 1 has no roots mod 2^61−1 (p ≡ 3 mod 4): only linear roots
+    come back."""
+    # (x² + 1)(x − 5)
+    coeffs = [(-5) % PRIME, 1, (-5) % PRIME, 1]
+    roots = _poly_roots(coeffs)
+    assert roots == [5]
+
+
+def test_evaluations_multiplicative_structure():
+    """χ_{A∪{x}}(z) = χ_A(z)·(z − x): the homomorphism CPI relies on."""
+    rng = random.Random(11)
+    items = distinct_items(rng, 5)
+    extra = next(i for i in range(1, 100) if i not in items)
+    base = CPISketch.from_items(items, 3)
+    bigger = CPISketch.from_items(items + [extra], 3)
+    for i in range(3):
+        z = sample_point(i)
+        assert bigger.evaluations[i] == base.evaluations[i] * (z - extra) % PRIME
+
+
+def test_identical_sets():
+    rng = random.Random(13)
+    items = distinct_items(rng, 30)
+    only_a, only_b = reconcile_cpi(items, items, difference_bound=4)
+    assert only_a == [] and only_b == []
+
+
+# --- streaming (rateless-style) CPI -------------------------------------------
+
+
+def test_streaming_cpi_reconciles_without_bound():
+    from repro.baselines.cpi import reconcile_cpi_streaming
+
+    rng = random.Random(21)
+    items = distinct_items(rng, 70)
+    a = items[:60]
+    b = items[:50] + items[60:]
+    only_a, only_b, used = reconcile_cpi_streaming(a, b)
+    assert only_a == sorted(set(a) - set(b))
+    assert only_b == sorted(set(b) - set(a))
+    d = len(set(a) ^ set(b))
+    assert d <= used <= d + 4  # near-optimal communication
+
+
+def test_streaming_cpi_identical_sets():
+    from repro.baselines.cpi import reconcile_cpi_streaming
+
+    rng = random.Random(22)
+    items = distinct_items(rng, 30)
+    only_a, only_b, used = reconcile_cpi_streaming(items, items)
+    assert only_a == [] and only_b == []
+    assert used <= 4
+
+
+def test_streaming_cpi_gives_up():
+    from repro.baselines.cpi import CPIDecodeFailure, reconcile_cpi_streaming
+
+    rng = random.Random(23)
+    items = distinct_items(rng, 60)
+    with pytest.raises(CPIDecodeFailure):
+        reconcile_cpi_streaming(items[:30], items[30:], max_points=8)
+
+
+def test_streaming_produces_same_evaluations_as_batch():
+    from repro.baselines.cpi import CPISketch, StreamingCPI
+
+    rng = random.Random(24)
+    items = distinct_items(rng, 20)
+    stream = StreamingCPI(items)
+    for _ in range(6):
+        stream.produce_next()
+    batch = CPISketch.from_items(items, 6)
+    assert stream.sketch().evaluations == batch.evaluations

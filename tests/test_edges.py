@@ -1,0 +1,148 @@
+"""Edge-path coverage: helpers and corners not hit by the main suites."""
+
+import pytest
+
+from repro.core.decoder import RatelessDecoder, peel_until_decoded
+from repro.core.encoder import RatelessEncoder
+from repro.core.symbols import SymbolCodec
+from repro.net.link import Link
+from repro.net.simulator import Simulator
+
+from conftest import make_items, split_sets
+
+
+def test_peel_until_decoded_helper(codec8, rng):
+    a, b = split_sets(rng, shared=60, only_a=3, only_b=3)
+    alice = RatelessEncoder(codec8, a)
+    bob = RatelessEncoder(codec8, b)
+    stream = (
+        alice.produce_next().subtract(bob.produce_next()) for _ in range(200)
+    )
+    result = peel_until_decoded(RatelessDecoder(codec8), stream)
+    assert result.success
+    assert set(result.remote) == a - b
+
+
+def test_peel_until_decoded_respects_budget(codec8, rng):
+    a, b = split_sets(rng, shared=20, only_a=30, only_b=30)
+    alice = RatelessEncoder(codec8, a)
+    bob = RatelessEncoder(codec8, b)
+    stream = (
+        alice.produce_next().subtract(bob.produce_next()) for _ in range(10_000)
+    )
+    result = peel_until_decoded(RatelessDecoder(codec8), stream, max_symbols=10)
+    assert not result.success
+    assert result.symbols_used == 10
+
+
+def test_decode_result_overhead_empty():
+    from repro.core.decoder import DecodeResult
+
+    result = DecodeResult(success=True, symbols_used=1)
+    assert result.difference_size == 0
+    assert result.overhead == 1.0
+
+
+def test_simulator_event_budget():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(0.001, reschedule)
+
+    sim.schedule(0.0, reschedule)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=100)
+
+
+def test_link_rtt_property():
+    sim = Simulator()
+    link = Link(sim, 1e6, delay_s=0.05)
+    assert link.rtt == pytest.approx(0.1)
+
+
+def test_measure_riblt_plan_uncalibrated_costs():
+    """Without a calibrated line rate the plan carries measured (positive)
+    interpreter costs."""
+    from repro.ledger import Chain, build_scenario
+    from repro.ledger.workload import measure_riblt_plan
+
+    chain = Chain(num_accounts=500, seed=3, updates_per_block=5, creates_per_block=1)
+    chain.advance(4)
+    scenario = build_scenario(chain, staleness_blocks=2)
+    plan = measure_riblt_plan(scenario)
+    assert plan.decode_seconds_per_symbol > 0
+    assert plan.symbols_needed >= scenario.difference_size
+    assert plan.bytes_per_symbol > 92  # item + checksum + count
+
+
+def test_cli_checksum_size_flag(tmp_path, capsys, rng):
+    """4-byte checksums round-trip through the CLI end to end."""
+    from repro.cli import main
+
+    items = make_items(rng, 60, 8)
+    file_a = tmp_path / "a.bin"
+    file_b = tmp_path / "b.bin"
+    file_a.write_bytes(b"".join(items))
+    file_b.write_bytes(b"".join(items[4:]))
+    sketch = tmp_path / "a.sk"
+    assert main(["--item-size", "8", "--checksum-size", "4", "sketch",
+                 str(file_a), "-o", str(sketch), "--symbols", "32"]) == 0
+    assert main(["--item-size", "8", "--checksum-size", "4", "decode",
+                 str(sketch), str(file_b)]) == 0
+    assert "missing locally : 4" in capsys.readouterr().out
+
+
+def test_cli_siphash_family(tmp_path, capsys, rng):
+    from repro.cli import main
+
+    items = make_items(rng, 40, 8)
+    file_a = tmp_path / "a.bin"
+    file_a.write_bytes(b"".join(items))
+    assert main(["--item-size", "8", "--hasher", "siphash", "reconcile",
+                 str(file_a), str(file_a)]) == 0
+    assert "difference      : 0" in capsys.readouterr().out
+
+
+def test_failure_curve_with_irregular_config():
+    from repro.analysis.failure import failure_curve
+    from repro.core.irregular import PAPER_IRREGULAR
+
+    curve = failure_curve(64, [1.0, 2.0], runs=20, irregular=PAPER_IRREGULAR, seed=6)
+    probs = dict(curve.points)
+    assert probs[2.0] <= probs[1.0]
+
+
+def test_chain_hour_staleness_helpers():
+    from repro.ledger.chain import BLOCKS_PER_HOUR, Chain
+
+    chain = Chain(num_accounts=200, seed=8, updates_per_block=3, creates_per_block=1)
+    chain.advance(BLOCKS_PER_HOUR // 60)  # one minute of blocks
+    from repro.ledger import build_scenario
+
+    scenario = build_scenario(chain, chain.head)
+    assert scenario.staleness_seconds == 60
+
+
+def test_union_synchronizer_stats_before_run(rng):
+    from repro.core.multiparty import UnionSynchronizer
+
+    items = make_items(rng, 30)
+    sync = UnionSynchronizer(
+        SymbolCodec(8), items[:20], {"p": set(items[5:])}
+    )
+    assert not sync.all_decoded
+    assert sync.stats["p"].symbols_used == 0
+
+
+def test_trace_empty_series():
+    from repro.net.trace import BandwidthTrace
+
+    assert BandwidthTrace().series() == []
+    assert BandwidthTrace().total_bytes == 0
+
+
+def test_met_level_cells_wire_default(codec8):
+    from repro.baselines.met_iblt import MetIBLT
+
+    table = MetIBLT(codec8)
+    assert table.wire_size() == table.num_cells * (8 + 16)

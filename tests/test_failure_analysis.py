@@ -1,0 +1,76 @@
+"""Failure-probability curves: monotonicity and calibration."""
+
+import pytest
+
+from repro.analysis.failure import FailureCurve, failure_curve, recommended_prefix
+
+
+def test_failure_curve_monotone_decreasing():
+    curve = failure_curve(64, [1.0, 1.2, 1.5, 2.0, 2.5], runs=60, seed=1)
+    probs = [p for _, p in sorted(curve.points)]
+    assert all(a >= b - 0.05 for a, b in zip(probs, probs[1:]))
+
+
+def test_failure_high_at_information_bound():
+    """At exactly m = d symbols, decoding is very unlikely for moderate d."""
+    curve = failure_curve(128, [1.0], runs=40, seed=2)
+    assert curve.points[0][1] > 0.8
+
+
+def test_failure_low_with_generous_margin():
+    curve = failure_curve(128, [2.5], runs=40, seed=3)
+    assert curve.points[0][1] < 0.1
+
+
+def test_failure_at_lookup():
+    curve = FailureCurve(10, 10, points=[(1.0, 0.9), (1.5, 0.3), (2.0, 0.0)])
+    assert curve.failure_at(1.6) == 0.3
+    assert curve.failure_at(2.5) == 0.0
+    assert curve.failure_at(0.5) == 1.0
+
+
+def test_overhead_for_target():
+    curve = FailureCurve(10, 10, points=[(1.0, 0.9), (1.5, 0.3), (2.0, 0.0)])
+    assert curve.overhead_for(0.5) == 1.5
+    assert curve.overhead_for(0.0) == 2.0
+    assert FailureCurve(10, 10, points=[(1.0, 0.9)]).overhead_for(0.1) is None
+
+
+def test_recommended_prefix_decodes_in_practice():
+    """A prefix sized at 1% failure should almost always decode."""
+    import random
+
+    from repro.analysis.montecarlo import IntSymbolCodec, _random_values
+    from repro.core.decoder import RatelessDecoder
+    from repro.core.encoder import RatelessEncoder
+
+    d = 64
+    m = recommended_prefix(d, target_failure=0.05, runs=60, seed=4)
+    assert m >= int(1.2 * d)
+    rng = random.Random(99)
+    successes = 0
+    trials = 20
+    for _ in range(trials):
+        codec = IntSymbolCodec(key=rng.getrandbits(64))
+        encoder = RatelessEncoder(codec)
+        for value in _random_values(d, rng):
+            encoder.add_value(value)
+        decoder = RatelessDecoder(codec)
+        for _ in range(m):
+            decoder.add_coded_symbol(encoder.produce_next())
+            if decoder.decoded:
+                break
+        successes += decoder.decoded
+    assert successes >= trials - 3
+
+
+def test_recommended_prefix_validation():
+    with pytest.raises(ValueError):
+        recommended_prefix(0)
+
+
+def test_small_d_needs_big_margin():
+    """Tiny differences need proportionally more margin (Fig 5's peak)."""
+    small = recommended_prefix(4, target_failure=0.1, runs=150, seed=5) / 4
+    large = recommended_prefix(256, target_failure=0.1, runs=60, seed=5) / 256
+    assert small > large

@@ -1,0 +1,205 @@
+"""GF(2^m): field axioms, irreducibility of the moduli, derived maps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pinsketch.gf2 import (
+    IRREDUCIBLE_POLYS,
+    GF2m,
+    clmul,
+    poly2_divmod,
+    poly2_gcd,
+    poly2_mod,
+)
+
+FIELDS = {m: GF2m(m) for m in (8, 16, 32, 64)}
+
+
+# --- GF(2)[x] integer-polynomial helpers ---------------------------------------
+
+
+def test_clmul_basics():
+    assert clmul(0, 123) == 0
+    assert clmul(1, 123) == 123
+    assert clmul(0b10, 0b11) == 0b110  # x·(x+1) = x²+x
+    assert clmul(0b11, 0b11) == 0b101  # (x+1)² = x²+1 (carry-less!)
+
+
+@given(st.integers(0, 2**32), st.integers(0, 2**32), st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_clmul_distributes(a, b, c):
+    assert clmul(a, b ^ c) == clmul(a, b) ^ clmul(a, c)
+
+
+@given(st.integers(0, 2**32), st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_clmul_commutes(a, b):
+    assert clmul(a, b) == clmul(b, a)
+
+
+@given(st.integers(0, 2**40), st.integers(1, 2**20))
+@settings(max_examples=60, deadline=None)
+def test_poly2_divmod_identity(a, b):
+    q, r = poly2_divmod(a, b)
+    assert clmul(q, b) ^ r == a
+    assert r.bit_length() < b.bit_length()
+
+
+def test_poly2_gcd_known():
+    # gcd(x²+1, x+1) = x+1 over GF(2) since x²+1 = (x+1)²
+    assert poly2_gcd(0b101, 0b11) == 0b11
+
+
+def _is_irreducible(poly: int) -> bool:
+    """Rabin's test over GF(2): x^(2^m) ≡ x and gcd(x^(2^(m/p)) − x, f) = 1."""
+    m = poly.bit_length() - 1
+
+    def x_pow_pow2(k: int) -> int:
+        # x^(2^k) mod poly by repeated squaring in GF(2)[x]/poly
+        value = 0b10  # x
+        for _ in range(k):
+            spread = 0
+            bit = 0
+            v = value
+            while v:
+                if v & 1:
+                    spread |= 1 << (2 * bit)
+                v >>= 1
+                bit += 1
+            value = poly2_mod(spread, poly)
+        return value
+
+    if x_pow_pow2(m) != 0b10:
+        return False
+    primes = {p for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31) if m % p == 0}
+    for p in primes:
+        h = x_pow_pow2(m // p) ^ 0b10
+        if poly2_gcd(poly, h) != 1:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("m", sorted(IRREDUCIBLE_POLYS))
+def test_builtin_moduli_irreducible(m):
+    assert _is_irreducible(IRREDUCIBLE_POLYS[m]), f"GF(2^{m}) modulus reducible!"
+
+
+# --- field axioms ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("m", [8, 16, 32, 64])
+def test_identity_elements(m):
+    field = FIELDS[m]
+    for a in (1, 2, 5, field.mask):
+        assert field.mul(a, 1) == a
+        assert field.add(a, 0) == a
+
+
+@given(st.data())
+@settings(max_examples=120, deadline=None)
+def test_field_axioms_random(data):
+    m = data.draw(st.sampled_from([8, 16, 32, 64]))
+    field = FIELDS[m]
+    a = data.draw(st.integers(0, field.mask))
+    b = data.draw(st.integers(0, field.mask))
+    c = data.draw(st.integers(0, field.mask))
+    assert field.mul(a, b) == field.mul(b, a)
+    assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+    assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+    assert field.sqr(a) == field.mul(a, a)
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_inverse_property(data):
+    m = data.draw(st.sampled_from([8, 16, 32, 64]))
+    field = FIELDS[m]
+    a = data.draw(st.integers(1, field.mask))
+    assert field.mul(a, field.inv(a)) == 1
+    assert field.div(field.mul(a, 7), a) == 7 or m == 8  # div sanity
+    if m > 8:
+        assert field.div(field.mul(a, 7), a) == 7
+
+
+def test_inv_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        FIELDS[16].inv(0)
+
+
+@pytest.mark.parametrize("m", [8, 16])
+def test_inverse_exhaustive_small(m):
+    """Every nonzero element of the small fields inverts correctly."""
+    field = FIELDS[m]
+    step = 1 if m == 8 else 257
+    for a in range(1, field.order, step):
+        assert field.mul(a, field.inv(a)) == 1
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_frobenius_is_additive(data):
+    """(a+b)² = a² + b² in characteristic 2."""
+    m = data.draw(st.sampled_from([16, 32, 64]))
+    field = FIELDS[m]
+    a = data.draw(st.integers(0, field.mask))
+    b = data.draw(st.integers(0, field.mask))
+    assert field.sqr(a ^ b) == field.sqr(a) ^ field.sqr(b)
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_sqrt_inverts_sqr(data):
+    m = data.draw(st.sampled_from([8, 16, 32, 64]))
+    field = FIELDS[m]
+    a = data.draw(st.integers(0, field.mask))
+    assert field.sqrt(field.sqr(a)) == a
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_trace_in_prime_field(data):
+    m = data.draw(st.sampled_from([8, 16, 32]))
+    field = FIELDS[m]
+    a = data.draw(st.integers(0, field.mask))
+    assert field.trace(a) in (0, 1)
+
+
+def test_trace_linear():
+    field = FIELDS[32]
+    for a, b in [(3, 5), (1234, 99999), (0xDEAD, 0xBEEF)]:
+        assert field.trace(a ^ b) == field.trace(a) ^ field.trace(b)
+
+
+def test_mul_table_agrees_with_mul():
+    field = FIELDS[64]
+    b = 0x0123456789ABCDEF
+    table = field.mul_table(b)
+    for a in (0, 1, 2, 0xFFFF, 0xDEADBEEF, field.mask):
+        assert field.mul_with(a, table) == field.mul(a, b)
+
+
+def test_pow():
+    field = FIELDS[16]
+    a = 0x1234
+    assert field.pow(a, 0) == 1
+    assert field.pow(a, 1) == a
+    assert field.pow(a, 2) == field.sqr(a)
+    assert field.pow(a, 5) == field.mul(field.pow(a, 4), a)
+    # Lagrange: a^(2^m − 1) = 1 for nonzero a
+    assert field.pow(a, field.order - 1) == 1
+    # negative exponent = inverse power
+    assert field.mul(field.pow(a, -1), a) == 1
+
+
+def test_unknown_field_size_needs_modulus():
+    with pytest.raises(ValueError):
+        GF2m(24)
+    # but an explicit modulus works if its degree matches
+    with pytest.raises(ValueError):
+        GF2m(24, modulus=(1 << 23) | 0x3)
+
+
+def test_field_equality():
+    assert GF2m(16) == GF2m(16)
+    assert GF2m(16) != GF2m(32)

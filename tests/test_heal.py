@@ -1,0 +1,97 @@
+"""State heal protocol: convergence, transcript accounting, lock-step rounds."""
+
+from repro.baselines.merkle.heal import DEFAULT_BATCH_LIMIT, state_heal
+from repro.baselines.merkle.trie import NodeStore, Trie
+
+from test_trie import random_kv
+
+
+def build_two_versions(rng, base_count, changed):
+    """A shared-store chain: Bob's version and Alice's (with changes)."""
+    kv = random_kv(rng, base_count)
+    store = NodeStore()
+    bob_trie = Trie.from_items(kv.items(), store)
+    alice_trie = bob_trie
+    keys = list(kv)
+    for key in rng.sample(keys, changed):
+        alice_trie = alice_trie.update(key, rng.randbytes(72))
+    return bob_trie, alice_trie
+
+
+def test_heal_converges(rng):
+    bob_trie, alice_trie = build_two_versions(rng, 300, 30)
+    bob_store = bob_trie.reachable_store()
+    report = state_heal(bob_store, alice_trie)
+    healed = Trie(bob_store, alice_trie.root_hash)
+    assert dict(healed.items()) == dict(alice_trie.items())
+    assert report.nodes_fetched > 0
+
+
+def test_heal_nothing_when_identical(rng):
+    bob_trie, _ = build_two_versions(rng, 100, 0)
+    bob_store = bob_trie.reachable_store()
+    report = state_heal(bob_store, Trie(bob_store, bob_trie.root_hash))
+    assert report.round_trips == 0
+    assert report.total_bytes == 0
+
+
+def test_heal_empty_target():
+    report = state_heal(NodeStore(), Trie(NodeStore()))
+    assert report.round_trips == 0
+
+
+def test_heal_from_scratch(rng):
+    """An empty Bob fetches the entire trie."""
+    kv = random_kv(rng, 120)
+    alice = Trie.from_items(kv.items())
+    bob_store = NodeStore()
+    report = state_heal(bob_store, alice)
+    assert report.nodes_fetched == alice.node_count()
+    assert dict(Trie(bob_store, alice.root_hash).items()) == kv
+
+
+def test_heal_skips_shared_subtrees(rng):
+    """Bob must fetch far fewer nodes than the trie holds when the
+    difference is small — only differing paths are downloaded."""
+    bob_trie, alice_trie = build_two_versions(rng, 500, 10)
+    bob_store = bob_trie.reachable_store()
+    report = state_heal(bob_store, alice_trie)
+    assert report.nodes_fetched < alice_trie.node_count() / 3
+
+
+def test_heal_amplification_over_leaves(rng):
+    """The §7.3 complaint: internal nodes amplify bytes over the leaf
+    payload actually needed."""
+    bob_trie, alice_trie = build_two_versions(rng, 400, 20)
+    bob_store = bob_trie.reachable_store()
+    report = state_heal(bob_store, alice_trie)
+    assert report.nodes_fetched > report.leaves_fetched
+    leaf_payload = report.leaves_fetched * 92
+    assert report.bytes_down > 1.5 * leaf_payload
+
+
+def test_round_count_tracks_depth(rng):
+    """Rounds ≈ depth of differing paths (lock-step descent)."""
+    bob_trie, alice_trie = build_two_versions(rng, 400, 20)
+    bob_store = bob_trie.reachable_store()
+    report = state_heal(bob_store, alice_trie)
+    assert 2 <= report.round_trips <= 12
+
+
+def test_batch_limit_adds_rounds(rng):
+    bob_trie, alice_trie = build_two_versions(rng, 400, 60)
+    unbatched = state_heal(bob_trie.reachable_store(), alice_trie)
+    batched = state_heal(
+        bob_trie.reachable_store(), alice_trie, batch_limit=8
+    )
+    assert batched.round_trips > unbatched.round_trips
+    assert batched.nodes_fetched == unbatched.nodes_fetched
+
+
+def test_transcript_totals_consistent(rng):
+    bob_trie, alice_trie = build_two_versions(rng, 200, 15)
+    report = state_heal(bob_trie.reachable_store(), alice_trie)
+    assert report.bytes_up == sum(r.request_bytes for r in report.rounds)
+    assert report.bytes_down == sum(r.response_bytes for r in report.rounds)
+    assert report.nodes_fetched == sum(r.nodes_delivered for r in report.rounds)
+    assert all(r.requested_hashes <= DEFAULT_BATCH_LIMIT for r in report.rounds)

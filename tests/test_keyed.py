@@ -1,0 +1,51 @@
+"""Keyed hasher family: interchangeability and keying semantics."""
+
+import pytest
+
+from repro.hashing.keyed import Blake2bHasher, SipHasher, make_hasher
+
+
+@pytest.mark.parametrize("kind", ["blake2b", "siphash"])
+def test_make_hasher(kind):
+    hasher = make_hasher(kind)
+    value = hasher.hash64(b"hello")
+    assert 0 <= value < (1 << 64)
+    assert hasher.hash64(b"hello") == value
+
+
+def test_make_hasher_unknown_kind():
+    with pytest.raises(ValueError):
+        make_hasher("md5")
+
+
+@pytest.mark.parametrize("cls", [Blake2bHasher, SipHasher])
+def test_key_changes_output(cls):
+    a = cls(bytes(16))
+    b = cls(bytes(15) + b"\x01")
+    assert a.hash64(b"item") != b.hash64(b"item")
+
+
+def test_siphasher_rejects_bad_key():
+    with pytest.raises(ValueError):
+        SipHasher(b"too short")
+
+
+def test_blake2b_rejects_bad_key():
+    with pytest.raises(ValueError):
+        Blake2bHasher(b"")
+
+
+def test_families_disagree():
+    """The two families are different PRFs under the same key."""
+    key = bytes(range(16))
+    assert Blake2bHasher(key).hash64(b"x") != SipHasher(key).hash64(b"x")
+
+
+@pytest.mark.parametrize("cls", [Blake2bHasher, SipHasher])
+def test_distribution_coarse(cls):
+    """Top byte of the hash roughly uniform over 4k inputs."""
+    hasher = cls(bytes(range(16)))
+    buckets = [0] * 16
+    for i in range(4096):
+        buckets[hasher.hash64(i.to_bytes(8, "little")) >> 60] += 1
+    assert min(buckets) > 150  # expectation 256

@@ -1,0 +1,130 @@
+"""Synthetic ledger: accounts, chain evolution, snapshots, scenarios."""
+
+import pytest
+
+from repro.ledger.account import (
+    ACCOUNT_BYTES,
+    ADDRESS_BYTES,
+    ITEM_BYTES,
+    Account,
+    account_item,
+)
+from repro.ledger.chain import BLOCKS_PER_HOUR, Chain
+from repro.ledger.workload import build_scenario
+
+
+def small_chain(blocks=10):
+    chain = Chain(num_accounts=800, seed=1, updates_per_block=20, creates_per_block=2)
+    chain.advance(blocks)
+    return chain
+
+
+def test_account_encoding_size():
+    account = Account(nonce=7, balance=10**18, code_hash=b"\xcc" * 32)
+    assert len(account.encode()) == ACCOUNT_BYTES == 72
+
+
+def test_account_roundtrip():
+    account = Account(nonce=123, balance=456789, code_hash=b"\xab" * 32)
+    assert Account.decode(account.encode()) == account
+
+
+def test_account_validation():
+    with pytest.raises(ValueError):
+        Account(nonce=-1, balance=0, code_hash=b"\x00" * 32)
+    with pytest.raises(ValueError):
+        Account(nonce=0, balance=0, code_hash=b"short")
+    with pytest.raises(ValueError):
+        Account.decode(b"x" * 10)
+
+
+def test_account_bumped():
+    account = Account(nonce=1, balance=100, code_hash=b"\x00" * 32)
+    richer = account.bumped(50)
+    assert richer.nonce == 2 and richer.balance == 150
+    poorer = account.bumped(-200)
+    assert poorer.balance == 0  # floors at zero
+
+
+def test_item_layout():
+    address = b"\x11" * ADDRESS_BYTES
+    state = b"\x22" * ACCOUNT_BYTES
+    item = account_item(address, state)
+    assert len(item) == ITEM_BYTES == 92
+    assert item[:20] == address
+    with pytest.raises(ValueError):
+        account_item(b"short", state)
+
+
+def test_blocks_per_hour():
+    assert BLOCKS_PER_HOUR == 300  # one block every 12 s
+
+
+def test_chain_genesis():
+    chain = Chain(num_accounts=100, seed=3)
+    assert chain.head == 0
+    assert len(chain.state) == 100
+    assert len(chain.roots) == 1
+
+
+def test_chain_advance_touches_accounts():
+    chain = small_chain(blocks=5)
+    assert chain.head == 5
+    assert len(chain.blocks) == 5
+    for block in chain.blocks:
+        assert block.touched_accounts >= 20
+
+
+def test_roots_change_every_block():
+    chain = small_chain(blocks=4)
+    assert len(set(chain.roots)) == 5
+
+
+def test_trie_matches_state_at_every_height():
+    chain = small_chain(blocks=4)
+    for height in range(chain.head + 1):
+        trie_view = dict(chain.trie_at(height).items())
+        assert trie_view == chain.state_at(height)
+
+
+def test_state_rollback_exact():
+    chain = Chain(num_accounts=300, seed=9, updates_per_block=10, creates_per_block=1)
+    genesis_state = dict(chain.state)
+    chain.advance(6)
+    assert chain.state_at(0) == genesis_state
+    assert chain.state_at(chain.head) == chain.state
+
+
+def test_difference_size_matches_item_sets():
+    chain = small_chain(blocks=8)
+    for staleness in (1, 4, 8):
+        height = chain.head - staleness
+        direct = len(chain.items_at(chain.head) ^ chain.items_at(height))
+        assert chain.difference_size(chain.head, height) == direct
+
+
+def test_difference_grows_with_staleness():
+    chain = small_chain(blocks=10)
+    diffs = [
+        chain.difference_size(chain.head, chain.head - k) for k in (2, 5, 10)
+    ]
+    assert diffs[0] < diffs[1] < diffs[2]
+
+
+def test_scenario_construction():
+    chain = small_chain(blocks=6)
+    scenario = build_scenario(chain, staleness_blocks=3)
+    assert scenario.difference_size == len(
+        scenario.alice_items ^ scenario.bob_items
+    )
+    assert scenario.staleness_seconds == 36
+    # Bob's store holds exactly his snapshot
+    assert len(scenario.bob_store) == scenario.bob_trie.node_count()
+    with pytest.raises(ValueError):
+        build_scenario(chain, staleness_blocks=100)
+
+
+def test_items_are_fixed_width():
+    chain = small_chain(blocks=2)
+    items = chain.items_at(chain.head)
+    assert all(len(item) == ITEM_BYTES for item in items)

@@ -1,0 +1,136 @@
+"""The §4.2 index generator: determinism, monotonicity, and that it
+actually realises ρ(i) = 1/(1+αi)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.mapping import (
+    IndexGenerator,
+    RandomMapping,
+    expected_degree,
+    mapping_probability,
+)
+
+
+def test_first_index_is_zero():
+    """ρ(0) = 1: every symbol maps to coded symbol 0 (§4.1.2)."""
+    for seed in range(50):
+        assert IndexGenerator(seed).current == 0
+
+
+def test_indices_strictly_increase():
+    gen = IndexGenerator(seed=42)
+    prev = gen.current
+    for _ in range(1000):
+        nxt = gen.next_index()
+        assert nxt > prev
+        prev = nxt
+
+
+def test_deterministic_given_seed():
+    a = IndexGenerator(seed=7)
+    b = IndexGenerator(seed=7)
+    assert [a.next_index() for _ in range(200)] == [
+        b.next_index() for _ in range(200)
+    ]
+
+
+def test_different_seeds_diverge():
+    a = [IndexGenerator(1).next_index() for _ in range(1)]
+    sequences = {
+        tuple(IndexGenerator(seed).indices_below(64)) for seed in range(32)
+    }
+    assert len(sequences) > 16  # almost surely all distinct
+
+
+def test_rejects_nonpositive_alpha():
+    with pytest.raises(ValueError):
+        IndexGenerator(seed=1, alpha=0.0)
+
+
+def test_indices_below_consistency():
+    mapping = RandomMapping(seed=99)
+    upto_64 = mapping.indices_below(64)
+    upto_128 = mapping.indices_below(128)
+    assert upto_128[: len(upto_64)] == upto_64  # prefix property
+    assert all(i < 64 for i in upto_64)
+    assert upto_64[0] == 0
+
+
+def test_mapping_probability_values():
+    assert mapping_probability(0) == 1.0
+    assert mapping_probability(2) == pytest.approx(0.5)
+    assert mapping_probability(0, alpha=0.25) == 1.0
+    with pytest.raises(ValueError):
+        mapping_probability(-1)
+
+
+def test_empirical_density_matches_rho():
+    """Fraction of symbols mapped to index i ≈ ρ(i) (the §4.1.2 law)."""
+    rng = random.Random(5)
+    trials = 4000
+    bound = 64
+    hits = [0] * bound
+    for _ in range(trials):
+        for idx in RandomMapping(rng.getrandbits(64)).indices_below(bound):
+            hits[idx] += 1
+    for index in (0, 1, 2, 4, 8, 16, 32, 63):
+        observed = hits[index] / trials
+        expected = mapping_probability(index)
+        sigma = math.sqrt(expected * (1 - expected) / trials)
+        assert abs(observed - expected) < max(6 * sigma, 0.01), (
+            f"index {index}: observed {observed}, expected {expected}"
+        )
+
+
+def test_empirical_density_generic_alpha():
+    """The generic-α (Stirling) path also realises its ρ."""
+    rng = random.Random(11)
+    trials = 4000
+    alpha = 0.8
+    hits = [0] * 32
+    for _ in range(trials):
+        gen = IndexGenerator(rng.getrandbits(64), alpha=alpha)
+        idx = 0
+        while idx < 32:
+            hits[idx] += 1
+            idx = gen.next_index()
+    for index in (0, 1, 3, 7, 15, 31):
+        observed = hits[index] / trials
+        expected = mapping_probability(index, alpha)
+        sigma = math.sqrt(expected * (1 - expected) / trials)
+        assert abs(observed - expected) < max(6 * sigma, 0.015)
+
+
+def test_mean_degree_logarithmic():
+    """E[degree below m] = Σρ(i) ≈ 2·ln(1+m/2) at α = 0.5 — the sparsity
+    that §4.1.2 credits for the computational win."""
+    rng = random.Random(3)
+    bound = 512
+    trials = 600
+    total = sum(
+        RandomMapping(rng.getrandbits(64)).degree_below(bound)
+        for _ in range(trials)
+    )
+    observed_mean = total / trials
+    predicted = expected_degree(bound)
+    assert abs(observed_mean - predicted) / predicted < 0.08
+    # the closed form: Σ 1/(1+i/2) = Σ 2/(2+i)
+    assert predicted == pytest.approx(
+        sum(2.0 / (2 + i) for i in range(bound)), rel=1e-9
+    )
+
+
+def test_expected_degree_formula():
+    assert expected_degree(1) == 1.0
+    assert expected_degree(3) == pytest.approx(1.0 + 1 / 1.5 + 1 / 2.0)
+
+
+def test_large_index_no_overflow():
+    """The generator survives far-tail draws without float blowups."""
+    gen = IndexGenerator(seed=0xDEAD)
+    for _ in range(20_000):
+        gen.next_index()
+    assert gen.current < (1 << 49)

@@ -1,0 +1,128 @@
+"""MET-IBLT: rate compatibility, decode at optimised targets, staircase."""
+
+import random
+
+import pytest
+
+from repro.baselines.met_iblt import DEFAULT_MET_CONFIG, MetConfig, MetIBLT
+
+from conftest import split_sets
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MetConfig((10, 20), (3,), (10, 50))
+    with pytest.raises(ValueError):
+        MetConfig((10,), (0,), (10,))
+    with pytest.raises(ValueError):
+        MetConfig((10, 20), (3, 2), (50, 10))  # targets must increase
+
+
+def test_cumulative_cells():
+    config = MetConfig((10, 20, 30), (3, 2, 1), (5, 25, 125))
+    assert config.cumulative_cells(0) == 0
+    assert config.cumulative_cells(2) == 30
+    assert config.cumulative_cells(3) == 60
+
+
+def test_level_for_difference():
+    config = DEFAULT_MET_CONFIG
+    assert config.level_for_difference(1) == 1
+    assert config.level_for_difference(config.target_differences[0]) == 1
+    assert config.level_for_difference(config.target_differences[0] + 1) == 2
+    huge = config.target_differences[-1] * 10
+    assert config.level_for_difference(huge) == config.levels
+
+
+def test_block_of_cell():
+    config = MetConfig((4, 8), (3, 1), (2, 10))
+    assert config.block_of_cell(0) == 0
+    assert config.block_of_cell(3) == 0
+    assert config.block_of_cell(4) == 1
+    with pytest.raises(IndexError):
+        config.block_of_cell(12)
+
+
+def test_prefix_property():
+    """Rate compatibility: block prefixes of the full table are exactly the
+    shorter tables (the sender can extend in place)."""
+    rng = random.Random(2)
+    codec_items, _ = split_sets(rng, shared=100, only_a=0, only_b=0)
+    from repro.core.symbols import SymbolCodec
+
+    codec = SymbolCodec(8)
+    table = MetIBLT.from_items(codec_items, codec)
+    # cells of level-1 prefix never reference higher blocks
+    level_1_cells = table.config.cumulative_cells(1)
+    prefix = table.cells[:level_1_cells]
+    rebuilt = MetIBLT.from_items(codec_items, codec)
+    assert prefix == rebuilt.cells[:level_1_cells]
+
+
+def _mean_overhead(codec, d, trials, seed):
+    """Mean cells/d under the rate-compatible protocol: try a prefix,
+    extend by one block on failure (decode_smallest_prefix)."""
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(trials):
+        a, b = split_sets(rng, shared=100, only_a=d // 2, only_b=d - d // 2)
+        diff = MetIBLT.from_items(a, codec).subtract(MetIBLT.from_items(b, codec))
+        result, cells_used = diff.decode_smallest_prefix()
+        assert result.success
+        assert set(result.remote) == a - b
+        assert set(result.local) == b - a
+        total += cells_used / d
+    return total / trials
+
+
+@pytest.mark.parametrize("target_index,bound", [(0, 4.2), (1, 2.8), (2, 2.8)])
+def test_efficient_at_optimised_targets(codec8, target_index, bound):
+    """At the optimised difference sizes, mean overhead stays low
+    (the Fig 7 'good' points of MET-IBLT).  The smallest target gets a
+    looser bound: a rare level-1 failure costs a whole extra block."""
+    d = DEFAULT_MET_CONFIG.target_differences[target_index]
+    mean = _mean_overhead(codec8, d, trials=8, seed=d)
+    assert mean <= bound, f"overhead {mean:.2f} at optimised d={d}"
+
+
+def test_staircase_overhead_between_targets(codec8):
+    """Between optimised sizes the next whole block must usually ship:
+    the 4-10× overhead staircase of Fig 7."""
+    at_target = _mean_overhead(codec8, 10, trials=10, seed=1)
+    between = _mean_overhead(codec8, 20, trials=10, seed=2)
+    far_between = _mean_overhead(codec8, 100, trials=6, seed=3)
+    assert between > 1.5 * at_target
+    assert between > 3.5
+    assert far_between > 4.0
+
+
+def test_decode_levels_bounds(codec8):
+    table = MetIBLT(codec8)
+    with pytest.raises(ValueError):
+        table.decode(0)
+    with pytest.raises(ValueError):
+        table.decode(table.config.levels + 1)
+
+
+def test_subtract_geometry_check(codec8):
+    a = MetIBLT(codec8)
+    b = MetIBLT(codec8, MetConfig((8,), (3,), (4,)))
+    with pytest.raises(ValueError):
+        a.subtract(b)
+
+
+def test_wire_size(codec32):
+    table = MetIBLT(codec32)
+    one_block = table.config.block_sizes[0]
+    assert table.wire_size(1) == one_block * (32 + 16)
+
+
+def test_never_wrong_on_failure(codec8):
+    """Overfull prefix: failure reported, no wrong items."""
+    rng = random.Random(4)
+    a, b = split_sets(rng, shared=30, only_a=40, only_b=40)
+    diff = MetIBLT.from_items(a, codec8).subtract(MetIBLT.from_items(b, codec8))
+    result = diff.decode(1)  # way undersized
+    assert not result.success
+    assert set(result.remote) <= a - b
+    assert set(result.local) <= b - a

@@ -1,0 +1,73 @@
+"""Multi-peer union synchronisation (§1's universality in action)."""
+
+import pytest
+
+from repro.core.multiparty import UnionSynchronizer, synchronize_union
+from repro.core.symbols import SymbolCodec
+
+from conftest import make_items
+
+
+def build_world(rng, base=200, peers=3, churn=10):
+    items = make_items(rng, base + peers * churn)
+    local = set(items[:base])
+    peer_sets = {}
+    for p in range(peers):
+        extra = items[base + p * churn : base + (p + 1) * churn]
+        # each peer misses a few local items and has its own extras
+        peer_sets[f"peer{p}"] = set(items[p * 3 : base]) | set(extra)
+    return local, peer_sets
+
+
+def test_union_contains_everything(rng):
+    local, peers = build_world(rng)
+    union, stats = synchronize_union(local, peers, symbol_size=8)
+    expected = set(local)
+    for items in peers.values():
+        expected |= items
+    assert union == expected
+
+
+def test_per_peer_stats(rng):
+    local, peers = build_world(rng)
+    union, stats = synchronize_union(local, peers, symbol_size=8)
+    for name, peer_items in peers.items():
+        assert stats[name].decoded
+        assert stats[name].learned == peer_items - local
+        assert stats[name].pushed == local - peer_items
+        d = len(peer_items ^ local)
+        assert stats[name].symbols_used <= 3 * d + 10
+
+
+def test_peers_finish_independently(rng):
+    """A nearly-synced peer finishes long before a divergent one."""
+    items = make_items(rng, 300)
+    local = set(items[:250])
+    peers = {
+        "close": set(items[1:250]),  # d = 1
+        "far": set(items[100:300]),  # d = 200
+    }
+    codec = SymbolCodec(8)
+    sync = UnionSynchronizer(codec, local, peers)
+    sync.run()
+    assert sync.stats["close"].symbols_used < sync.stats["far"].symbols_used / 10
+
+
+def test_identical_peer_costs_one_symbol(rng):
+    local, _ = build_world(rng, peers=1, churn=0)
+    union, stats = synchronize_union(local, {"twin": set(local)}, symbol_size=8)
+    assert union == local
+    assert stats["twin"].symbols_used == 1
+
+
+def test_requires_a_peer(rng):
+    with pytest.raises(ValueError):
+        UnionSynchronizer(SymbolCodec(8), set(), {})
+
+
+def test_non_convergence_raises(rng):
+    local, peers = build_world(rng, base=20, peers=1, churn=30)
+    codec = SymbolCodec(8)
+    sync = UnionSynchronizer(codec, local, peers)
+    with pytest.raises(RuntimeError):
+        sync.run(max_symbols_per_peer=2)

@@ -1,0 +1,164 @@
+"""PinSketch: syndrome algebra, BM, decode exactness, capacity bounds."""
+
+import random
+
+import pytest
+
+from repro.baselines.pinsketch import DecodeFailure, GF2m, PinSketch
+from repro.baselines.pinsketch.bch import (
+    berlekamp_massey,
+    expand_syndromes,
+    odd_syndromes,
+)
+
+F16 = GF2m(16)
+F64 = GF2m(64)
+
+
+def distinct_elements(rng, field, count):
+    out = set()
+    while len(out) < count:
+        value = rng.getrandbits(field.m)
+        if value:
+            out.add(value)
+    return sorted(out)
+
+
+def test_odd_syndromes_powers():
+    element = 0x1234
+    syn = odd_syndromes(F16, element, 4)
+    assert syn[0] == element
+    assert syn[1] == F16.pow(element, 3)
+    assert syn[2] == F16.pow(element, 5)
+    assert syn[3] == F16.pow(element, 7)
+
+
+def test_odd_syndromes_rejects_zero():
+    with pytest.raises(ValueError):
+        odd_syndromes(F16, 0, 4)
+
+
+def test_expand_syndromes_even_are_squares():
+    rng = random.Random(1)
+    elements = distinct_elements(rng, F16, 5)
+    t = 6
+    odd = [0] * t
+    for e in elements:
+        for j, p in enumerate(odd_syndromes(F16, e, t)):
+            odd[j] ^= p
+    full = expand_syndromes(F16, odd)
+    # s_j = sum e^j directly
+    for j in range(1, 2 * t + 1):
+        expected = 0
+        for e in elements:
+            expected ^= F16.pow(e, j)
+        assert full[j - 1] == expected
+
+
+def test_berlekamp_massey_lfsr_property():
+    """BM's output actually generates the syndrome sequence."""
+    rng = random.Random(3)
+    elements = distinct_elements(rng, F16, 4)
+    t = 6
+    odd = [0] * t
+    for e in elements:
+        for j, p in enumerate(odd_syndromes(F16, e, t)):
+            odd[j] ^= p
+    seq = expand_syndromes(F16, odd)
+    c = berlekamp_massey(F16, seq)
+    L = len(c) - 1
+    assert L == len(elements)
+    for n in range(L, len(seq)):
+        acc = 0
+        for i in range(1, L + 1):
+            acc ^= F16.mul(c[i], seq[n - i])
+        assert acc == seq[n]
+
+
+def test_add_twice_removes():
+    sketch = PinSketch(F16, 8)
+    sketch.add(123)
+    sketch.add(123)
+    assert all(s == 0 for s in sketch.syndromes)
+
+
+def test_add_range_checked():
+    sketch = PinSketch(F16, 4)
+    with pytest.raises(ValueError):
+        sketch.add(0)
+    with pytest.raises(ValueError):
+        sketch.add(1 << 16)
+
+
+def test_capacity_positive():
+    with pytest.raises(ValueError):
+        PinSketch(F16, 0)
+
+
+@pytest.mark.parametrize("d,capacity", [(0, 4), (1, 4), (4, 4), (7, 16), (30, 40)])
+def test_decode_exact(d, capacity):
+    rng = random.Random(d * 31 + capacity)
+    shared = distinct_elements(rng, F16, 50)
+    extra = [e for e in distinct_elements(rng, F16, 50 + d) if e not in shared][:d]
+    a = shared + extra[: d // 2]
+    b = shared + extra[d // 2 :]
+    sa = PinSketch.from_items(a, F16, capacity)
+    sb = PinSketch.from_items(b, F16, capacity)
+    decoded = sa.subtract(sb).decode()
+    assert decoded == sorted(set(a) ^ set(b))
+
+
+def test_decode_gf64():
+    rng = random.Random(12)
+    elements = distinct_elements(rng, F64, 80)
+    a = elements[:60]
+    b = elements[20:]
+    sa = PinSketch.from_items(a, F64, 48)
+    sb = PinSketch.from_items(b, F64, 48)
+    decoded = sa.subtract(sb).decode()
+    assert decoded == sorted(set(a) ^ set(b))
+
+
+def test_overflow_raises_never_lies():
+    rng = random.Random(8)
+    elements = distinct_elements(rng, F16, 20)
+    sketch = PinSketch.from_items(elements, F16, 8)  # d = 20 > t = 8
+    with pytest.raises(DecodeFailure):
+        sketch.decode()
+
+
+def test_wire_size_is_information_optimal():
+    """t·m bits: the overhead-1 line of Fig 7."""
+    sketch = PinSketch(F64, 100)
+    assert sketch.wire_size() == 100 * 64 // 8
+    sketch16 = PinSketch(F16, 10)
+    assert sketch16.wire_size() == 20
+
+
+def test_serialize_roundtrip():
+    rng = random.Random(5)
+    sketch = PinSketch.from_items(distinct_elements(rng, F64, 10), F64, 16)
+    blob = sketch.serialize()
+    assert len(blob) == sketch.wire_size()
+    back = PinSketch.deserialize(blob, F64, 16)
+    assert back.syndromes == sketch.syndromes
+
+
+def test_deserialize_length_checked():
+    with pytest.raises(ValueError):
+        PinSketch.deserialize(b"123", F16, 4)
+
+
+def test_geometry_mismatch():
+    with pytest.raises(ValueError):
+        PinSketch(F16, 4).subtract(PinSketch(F16, 5))
+    with pytest.raises(ValueError):
+        PinSketch(F16, 4).subtract(PinSketch(F64, 4))
+
+
+def test_empty_difference_decodes_empty():
+    rng = random.Random(2)
+    elements = distinct_elements(rng, F16, 30)
+    sa = PinSketch.from_items(elements, F16, 8)
+    sb = PinSketch.from_items(elements, F16, 8)
+    assert sa.subtract(sb).decode() == []

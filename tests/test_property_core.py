@@ -1,0 +1,98 @@
+"""Hypothesis property tests for the core invariants (DESIGN.md §7)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder import RatelessDecoder
+from repro.core.encoder import RatelessEncoder
+from repro.core.sketch import RatelessSketch
+from repro.core.symbols import SymbolCodec
+
+CODEC = SymbolCodec(8)
+
+# Strategy: small universes of distinct 8-byte items.
+items_strategy = st.sets(
+    st.binary(min_size=8, max_size=8), min_size=0, max_size=60
+)
+
+
+@given(items_strategy, items_strategy)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_reconciliation_always_exact(set_a, set_b):
+    """Whatever the sets, subtract-and-peel recovers exactly A △ B."""
+    alice = RatelessEncoder(CODEC, set_a)
+    bob = RatelessEncoder(CODEC, set_b)
+    decoder = RatelessDecoder(CODEC)
+    budget = 40 * (len(set_a ^ set_b) + 2)
+    while not decoder.decoded and decoder.symbols_received < budget:
+        decoder.add_subtracted(alice.produce_next(), bob.produce_next())
+    assert decoder.decoded, "decoder failed within generous budget"
+    assert set(decoder.remote_items()) == set_a - set_b
+    assert set(decoder.local_items()) == set_b - set_a
+
+
+@given(items_strategy, items_strategy, st.integers(min_value=1, max_value=80))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_linearity_every_prefix(set_a, set_b, size):
+    """sketch(A) ⊖ sketch(B) equals sketch(A △ B) in sum/checksum for any
+    prefix length."""
+    sk_a = RatelessSketch.from_items(set_a, size, CODEC)
+    sk_b = RatelessSketch.from_items(set_b, size, CODEC)
+    sk_d = RatelessSketch.from_items(set_a ^ set_b, size, CODEC)
+    for got, expected in zip(sk_a.subtract(sk_b).cells, sk_d.cells):
+        assert got.sum == expected.sum
+        assert got.checksum == expected.checksum
+
+
+@given(items_strategy, st.integers(min_value=1, max_value=64))
+@settings(max_examples=40, deadline=None)
+def test_encoder_prefix_stable_under_extension(items, size):
+    """Producing more symbols never rewrites earlier ones (Fig 3)."""
+    enc = RatelessEncoder(CODEC, items)
+    prefix = [cell.copy() for cell in enc.produce(size)]
+    enc.produce(size)
+    assert [enc.cached(i) for i in range(size)] == prefix
+
+
+@given(items_strategy)
+@settings(max_examples=30, deadline=None)
+def test_incremental_update_equals_rebuild(items):
+    """Add-then-remove churn leaves the cached prefix identical to a fresh
+    encoder over the same final set."""
+    items = list(items)
+    rng = random.Random(42)
+    enc = RatelessEncoder(CODEC, items)
+    enc.produce(32)
+    removed = [item for item in items if rng.random() < 0.3]
+    for item in removed:
+        enc.remove_item(item)
+    final = [item for item in items if item not in set(removed)]
+    fresh = RatelessEncoder(CODEC, final)
+    assert [enc.cached(i) for i in range(32)] == fresh.produce(32)
+
+
+@given(items_strategy, items_strategy)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_decoder_partial_results_always_correct(set_a, set_b):
+    """Even before success, everything recovered is a true difference."""
+    alice = RatelessEncoder(CODEC, set_a)
+    bob = RatelessEncoder(CODEC, set_b)
+    decoder = RatelessDecoder(CODEC)
+    for _ in range(max(4, len(set_a ^ set_b))):  # deliberately too few
+        decoder.add_subtracted(alice.produce_next(), bob.produce_next())
+    assert set(decoder.remote_items()) <= set_a - set_b
+    assert set(decoder.local_items()) <= set_b - set_a
+
+
+@given(
+    st.sets(st.binary(min_size=8, max_size=8), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=48),
+)
+@settings(max_examples=30, deadline=None)
+def test_sketch_insertion_order_irrelevant(items, size):
+    """Sketches are set functions: item order must not matter."""
+    forward = RatelessSketch.from_items(sorted(items), size, CODEC)
+    backward = RatelessSketch.from_items(sorted(items, reverse=True), size, CODEC)
+    assert forward == backward

@@ -1,0 +1,77 @@
+"""End-to-end reconciliation sessions and the public `reconcile` API."""
+
+import pytest
+
+from repro.core.session import ReconciliationSession, reconcile
+from repro.core.symbols import SymbolCodec
+from repro.hashing.keyed import SipHasher
+
+from conftest import split_sets
+
+
+def test_reconcile_basic(rng):
+    a, b = split_sets(rng, shared=200, only_a=10, only_b=10)
+    out = reconcile(a, b, symbol_size=8)
+    assert out.only_in_a == a - b
+    assert out.only_in_b == b - a
+    assert out.difference_size == 20
+    assert out.symbols_used >= 20
+    assert out.overhead == out.symbols_used / 20
+
+
+def test_reconcile_empty_difference(rng):
+    a, _ = split_sets(rng, shared=50, only_a=0, only_b=0)
+    out = reconcile(a, a, symbol_size=8)
+    assert out.only_in_a == set() and out.only_in_b == set()
+    assert out.symbols_used == 1  # first zero cell signals completion
+
+
+def test_reconcile_both_empty():
+    out = reconcile([], [], symbol_size=8)
+    assert out.symbols_used == 1
+    assert out.difference_size == 0
+
+
+def test_bytes_on_wire_accounting(rng):
+    a, b = split_sets(rng, shared=100, only_a=5, only_b=5)
+    out = reconcile(a, b, symbol_size=8)
+    # each cell is ≥ 8 (sum) + 8 (checksum) + 1 (count); plus header
+    assert out.bytes_on_wire >= out.symbols_used * 17
+    assert out.bytes_on_wire < out.symbols_used * 19 + 32
+
+
+def test_reconcile_with_siphash(rng):
+    a, b = split_sets(rng, shared=64, only_a=3, only_b=3)
+    out = reconcile(a, b, symbol_size=8, hasher=SipHasher())
+    assert out.only_in_a == a - b
+    assert out.only_in_b == b - a
+
+
+def test_session_stepwise(rng):
+    a, b = split_sets(rng, shared=80, only_a=4, only_b=4)
+    session = ReconciliationSession(a, b, SymbolCodec(8))
+    steps = 0
+    while not session.step():
+        steps += 1
+        assert steps < 10_000
+    assert session.decoded
+    assert set(session.decoder.remote_items()) == a - b
+
+
+def test_session_max_symbols_raises(rng):
+    a, b = split_sets(rng, shared=10, only_a=50, only_b=50)
+    session = ReconciliationSession(a, b, SymbolCodec(8))
+    with pytest.raises(RuntimeError):
+        session.run(max_symbols=3)
+
+
+def test_reconcile_symbol_size_mismatch_items(rng):
+    with pytest.raises(ValueError):
+        reconcile([b"toolongforsize8"], [b"x" * 8], symbol_size=8)
+
+
+def test_overhead_close_to_paper_at_moderate_d(rng):
+    """d = 100: average overhead ≈ 1.45 (Fig 5); single run ≤ 2.0 w.h.p."""
+    a, b = split_sets(rng, shared=1000, only_a=50, only_b=50)
+    out = reconcile(a, b, symbol_size=8)
+    assert out.overhead < 2.0

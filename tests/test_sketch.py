@@ -1,0 +1,132 @@
+"""Fixed-size sketches: linearity — the paper's central algebraic fact."""
+
+import pytest
+
+from repro.core.sketch import RatelessSketch
+from repro.core.symbols import SymbolCodec
+
+from conftest import make_items, split_sets
+
+
+def test_linearity(codec8, rng):
+    """sketch(A) ⊖ sketch(B) = sketch(A △ B), cell for cell (§4.1)."""
+    a, b = split_sets(rng, shared=120, only_a=15, only_b=10)
+    size = 96
+    sk_a = RatelessSketch.from_items(a, size, codec8)
+    sk_b = RatelessSketch.from_items(b, size, codec8)
+    sk_diff = RatelessSketch.from_items(a ^ b, size, codec8)
+    subtracted = sk_a.subtract(sk_b)
+    for got, expected in zip(subtracted.cells, sk_diff.cells):
+        assert got.sum == expected.sum
+        assert got.checksum == expected.checksum
+    # counts differ in sign structure: A-only items +1, B-only −1
+    decoded = subtracted.decode()
+    assert decoded.success
+
+
+def test_subtract_requires_same_size(codec8, rng):
+    a = RatelessSketch.from_items(make_items(rng, 5), 10, codec8)
+    b = RatelessSketch.from_items(make_items(rng, 5), 12, codec8)
+    with pytest.raises(ValueError):
+        a.subtract(b)
+
+
+def test_subtract_requires_compatible_codec(rng):
+    items = make_items(rng, 5)
+    a = RatelessSketch.from_items(items, 10, SymbolCodec(8))
+    b = RatelessSketch.from_items(items, 10, SymbolCodec(8, checksum_size=4))
+    with pytest.raises(ValueError):
+        a.subtract(b)
+
+
+def test_self_subtract_decodes_empty(codec8, rng):
+    sk = RatelessSketch.from_items(make_items(rng, 50), 20, codec8)
+    result = sk.subtract(sk).decode()
+    assert result.success
+    assert result.remote == [] and result.local == []
+
+
+def test_decode_recovers_difference(codec8, rng):
+    a, b = split_sets(rng, shared=150, only_a=8, only_b=8)
+    size = 64
+    result = (
+        RatelessSketch.from_items(a, size, codec8)
+        .subtract(RatelessSketch.from_items(b, size, codec8))
+        .decode()
+    )
+    assert result.success
+    assert set(result.remote) == a - b
+    assert set(result.local) == b - a
+
+
+def test_undersized_sketch_reports_failure(codec8, rng):
+    """A too-short prefix fails decode but never returns wrong items."""
+    a, b = split_sets(rng, shared=50, only_a=40, only_b=40)
+    size = 20  # << 1.35·80
+    result = (
+        RatelessSketch.from_items(a, size, codec8)
+        .subtract(RatelessSketch.from_items(b, size, codec8))
+        .decode()
+    )
+    assert not result.success
+    assert set(result.remote) <= a - b
+    assert set(result.local) <= b - a
+
+
+def test_add_remove_item_in_place(codec8, rng):
+    items = make_items(rng, 30)
+    sk = RatelessSketch.from_items(items[:20], 40, codec8)
+    for item in items[20:]:
+        sk.add_item(item)
+    full = RatelessSketch.from_items(items, 40, codec8)
+    assert sk == full
+    for item in items[:5]:
+        sk.remove_item(item)
+    partial = RatelessSketch.from_items(items[5:], 40, codec8)
+    assert sk == partial
+    assert sk.set_size == 25
+
+
+def test_truncation_is_prefix(codec8, rng):
+    sk = RatelessSketch.from_items(make_items(rng, 40), 64, codec8)
+    short = sk.truncated(16)
+    assert len(short) == 16
+    assert list(short.cells) == list(sk.cells[:16])
+    with pytest.raises(ValueError):
+        sk.truncated(100)
+
+
+def test_zero_sketch(codec8):
+    sk = RatelessSketch.zero(12, codec8)
+    assert all(cell.is_zero() for cell in sk)
+    assert sk.set_size == 0
+
+
+def test_container_protocol(codec8, rng):
+    sk = RatelessSketch.from_items(make_items(rng, 10), 8, codec8)
+    assert len(sk) == 8
+    assert sk[0] == list(sk)[0]
+
+
+def test_decode_does_not_mutate(codec8, rng):
+    a, b = split_sets(rng, shared=40, only_a=4, only_b=4)
+    diff = RatelessSketch.from_items(a, 48, codec8).subtract(
+        RatelessSketch.from_items(b, 48, codec8)
+    )
+    snapshot = [cell.copy() for cell in diff.cells]
+    diff.decode()
+    assert list(diff.cells) == snapshot
+
+
+def test_multi_peer_universality(codec8, rng):
+    """One sketch of A serves any peer: subtracting different Bs from the
+    same cells recovers each difference (§1 'universal' property)."""
+    base = make_items(rng, 100)
+    a = set(base)
+    sk_a = RatelessSketch.from_items(a, 128, codec8)
+    for drop in (2, 5, 11):
+        b = set(base[drop:]) | set(make_items(rng, drop))
+        result = sk_a.subtract(RatelessSketch.from_items(b, 128, codec8)).decode()
+        assert result.success
+        assert set(result.remote) == a - b
+        assert set(result.local) == b - a

@@ -1,0 +1,81 @@
+"""Strata estimator: accuracy bands and the ≈15 KB wire size."""
+
+import random
+
+import pytest
+
+from repro.baselines.strata import StrataEstimator
+
+from conftest import split_sets
+
+
+def build_pair(rng, shared, d_a, d_b, **kwargs):
+    a, b = split_sets(rng, shared=shared, only_a=d_a, only_b=d_b)
+    ea = StrataEstimator(**kwargs)
+    eb = StrataEstimator(**kwargs)
+    for item in a:
+        ea.insert(item)
+    for item in b:
+        eb.insert(item)
+    return ea, eb
+
+
+def test_identical_sets_estimate_zero(rng):
+    ea, eb = build_pair(rng, shared=500, d_a=0, d_b=0)
+    assert ea.estimate(eb) == 0
+
+
+@pytest.mark.parametrize("d", [8, 64, 256])
+def test_estimate_within_factor_two(d):
+    """The estimator guides provisioning; factor-2 accuracy suffices
+    (deployments overprovision on top of it, §2)."""
+    rng = random.Random(d)
+    ea, eb = build_pair(rng, shared=2000, d_a=d // 2, d_b=d - d // 2)
+    estimate = ea.estimate(eb)
+    assert d / 2.2 <= estimate <= d * 2.2, f"d={d} estimate={estimate}"
+
+
+def test_estimate_symmetry_rough(rng):
+    ea, eb = build_pair(rng, shared=800, d_a=30, d_b=30)
+    forward = ea.estimate(eb)
+    backward = eb.estimate(ea)
+    assert forward > 0 and backward > 0
+    # decode(x−y) and decode(y−x) see mirrored counts: same magnitude
+    assert forward == backward
+
+
+def test_wire_size_about_15kb():
+    """The Fig 7 '+ Estimator' surcharge: ≈15 KB (the cited setup)."""
+    estimator = StrataEstimator()
+    assert 14_000 <= estimator.wire_size() <= 16_500
+
+
+def test_geometry_mismatch_rejected(rng):
+    ea = StrataEstimator(strata=16)
+    eb = StrataEstimator(strata=8)
+    with pytest.raises(ValueError):
+        ea.estimate(eb)
+
+
+def test_requires_two_strata():
+    with pytest.raises(ValueError):
+        StrataEstimator(strata=1)
+
+
+def test_stratum_assignment_distribution(rng):
+    """Stratum i holds ≈ 2^-(i+1) of items (trailing-zeros law)."""
+    estimator = StrataEstimator()
+    counts = [0] * estimator.strata
+    for _ in range(8000):
+        item_hash = rng.getrandbits(64)
+        counts[estimator._stratum_of(item_hash)] += 1
+    assert abs(counts[0] / 8000 - 0.5) < 0.03
+    assert abs(counts[1] / 8000 - 0.25) < 0.03
+    assert abs(counts[2] / 8000 - 0.125) < 0.02
+
+
+def test_large_difference_estimate_scales():
+    rng = random.Random(5)
+    ea, eb = build_pair(rng, shared=500, d_a=600, d_b=600)
+    estimate = ea.estimate(eb)
+    assert 500 <= estimate <= 2800

@@ -1,0 +1,89 @@
+"""SymbolCodec: conversions, checksum widths, irregular subset choice."""
+
+import pytest
+
+from repro.core.irregular import PAPER_IRREGULAR
+from repro.core.symbols import SymbolCodec
+from repro.hashing.keyed import Blake2bHasher, SipHasher
+
+
+def test_roundtrip_bytes_int():
+    codec = SymbolCodec(16)
+    item = bytes(range(16))
+    assert codec.to_bytes(codec.to_int(item)) == item
+
+
+def test_to_int_rejects_wrong_length():
+    codec = SymbolCodec(8)
+    with pytest.raises(ValueError):
+        codec.to_int(b"short")
+    with pytest.raises(ValueError):
+        codec.to_int(b"way too long!!!!!")
+
+
+def test_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        SymbolCodec(0)
+    with pytest.raises(ValueError):
+        SymbolCodec(8, checksum_size=0)
+    with pytest.raises(ValueError):
+        SymbolCodec(8, checksum_size=9)
+
+
+def test_checksum_matches_hasher():
+    hasher = Blake2bHasher()
+    codec = SymbolCodec(8, hasher)
+    item = b"12345678"
+    assert codec.checksum_data(item) == hasher.hash64(item)
+    assert codec.checksum_int(codec.to_int(item)) == hasher.hash64(item)
+
+
+def test_checksum_truncation():
+    """A 4-byte checksum masks the hash to 32 bits (§7.1 scalability)."""
+    codec = SymbolCodec(8, checksum_size=4)
+    value = codec.checksum_data(b"abcdefgh")
+    assert 0 <= value < (1 << 32)
+    full = SymbolCodec(8).checksum_data(b"abcdefgh")
+    assert value == full & 0xFFFFFFFF
+
+
+def test_alpha_regular_default():
+    codec = SymbolCodec(8)
+    assert codec.alpha_for(0) == 0.5
+    assert codec.alpha_for(2**64 - 1) == 0.5
+
+
+def test_alpha_irregular_by_hash_position():
+    codec = SymbolCodec(8, irregular=PAPER_IRREGULAR)
+    span = 1 << 64
+    # low hashes land in subset 0, middle in subset 1, high in subset 2
+    assert codec.alpha_for(0) == PAPER_IRREGULAR.alphas[0]
+    assert codec.alpha_for(int(span * 0.5)) == PAPER_IRREGULAR.alphas[1]
+    assert codec.alpha_for(span - 1) == PAPER_IRREGULAR.alphas[2]
+
+
+def test_new_mapping_seeded_by_checksum():
+    codec = SymbolCodec(8)
+    a = codec.new_mapping(1234)
+    b = codec.new_mapping(1234)
+    assert [a.next_index() for _ in range(20)] == [
+        b.next_index() for _ in range(20)
+    ]
+
+
+def test_compatibility():
+    assert SymbolCodec(8).compatible_with(SymbolCodec(8))
+    assert not SymbolCodec(8).compatible_with(SymbolCodec(16))
+    assert not SymbolCodec(8).compatible_with(SymbolCodec(8, checksum_size=4))
+    assert not SymbolCodec(8).compatible_with(SymbolCodec(8, SipHasher()))
+    assert not SymbolCodec(8).compatible_with(
+        SymbolCodec(8, irregular=PAPER_IRREGULAR)
+    )
+    key_a = Blake2bHasher(b"A" * 16)
+    key_b = Blake2bHasher(b"B" * 16)
+    assert not SymbolCodec(8, key_a).compatible_with(SymbolCodec(8, key_b))
+
+
+def test_repr_mentions_mode():
+    assert "irregular" in repr(SymbolCodec(8, irregular=PAPER_IRREGULAR))
+    assert "regular" in repr(SymbolCodec(8))

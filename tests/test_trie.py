@@ -1,0 +1,165 @@
+"""Merkle trie: determinism, persistence, content addressing."""
+
+import pytest
+
+from repro.baselines.merkle.nibbles import key_to_nibbles, max_depth, nibble_at
+from repro.baselines.merkle.trie import (
+    EMPTY_HASH,
+    NodeStore,
+    Trie,
+    decode_node,
+    encode_branch,
+    encode_leaf,
+    hash_node,
+)
+
+
+def random_kv(rng, count, key_size=20, value_size=72):
+    out = {}
+    while len(out) < count:
+        out[rng.randbytes(key_size)] = rng.randbytes(value_size)
+    return out
+
+
+def test_nibbles():
+    assert key_to_nibbles(b"\xab\xcd") == (0xA, 0xB, 0xC, 0xD)
+    assert nibble_at(b"\xab\xcd", 0) == 0xA
+    assert nibble_at(b"\xab\xcd", 3) == 0xD
+    assert max_depth(20) == 40
+
+
+def test_node_encodings_roundtrip():
+    kind, payload = decode_node(encode_leaf(b"k" * 20, b"v" * 72))
+    assert kind == "leaf"
+    assert payload == (b"k" * 20, b"v" * 72)
+    children = [EMPTY_HASH] * 16
+    children[3] = b"\x01" * 32
+    children[15] = b"\x02" * 32
+    kind, decoded = decode_node(encode_branch(children))
+    assert kind == "branch"
+    assert decoded == children
+
+
+def test_branch_encoding_sparse():
+    """Only non-empty children occupy space (bitmap encoding)."""
+    empty = encode_branch([EMPTY_HASH] * 16)
+    one = encode_branch([b"\x01" * 32] + [EMPTY_HASH] * 15)
+    assert len(one) == len(empty) + 32
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(ValueError):
+        decode_node(b"\xff\x00")
+
+
+def test_empty_trie():
+    trie = Trie(NodeStore())
+    assert trie.root_hash == EMPTY_HASH
+    assert trie.get(b"k" * 20) is None
+    assert list(trie.items()) == []
+    assert trie.node_count() == 0
+
+
+def test_get_after_updates(rng):
+    kv = random_kv(rng, 200)
+    trie = Trie.from_items(kv.items())
+    for key, value in kv.items():
+        assert trie.get(key) == value
+    assert trie.get(b"\x00" * 20) is None or b"\x00" * 20 in kv
+
+
+def test_items_complete(rng):
+    kv = random_kv(rng, 100)
+    trie = Trie.from_items(kv.items())
+    assert dict(trie.items()) == kv
+
+
+def test_root_hash_order_independent(rng):
+    """The root is a pure function of the map — insertion order must not
+    matter (the property replicas rely on to compare states)."""
+    kv = random_kv(rng, 80)
+    pairs = list(kv.items())
+    trie_forward = Trie.from_items(pairs)
+    trie_backward = Trie.from_items(reversed(pairs))
+    assert trie_forward.root_hash == trie_backward.root_hash
+
+
+def test_update_changes_root(rng):
+    kv = random_kv(rng, 50)
+    trie = Trie.from_items(kv.items())
+    key = next(iter(kv))
+    updated = trie.update(key, b"\x01" * 72)
+    assert updated.root_hash != trie.root_hash
+    assert updated.get(key) == b"\x01" * 72
+    # persistence: the old version still reads the old value
+    assert trie.get(key) == kv[key]
+
+
+def test_overwrite_same_value_same_root(rng):
+    kv = random_kv(rng, 20)
+    trie = Trie.from_items(kv.items())
+    key = next(iter(kv))
+    again = trie.update(key, kv[key])
+    assert again.root_hash == trie.root_hash
+
+
+def test_structure_sharing(rng):
+    """Persistent updates reuse untouched subtrees: far fewer new nodes
+    than the trie has in total."""
+    kv = random_kv(rng, 300)
+    store = NodeStore()
+    trie = Trie.from_items(kv.items(), store)
+    before = len(store)
+    trie.update(next(iter(kv)), b"\x02" * 72)
+    new_nodes = len(store) - before
+    assert new_nodes <= 10  # ~depth of the trie, not its size
+
+
+def test_content_addressing_verified():
+    store = NodeStore()
+    encoding = encode_leaf(b"a" * 20, b"b" * 72)
+    node_hash = hash_node(encoding)
+    store.put_hashed(node_hash, encoding)
+    with pytest.raises(ValueError):
+        store.put_hashed(node_hash, encoding + b"x")
+
+
+def test_reachable_store(rng):
+    kv = random_kv(rng, 100)
+    store = NodeStore()
+    trie = Trie.from_items(kv.items(), store)
+    # pollute the shared store with another version's nodes
+    trie.update(next(iter(kv)), b"\x03" * 72)
+    own = trie.reachable_store()
+    assert len(own) == trie.node_count()
+    assert dict(Trie(own, trie.root_hash).items()) == kv
+
+
+def test_diff_leaves(rng):
+    kv = random_kv(rng, 60)
+    store = NodeStore()
+    trie_a = Trie.from_items(kv.items(), store)
+    key = next(iter(kv))
+    trie_b = trie_a.update(key, b"\x04" * 72)
+    only_a, only_b = trie_a.diff_leaves(trie_b)
+    assert only_a == {key} and only_b == {key}
+
+
+def test_deep_collision_keys():
+    """Keys sharing long nibble prefixes split into branch chains."""
+    store = NodeStore()
+    key_a = b"\xaa" * 19 + b"\x00"
+    key_b = b"\xaa" * 19 + b"\x01"
+    trie = Trie.from_items([(key_a, b"A" * 72), (key_b, b"B" * 72)], store)
+    assert trie.get(key_a) == b"A" * 72
+    assert trie.get(key_b) == b"B" * 72
+    assert trie.node_count() >= 39  # long shared prefix => deep chain
+
+
+def test_duplicate_key_same_depth_rejected():
+    store = NodeStore()
+    key = b"\x11" * 20
+    trie = Trie.from_items([(key, b"A" * 72)], store)
+    # same key is an overwrite, not a split
+    trie2 = trie.update(key, b"B" * 72)
+    assert trie2.get(key) == b"B" * 72

@@ -1,0 +1,92 @@
+"""LEB128 / zigzag round-trips and size guarantees (§6 count field)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.varint import (
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+@pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 16_383, 16_384, 2**32, 2**64])
+def test_uvarint_roundtrip(value):
+    blob = encode_uvarint(value)
+    decoded, offset = decode_uvarint(blob)
+    assert decoded == value
+    assert offset == len(blob)
+
+
+def test_uvarint_rejects_negative():
+    with pytest.raises(ValueError):
+        encode_uvarint(-1)
+
+
+def test_uvarint_sizes():
+    """7 bits per byte: values < 128 are one byte, < 16384 two, etc."""
+    assert len(encode_uvarint(0)) == 1
+    assert len(encode_uvarint(127)) == 1
+    assert len(encode_uvarint(128)) == 2
+    assert len(encode_uvarint(16_383)) == 2
+    assert len(encode_uvarint(16_384)) == 3
+
+
+def test_uvarint_truncation_detected():
+    blob = encode_uvarint(1 << 40)
+    with pytest.raises(ValueError):
+        decode_uvarint(blob[:-1])
+
+
+def test_uvarint_offset_decoding():
+    blob = b"\xff" + encode_uvarint(777)
+    value, offset = decode_uvarint(blob, offset=1)
+    assert value == 777
+    assert offset == len(blob)
+
+
+@pytest.mark.parametrize("value", [0, -1, 1, -2, 2, 63, -64, 64, -(2**40), 2**40])
+def test_zigzag_roundtrip(value):
+    assert zigzag_decode(zigzag_encode(value)) == value
+
+
+def test_zigzag_small_magnitudes_stay_small():
+    """Zigzag keeps |small| numbers small: key to 1-byte counts (§6)."""
+    for value in range(-63, 64):
+        assert len(encode_svarint(value)) == 1
+
+
+@pytest.mark.parametrize("value", [0, 5, -5, 1000, -1000, 2**33, -(2**33)])
+def test_svarint_roundtrip(value):
+    blob = encode_svarint(value)
+    decoded, offset = decode_svarint(blob)
+    assert decoded == value
+    assert offset == len(blob)
+
+
+@given(st.integers(min_value=0, max_value=2**70))
+def test_uvarint_roundtrip_property(value):
+    decoded, offset = decode_uvarint(encode_uvarint(value))
+    assert decoded == value
+
+
+@given(st.integers(min_value=-(2**69), max_value=2**69))
+def test_svarint_roundtrip_property(value):
+    decoded, offset = decode_svarint(encode_svarint(value))
+    assert decoded == value
+
+
+@given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=20))
+def test_svarint_stream_roundtrip(values):
+    """Concatenated svarints parse back unambiguously."""
+    blob = b"".join(encode_svarint(v) for v in values)
+    offset = 0
+    decoded = []
+    while offset < len(blob):
+        value, offset = decode_uvarint(blob, offset)
+        decoded.append(zigzag_decode(value))
+    assert decoded == values

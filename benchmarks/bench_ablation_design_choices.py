@@ -15,7 +15,7 @@ import random
 import time
 
 from bench_util import by_scale, sets_with_difference
-from conftest import report_table
+from bench_util import report_table
 from repro.analysis.montecarlo import IntSymbolCodec, overhead_stats
 from repro.core.countless import countless_cell_bytes, reconcile_countless
 from repro.core.encoder import RatelessEncoder

@@ -11,7 +11,7 @@ Fig 3 contrast — a Rateless IBLT prefix of the right length decodes.
 import random
 
 from bench_util import by_scale, make_items
-from conftest import report_table
+from bench_util import report_table
 from repro.baselines.regular_iblt import RegularIBLT, recommended_cells
 from repro.core.sketch import RatelessSketch
 from repro.core.symbols import SymbolCodec

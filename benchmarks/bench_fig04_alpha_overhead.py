@@ -8,7 +8,7 @@ to the DE curve as d grows, slowest for large α.
 import numpy as np
 
 from bench_util import by_scale
-from conftest import report_table
+from bench_util import report_table
 from repro.analysis.density_evolution import eta_star
 from repro.analysis.montecarlo import overhead_stats
 

@@ -6,7 +6,7 @@ it stays below 1.40.
 """
 
 from bench_util import by_scale
-from conftest import report_table
+from bench_util import report_table
 from repro.analysis.montecarlo import overhead_stats
 
 GRID = by_scale(

@@ -6,7 +6,7 @@ just before η ≈ 1.35.
 """
 
 from bench_util import by_scale
-from conftest import report_table
+from bench_util import report_table
 from repro.analysis.density_evolution import recovered_fraction_curve
 from repro.analysis.montecarlo import recovered_fraction_sim
 

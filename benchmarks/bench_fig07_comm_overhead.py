@@ -14,12 +14,9 @@ Overhead is bytes transmitted / (d × 32).
 import random
 
 from bench_util import by_scale, sets_with_difference
-from conftest import report_table
-from repro.baselines.met_iblt import MetIBLT
-from repro.baselines.regular_iblt import recommended_cells
+from bench_util import report_table
+from repro.api import get_scheme, reconcile
 from repro.baselines.strata import StrataEstimator
-from repro.core.session import ReconciliationSession
-from repro.core.symbols import SymbolCodec
 
 ITEM = 32
 DIFFS = by_scale([1, 10, 100], [1, 2, 5, 10, 20, 50, 100, 200, 400], [1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 400])
@@ -33,25 +30,19 @@ TRIE_DIFFS = by_scale([10], [10, 50, 200], [10, 50, 200, 400])
 CELL_BYTES_REGULAR = ITEM + 16  # 8 B checksum + 8 B count (paper's setup)
 
 
-def riblt_overhead(rng, d):
+def scheme_overhead(rng, d, scheme):
+    """Wire bytes per difference byte, through the unified registry API."""
     a, b = sets_with_difference(rng, SET_SIZE, d, ITEM)
-    session = ReconciliationSession(a, b, SymbolCodec(ITEM))
-    outcome = session.run()
+    outcome = reconcile(a, b, scheme=scheme)
+    assert outcome.difference_size == d
     return outcome.bytes_on_wire / (d * ITEM)
 
 
-def met_overhead(rng, d):
-    codec = SymbolCodec(ITEM)
-    a, b = sets_with_difference(rng, SET_SIZE, d, ITEM)
-    diff = MetIBLT.from_items(a, codec).subtract(MetIBLT.from_items(b, codec))
-    result, cells = diff.decode_smallest_prefix()
-    assert result.success
-    return cells * (ITEM + 16) / (d * ITEM)
-
-
 def regular_overhead(d):
-    """Deterministic: table size from the calibrated provisioning rule."""
-    return recommended_cells(d) * CELL_BYTES_REGULAR / (d * ITEM)
+    """Deterministic: table size from the calibrated provisioning rule,
+    read back out of the registry's sizing hook."""
+    sized = get_scheme("regular_iblt", symbol_size=ITEM).sized_for(d)
+    return sized.params.num_cells * CELL_BYTES_REGULAR / (d * ITEM)
 
 
 def estimator_surcharge(d):
@@ -81,8 +72,10 @@ def test_fig07_communication_overhead(benchmark):
     def run():
         for d in DIFFS:
             rng = random.Random(700 + d)
-            riblt = sum(riblt_overhead(rng, d) for _ in range(RUNS)) / RUNS
-            met = sum(met_overhead(rng, d) for _ in range(MET_RUNS)) / MET_RUNS
+            riblt = sum(scheme_overhead(rng, d, "riblt") for _ in range(RUNS)) / RUNS
+            met = sum(
+                scheme_overhead(rng, d, "met_iblt") for _ in range(MET_RUNS)
+            ) / MET_RUNS
             regular = regular_overhead(d)
             with_estimator = regular + estimator_surcharge(d)
             rows.append((d, riblt, met, regular, with_estimator))

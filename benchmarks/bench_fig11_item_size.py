@@ -10,7 +10,7 @@ import random
 import time
 
 from bench_util import by_scale, make_items
-from conftest import report_table
+from bench_util import report_table
 from repro.core.encoder import RatelessEncoder
 from repro.core.symbols import SymbolCodec
 

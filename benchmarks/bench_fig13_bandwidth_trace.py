@@ -6,7 +6,7 @@ link for ~11 lock-step RTTs before any useful leaf arrives.
 """
 
 from bench_util import by_scale
-from conftest import report_table
+from bench_util import report_table
 from repro.baselines.merkle import state_heal
 from repro.ledger import Chain, build_scenario
 from repro.ledger.workload import measure_riblt_plan

@@ -9,7 +9,7 @@ the mapping cost.
 import time
 
 from bench_util import by_scale
-from conftest import report_table
+from bench_util import report_table
 from repro.analysis.montecarlo import IntSymbolCodec, overhead_stats
 from repro.core.encoder import RatelessEncoder
 from repro.core.irregular import PAPER_IRREGULAR

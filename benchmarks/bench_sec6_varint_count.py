@@ -8,7 +8,7 @@ when encoding a set of 10^6 items into 10^4 coded symbols" — versus the
 import random
 
 from bench_util import by_scale, make_items
-from conftest import report_table
+from bench_util import report_table
 from repro.core.encoder import RatelessEncoder
 from repro.core.symbols import SymbolCodec
 from repro.core.wire import SymbolStreamWriter

@@ -11,7 +11,7 @@ import random
 import time
 
 from bench_util import by_scale, make_items
-from conftest import report_table
+from bench_util import report_table
 from repro.baselines.regular_iblt import RegularIBLT, recommended_cells
 from repro.core.encoder import RatelessEncoder
 from repro.core.symbols import SymbolCodec

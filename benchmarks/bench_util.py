@@ -50,6 +50,27 @@ def sets_with_difference(
     return a, b
 
 
+# --- result tables ------------------------------------------------------------
+#
+# Benches queue paper-style series here; the ``pytest_terminal_summary``
+# hook in benchmarks/conftest.py prints them after the run.  The helper
+# lives in this module (not conftest.py) so bench files never import
+# from a module named ``conftest``, which collides with other
+# directories' conftests on ``sys.path``.
+
+_TABLES: list[tuple[str, list[str]]] = []
+
+
+def report_table(title: str, lines: list[str]) -> None:
+    """Queue a results table for the end-of-run summary."""
+    _TABLES.append((title, list(lines)))
+
+
+def queued_tables() -> list[tuple[str, list[str]]]:
+    """Everything queued so far (consumed by the terminal-summary hook)."""
+    return list(_TABLES)
+
+
 def timed(fn: Callable[[], object]) -> tuple[object, float]:
     """(result, wall seconds)."""
     start = time.perf_counter()

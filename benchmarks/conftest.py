@@ -1,27 +1,25 @@
 """Benchmark infrastructure: result tables that survive pytest's capture.
 
 Each bench registers the paper-style series it measured via
-:func:`report_table`; a ``pytest_terminal_summary`` hook prints every table
-after the run (the terminal reporter is not captured, so the tables land
-in ``bench_output.txt`` when the run is tee'd).
+``bench_util.report_table``; the hook below prints every table after the
+run (the terminal reporter is not captured, so the tables land in
+``bench_output.txt`` when the run is tee'd).  This conftest holds *only*
+pytest hooks — shared helpers live in ``bench_util.py`` so bench modules
+never import from a module named ``conftest``.
 """
 
 from __future__ import annotations
 
-_TABLES: list[tuple[str, list[str]]] = []
-
-
-def report_table(title: str, lines: list[str]) -> None:
-    """Queue a results table for the end-of-run summary."""
-    _TABLES.append((title, list(lines)))
+from bench_util import queued_tables
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _TABLES:
+    tables = queued_tables()
+    if not tables:
         return
     tr = terminalreporter
     tr.write_sep("=", "reproduction results (paper-style series)")
-    for title, lines in _TABLES:
+    for title, lines in tables:
         tr.write_line("")
         tr.write_line(f"--- {title} ---")
         for line in lines:

@@ -1,5 +1,6 @@
 """Legacy shim so editable installs work without the ``wheel`` package
-(this sandbox has no network to fetch build-isolation dependencies)."""
+(this sandbox has no network to fetch build-isolation dependencies).
+All real metadata lives in ``pyproject.toml``."""
 
 from setuptools import setup
 

@@ -1,9 +1,12 @@
 """repro — a from-scratch reproduction of *Practical Rateless Set
 Reconciliation* (Yang, Gilad, Alizadeh; ACM SIGCOMM 2024).
 
-The package is organised as one sub-package per system described in
-DESIGN.md:
+Module map (one sub-package per system):
 
+``repro.api``
+    The unified scheme interface: a ``SetReconciler`` abstraction, a
+    string-keyed registry of every scheme below, and the generic
+    ``reconcile(a, b, scheme=...)`` driver.  Start here.
 ``repro.core``
     The paper's primary contribution: the Rateless IBLT codec
     (encoder, decoder, sketches, wire format, reconciliation sessions)
@@ -14,22 +17,30 @@ DESIGN.md:
     Every scheme the paper compares against: regular IBLT, the strata
     estimator, MET-IBLT, PinSketch (BCH), CPI, and Merkle-trie state heal.
 ``repro.net``
-    A discrete-event network simulator and the two synchronization
-    protocols used in the Ethereum experiments (§7.3).
+    A discrete-event network simulator and the synchronization protocols
+    of the Ethereum experiments (§7.3), scheme-generic via the registry.
 ``repro.ledger``
     A synthetic Ethereum-like ledger used as the §7.3 workload.
 ``repro.analysis``
     Density evolution (§5) and Monte Carlo harnesses for Figs 4-6 and 15.
 
-Quickstart::
+Quickstart — any scheme, one call::
 
-    from repro import reconcile
+    from repro.api import available_schemes, reconcile
 
     alice = {b"item-%03d" % i for i in range(100)}
     bob = {b"item-%03d" % i for i in range(5, 105)}
-    result = reconcile(alice, bob, symbol_size=8)
+
+    result = reconcile(alice, bob)                  # Rateless IBLT
+    result = reconcile(alice, bob, scheme="pinsketch")
+    print(available_schemes())
+
+``repro.reconcile`` (below) remains the rateless-only fast path with
+explicit codec control; ``repro.api.reconcile`` is the scheme-generic
+front door.
 """
 
+from repro import api
 from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult, RatelessDecoder
 from repro.core.encoder import RatelessEncoder
@@ -38,7 +49,7 @@ from repro.core.mapping import IndexGenerator, RandomMapping
 from repro.core.session import ReconciliationSession, reconcile
 from repro.core.sketch import RatelessSketch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CodedSymbol",
@@ -51,6 +62,7 @@ __all__ = [
     "RatelessEncoder",
     "RatelessSketch",
     "ReconciliationSession",
+    "api",
     "reconcile",
     "__version__",
 ]

@@ -3,7 +3,7 @@
 Runs the *real* incremental encoder and peeling decoder (the exact code
 paths of ``repro.core``) over 64-bit integer items, with the splitmix64
 finaliser as the checksum hash — keying is irrelevant here and the cheap
-hash makes laptop-scale sweeps practical (DESIGN.md "Monte Carlo fast
+hash makes laptop-scale sweeps practical ("Monte Carlo fast
 path").
 """
 

@@ -1,0 +1,75 @@
+"""Shared plumbing for the IBLT-family adapters.
+
+*Parameters*: every scheme built on :class:`~repro.core.symbols.SymbolCodec`
+shares the same three knobs, so :class:`CodecParams` holds them once and
+:func:`codec_for` is the one place a codec is constructed.
+
+*Wire format*: regular IBLT and MET-IBLT tables are flat lists of
+:class:`~repro.core.coded.CodedSymbol` cells with a geometry both sides
+already agree on, so the wire format is just the cells themselves:
+ℓ-byte sum, ``checksum_size``-byte checksum, 8-byte signed count, all
+little-endian.  (This is a faithful codec; the *accounting* size used in
+benchmarks stays the paper's §7.1 ℓ+16 figure, see the adapters.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.base import SchemeParams
+from repro.core.coded import CodedSymbol
+from repro.core.params import CHECKSUM_BYTES
+from repro.core.symbols import SymbolCodec
+from repro.hashing.keyed import DEFAULT_KEY, make_hasher
+
+COUNT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CodecParams(SchemeParams):
+    """The knobs every ``SymbolCodec``-based scheme shares."""
+
+    checksum_size: int = CHECKSUM_BYTES
+    hasher: str = "blake2b"
+    key: bytes = DEFAULT_KEY
+
+
+def codec_for(params: CodecParams) -> SymbolCodec:
+    assert params.symbol_size is not None
+    return SymbolCodec(
+        params.symbol_size,
+        make_hasher(params.hasher, params.key),
+        checksum_size=params.checksum_size,
+    )
+
+
+def cell_blob_size(codec: SymbolCodec, num_cells: int) -> int:
+    """Serialised size of ``num_cells`` cells."""
+    return num_cells * (codec.symbol_size + codec.checksum_size + COUNT_BYTES)
+
+
+def pack_cells(codec: SymbolCodec, cells: list[CodedSymbol]) -> bytes:
+    parts = []
+    for cell in cells:
+        parts.append(cell.sum.to_bytes(codec.symbol_size, "little"))
+        parts.append(cell.checksum.to_bytes(codec.checksum_size, "little"))
+        parts.append(cell.count.to_bytes(COUNT_BYTES, "little", signed=True))
+    return b"".join(parts)
+
+
+def unpack_cells(codec: SymbolCodec, blob: bytes) -> list[CodedSymbol]:
+    stride = codec.symbol_size + codec.checksum_size + COUNT_BYTES
+    if len(blob) % stride:
+        raise ValueError(
+            f"cell blob of {len(blob)} bytes is not a multiple of the "
+            f"{stride}-byte cell stride"
+        )
+    cells = []
+    for offset in range(0, len(blob), stride):
+        value = int.from_bytes(blob[offset : offset + codec.symbol_size], "little")
+        offset += codec.symbol_size
+        checksum = int.from_bytes(blob[offset : offset + codec.checksum_size], "little")
+        offset += codec.checksum_size
+        count = int.from_bytes(blob[offset : offset + COUNT_BYTES], "little", signed=True)
+        cells.append(CodedSymbol(value, checksum, count))
+    return cells

@@ -1,0 +1,167 @@
+"""Adapter: Characteristic Polynomial Interpolation behind ``SetReconciler``.
+
+Items embed directly as field elements of GF(2^61 − 1), so
+``symbol_size`` may be at most 7 bytes (56 bits keeps every item clear
+of the reserved sample points).  The sketch is χ_A evaluated at agreed
+points; "subtraction" is the receiver dividing by his own χ_B, which is
+why ``subtract`` requires the live local side.
+
+Incremental mutation is cheap and exact: appending item x multiplies
+every evaluation by (z_i − x); removing divides — O(points) per update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.api.base import SchemeParams, SetReconciler, UnsupportedOperation
+from repro.api.registry import Capabilities, register_scheme
+from repro.baselines.cpi import (
+    CPIDecodeFailure,
+    CPISketch,
+    MAX_ITEM,
+    PRIME,
+    _inv,
+    sample_point,
+)
+from repro.core import varint
+from repro.core.decoder import DecodeResult
+
+EVAL_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CpiParams(SchemeParams):
+    """``num_points`` = m evaluations; d+2 reconciles a d-item difference."""
+
+    num_points: Optional[int] = None
+
+
+def _check_symbol_size(params: CpiParams) -> int:
+    assert params.symbol_size is not None
+    if params.symbol_size * 8 > 56:
+        raise ValueError(
+            "cpi items embed into GF(2^61-1): symbol_size must be <= 7 bytes"
+        )
+    return params.symbol_size
+
+
+class CpiReconciler(SetReconciler):
+    """χ_A evaluations of one set at the agreed sample points."""
+
+    def __init__(
+        self,
+        params: CpiParams,
+        sketch: CPISketch,
+        item_ints: Optional[list[int]],
+    ) -> None:
+        self.params = params
+        self._sketch = sketch
+        self._item_ints = item_ints  # None for received sketches
+        self._local_ints: Optional[list[int]] = None  # diff mode
+
+    def _to_bytes(self, value: int) -> bytes:
+        assert self.params.symbol_size is not None
+        return value.to_bytes(self.params.symbol_size, "little")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_items(cls, items: Sequence[bytes], params: CpiParams) -> "CpiReconciler":
+        _check_symbol_size(params)
+        if params.num_points is None:
+            raise ValueError(
+                "cpi is fixed-capacity: pass num_points or a difference_bound"
+            )
+        ints = [int.from_bytes(item, "little") for item in items]
+        for value in ints:
+            if value >= MAX_ITEM:
+                raise ValueError(f"cpi items must be below {MAX_ITEM:#x}")
+        sketch = CPISketch.from_items(ints, params.num_points)
+        return cls(params, sketch, ints)
+
+    @classmethod
+    def deserialize(cls, blob: bytes, params: CpiParams) -> "CpiReconciler":
+        _check_symbol_size(params)
+        set_size, pos = varint.decode_uvarint(blob, 0)
+        if (len(blob) - pos) % EVAL_BYTES:
+            raise ValueError("cpi sketch blob has a partial evaluation")
+        evals = [
+            int.from_bytes(blob[i : i + EVAL_BYTES], "little")
+            for i in range(pos, len(blob), EVAL_BYTES)
+        ]
+        return cls(params, CPISketch(set_size, evals), None)
+
+    @classmethod
+    def params_for_difference(cls, params: CpiParams, difference: int) -> CpiParams:
+        return replace(params, num_points=max(2, difference + 2))
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, item: bytes) -> None:
+        if self._item_ints is None:
+            raise UnsupportedOperation("received CPI sketches are frozen")
+        value = int.from_bytes(item, "little")
+        evals = self._sketch.evaluations
+        for i, acc in enumerate(evals):
+            evals[i] = acc * (sample_point(i) - value) % PRIME
+        self._sketch.set_size += 1
+        self._item_ints.append(value)
+
+    def remove(self, item: bytes) -> None:
+        if self._item_ints is None:
+            raise UnsupportedOperation("received CPI sketches are frozen")
+        value = int.from_bytes(item, "little")
+        evals = self._sketch.evaluations
+        for i, acc in enumerate(evals):
+            evals[i] = acc * _inv(sample_point(i) - value) % PRIME
+        self._sketch.set_size -= 1
+        self._item_ints.remove(value)
+
+    # -- wire -------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        parts = [varint.encode_uvarint(self._sketch.set_size)]
+        parts.extend(
+            e.to_bytes(EVAL_BYTES, "little") for e in self._sketch.evaluations
+        )
+        return b"".join(parts)
+
+    def wire_size(self) -> int:
+        return self._sketch.wire_size()
+
+    # -- reconciliation ---------------------------------------------------
+
+    def subtract(self, other: "CpiReconciler") -> "CpiReconciler":
+        if other._item_ints is None:
+            raise UnsupportedOperation(
+                "cpi decoding divides by the receiver's own characteristic "
+                "polynomial; the local side must be a live set"
+            )
+        diff = CpiReconciler(self.params, self._sketch, None)
+        diff._local_ints = list(other._item_ints)
+        return diff
+
+    def decode(self) -> DecodeResult:
+        assert self._local_ints is not None, "decode() applies to a subtracted sketch"
+        points = len(self._sketch.evaluations)
+        try:
+            only_a, only_b = self._sketch.decode_against(self._local_ints)
+        except CPIDecodeFailure:
+            return DecodeResult(success=False, symbols_used=points)
+        return DecodeResult(
+            success=True,
+            remote=[self._to_bytes(v) for v in only_a],
+            local=[self._to_bytes(v) for v in only_b],
+            symbols_used=points,
+        )
+
+
+register_scheme(
+    "cpi",
+    summary="Characteristic polynomial interpolation, overhead-1 but O(d^3) (§2)",
+    capabilities=Capabilities(fixed_capacity=True, incremental=True),
+    param_class=CpiParams,
+    reconciler_class=CpiReconciler,
+)

@@ -1,0 +1,117 @@
+"""Adapter: Merkle-trie state heal behind ``SetReconciler``.
+
+The production baseline is a *protocol*, not a sketch: Bob walks Alice's
+trie top-down, fetching every node whose hash he lacks.  The adapter
+maps the uniform calls onto that shape — ``serialize`` is unsupported
+(only the 32-byte root is ever advertised), ``subtract`` pairs Alice's
+trie with Bob's node store, and ``decode`` runs the heal and charges its
+full request/response transcript via ``decode_wire_bytes``.  After the
+heal Bob holds Alice's complete trie, so both difference directions are
+computed locally, for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.api.base import SchemeParams, SetReconciler, UnsupportedOperation
+from repro.api.registry import Capabilities, register_scheme
+from repro.baselines.merkle.heal import DEFAULT_BATCH_LIMIT, HealReport, state_heal
+from repro.baselines.merkle.trie import HASH_SIZE, NodeStore, Trie
+from repro.core.decoder import DecodeResult
+
+
+@dataclass(frozen=True)
+class MerkleParams(SchemeParams):
+    """Geth-style snap sync limits."""
+
+    batch_limit: int = DEFAULT_BATCH_LIMIT
+
+
+class MerkleReconciler(SetReconciler):
+    """A hexary trie of one set (items are keys; values are empty)."""
+
+    def __init__(
+        self,
+        params: MerkleParams,
+        store: NodeStore,
+        trie: Trie,
+        items: set[bytes],
+    ) -> None:
+        self.params = params
+        self._store = store
+        self._trie = trie
+        self._items = items
+        # diff mode
+        self._peer: Optional["MerkleReconciler"] = None
+        self._report: Optional[HealReport] = None
+
+    @classmethod
+    def from_items(cls, items: Sequence[bytes], params: MerkleParams) -> "MerkleReconciler":
+        store = NodeStore()
+        trie = Trie.from_items(((item, b"") for item in items), store)
+        return cls(params, store, trie, set(items))
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, item: bytes) -> None:
+        if item not in self._items:
+            self._trie = self._trie.update(item, b"")
+            self._items.add(item)
+
+    # (no remove: the persistent trie here has no deletion path)
+
+    # -- wire -------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        raise UnsupportedOperation(
+            "merkle state heal is interactive; only the root hash is advertised"
+        )
+
+    def wire_size(self) -> int:
+        """The advertisement that starts a heal: one root hash."""
+        return HASH_SIZE
+
+    # -- reconciliation ---------------------------------------------------
+
+    def subtract(self, other: "MerkleReconciler") -> "MerkleReconciler":
+        diff = MerkleReconciler(self.params, self._store, self._trie, self._items)
+        diff._peer = other
+        return diff
+
+    def decode(self) -> DecodeResult:
+        assert self._peer is not None, "decode() applies to a subtracted pair"
+        bob = self._peer
+        healed_store = bob._trie.reachable_store()
+        self._report = state_heal(
+            healed_store, self._trie, batch_limit=self.params.batch_limit
+        )
+        # Bob now owns Alice's full trie; both directions fall out locally.
+        remote = sorted(self._items - bob._items)
+        local = sorted(bob._items - self._items)
+        return DecodeResult(
+            success=True,
+            remote=remote,
+            local=local,
+            symbols_used=self._report.nodes_fetched,
+        )
+
+    @property
+    def heal_report(self) -> Optional[HealReport]:
+        """Transcript of the heal ``decode()`` ran (for the simulator)."""
+        return self._report
+
+    def decode_wire_bytes(self, result: DecodeResult) -> int:
+        """Root advertisement plus the heal's full transcript."""
+        assert self._report is not None
+        return HASH_SIZE + self._report.total_bytes
+
+
+register_scheme(
+    "merkle",
+    summary="Merkle-trie state heal, Ethereum's production protocol (§7.3)",
+    capabilities=Capabilities(serializable=False),
+    param_class=MerkleParams,
+    reconciler_class=MerkleReconciler,
+)

@@ -1,0 +1,158 @@
+"""Adapter: PinSketch (BCH syndromes) behind ``SetReconciler``.
+
+Items embed into GF(2^m) as little-endian integers; ``m`` is the
+smallest built-in field width (8/16/32/64 bits) that holds
+``symbol_size`` bytes, so items may be at most 8 bytes and must not be
+all-zero (0 is not a sketchable field element).  A subtracted sketch
+decodes to the *unsigned* symmetric difference; attribution to A-only /
+B-only uses the live receiver's own set, exactly as Minisketch
+deployments do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.api.base import SchemeParams, SetReconciler
+from repro.api.registry import Capabilities, register_scheme
+from repro.baselines.pinsketch.gf2 import GF2m, IRREDUCIBLE_POLYS
+from repro.baselines.pinsketch.sketch import DecodeFailure, PinSketch
+from repro.core.decoder import DecodeResult
+
+
+@dataclass(frozen=True)
+class PinSketchParams(SchemeParams):
+    """``capacity`` = t, the max reconcilable difference; exact on the wire."""
+
+    capacity: Optional[int] = None
+    field_bits: Optional[int] = None  # default: smallest field fitting ℓ
+
+
+def _field_for(params: PinSketchParams) -> GF2m:
+    assert params.symbol_size is not None
+    if params.field_bits is not None:
+        return GF2m(params.field_bits)
+    needed = params.symbol_size * 8
+    for bits in sorted(IRREDUCIBLE_POLYS):
+        if bits >= needed:
+            return GF2m(bits)
+    raise ValueError(
+        f"pinsketch supports items up to {max(IRREDUCIBLE_POLYS) // 8} bytes; "
+        f"got symbol_size={params.symbol_size}"
+    )
+
+
+class PinSketchReconciler(SetReconciler):
+    """A capacity-t BCH syndrome sketch of one set."""
+
+    def __init__(
+        self,
+        params: PinSketchParams,
+        sketch: PinSketch,
+        item_ints: Optional[set[int]],
+    ) -> None:
+        self.params = params
+        self._sketch = sketch
+        self._item_ints = item_ints  # None for received/diff sketches
+        self._local_ints: Optional[set[int]] = None  # diff mode: receiver's set
+
+    # -- item embedding ----------------------------------------------------
+
+    def _to_int(self, item: bytes) -> int:
+        value = int.from_bytes(item, "little")
+        if value == 0:
+            raise ValueError("pinsketch cannot represent the all-zero item")
+        return value
+
+    def _to_bytes(self, value: int) -> bytes:
+        assert self.params.symbol_size is not None
+        return value.to_bytes(self.params.symbol_size, "little")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def _empty_sketch(cls, params: PinSketchParams) -> PinSketch:
+        if params.capacity is None:
+            raise ValueError(
+                "pinsketch is fixed-capacity: pass capacity or a difference_bound"
+            )
+        return PinSketch(_field_for(params), params.capacity)
+
+    @classmethod
+    def from_items(
+        cls, items: Sequence[bytes], params: PinSketchParams
+    ) -> "PinSketchReconciler":
+        sketch = cls._empty_sketch(params)
+        rec = cls(params, sketch, set())
+        for item in items:
+            rec.add(item)
+        return rec
+
+    @classmethod
+    def deserialize(cls, blob: bytes, params: PinSketchParams) -> "PinSketchReconciler":
+        empty = cls._empty_sketch(params)
+        sketch = PinSketch.deserialize(blob, empty.field, empty.capacity)
+        return cls(params, sketch, None)
+
+    @classmethod
+    def params_for_difference(
+        cls, params: PinSketchParams, difference: int
+    ) -> PinSketchParams:
+        return replace(params, capacity=max(1, difference))
+
+    # -- mutation (XOR toggle: add and remove are the same operation) ------
+
+    def add(self, item: bytes) -> None:
+        value = self._to_int(item)
+        self._sketch.add(value)
+        if self._item_ints is not None:
+            self._item_ints.add(value)
+
+    def remove(self, item: bytes) -> None:
+        value = self._to_int(item)
+        self._sketch.add(value)  # toggle
+        if self._item_ints is not None:
+            self._item_ints.discard(value)
+
+    # -- wire -------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        return self._sketch.serialize()
+
+    def wire_size(self) -> int:
+        return self._sketch.wire_size()
+
+    # -- reconciliation ---------------------------------------------------
+
+    def subtract(self, other: "PinSketchReconciler") -> "PinSketchReconciler":
+        diff = PinSketchReconciler(
+            self.params, self._sketch.subtract(other._sketch), None
+        )
+        # Snapshot, not alias: the receiver may mutate after subtract().
+        diff._local_ints = set(other._item_ints) if other._item_ints else set()
+        return diff
+
+    def decode(self) -> DecodeResult:
+        try:
+            elements = self._sketch.decode()
+        except DecodeFailure:
+            return DecodeResult(success=False, symbols_used=self._sketch.capacity)
+        local_ints = self._local_ints or set()
+        remote = [self._to_bytes(e) for e in elements if e not in local_ints]
+        local = [self._to_bytes(e) for e in elements if e in local_ints]
+        return DecodeResult(
+            success=True,
+            remote=remote,
+            local=local,
+            symbols_used=self._sketch.capacity,
+        )
+
+
+register_scheme(
+    "pinsketch",
+    summary="BCH-syndrome sketch (Minisketch's algorithm), overhead-1 (§2)",
+    capabilities=Capabilities(fixed_capacity=True, incremental=True),
+    param_class=PinSketchParams,
+    reconciler_class=PinSketchReconciler,
+)

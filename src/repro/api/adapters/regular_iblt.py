@@ -1,0 +1,129 @@
+"""Adapters: regular (fixed-size) IBLT, bare and strata-composed.
+
+Two registry entries share the :class:`RegularIbltReconciler` class:
+
+``regular_iblt``
+    The bare fixed-capacity table.  Callers must size it — pass
+    ``num_cells`` or a ``difference_bound`` to the generic driver.
+``regular_iblt+strata``
+    The deployable composition Fig 7 labels "Regular IBLT + Estimator":
+    a ~15 KB strata-estimator exchange sizes the table, and the generic
+    driver charges that surcharge to the wire total.  Capability flag
+    ``needs_estimator`` is what triggers the composition — the adapter
+    itself stays estimator-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.api.adapters.cellpack import CodecParams, codec_for, pack_cells, unpack_cells
+from repro.api.base import SetReconciler
+from repro.api.registry import Capabilities, register_scheme
+from repro.baselines.regular_iblt import RegularIBLT, recommended_cells
+from repro.core.decoder import DecodeResult
+
+
+@dataclass(frozen=True)
+class RegularIbltParams(CodecParams):
+    """Geometry of the fixed table (``num_cells`` may come from sizing)."""
+
+    num_cells: Optional[int] = None
+    hash_count: int = 3
+
+
+class RegularIbltReconciler(SetReconciler):
+    """One fixed-geometry IBLT of one set."""
+
+    def __init__(self, params: RegularIbltParams, table: RegularIBLT) -> None:
+        self.params = params
+        self._table = table
+
+    @classmethod
+    def _sized_table(cls, params: RegularIbltParams) -> RegularIBLT:
+        if params.num_cells is None:
+            raise ValueError(
+                "regular_iblt is fixed-capacity: pass num_cells, or a "
+                "difference_bound / the regular_iblt+strata scheme to have "
+                "it sized for you"
+            )
+        return RegularIBLT(params.num_cells, codec_for(params), params.hash_count)
+
+    @classmethod
+    def from_items(
+        cls, items: Sequence[bytes], params: RegularIbltParams
+    ) -> "RegularIbltReconciler":
+        table = cls._sized_table(params)
+        for item in items:
+            table.insert(item)
+        return cls(params, table)
+
+    @classmethod
+    def deserialize(
+        cls, blob: bytes, params: RegularIbltParams
+    ) -> "RegularIbltReconciler":
+        table = cls._sized_table(params)
+        cells = unpack_cells(table.codec, blob)
+        if len(cells) != table.num_cells:
+            raise ValueError(
+                f"expected {table.num_cells} cells, got {len(cells)}"
+            )
+        table.cells = cells
+        return cls(params, table)
+
+    @classmethod
+    def params_for_difference(
+        cls, params: RegularIbltParams, difference: int
+    ) -> RegularIbltParams:
+        cells = recommended_cells(max(1, difference), params.hash_count)
+        return replace(params, num_cells=cells)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, item: bytes) -> None:
+        self._table.insert(item)
+
+    def remove(self, item: bytes) -> None:
+        self._table.delete(item)
+
+    # -- wire -------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        return pack_cells(self._table.codec, self._table.cells)
+
+    def wire_size(self) -> int:
+        """§7.1 accounting: ℓ + 8 B checksum + 8 B count per cell."""
+        return self._table.wire_size()
+
+    # -- reconciliation ---------------------------------------------------
+
+    def subtract(self, other: "RegularIbltReconciler") -> "RegularIbltReconciler":
+        return RegularIbltReconciler(self.params, self._table.subtract(other._table))
+
+    def decode(self) -> DecodeResult:
+        return self._table.decode()
+
+
+register_scheme(
+    "regular_iblt",
+    summary="Fixed-size IBLT, provisioned for a known difference (§3)",
+    capabilities=Capabilities(fixed_capacity=True, incremental=True),
+    param_class=RegularIbltParams,
+    reconciler_class=RegularIbltReconciler,
+)
+
+
+class EstimatedRegularIbltReconciler(RegularIbltReconciler):
+    """Same table; distinct class so the registry can stamp its name."""
+
+
+register_scheme(
+    "regular_iblt+strata",
+    summary="Regular IBLT sized by a strata-estimator exchange (Fig 7)",
+    capabilities=Capabilities(
+        fixed_capacity=True, needs_estimator=True, incremental=True
+    ),
+    param_class=RegularIbltParams,
+    reconciler_class=EstimatedRegularIbltReconciler,
+)

@@ -1,0 +1,219 @@
+"""The uniform reconciliation interface every scheme adapts to.
+
+One vocabulary for seven very different algorithms:
+
+* :class:`SetReconciler` — build a sketch from items, optionally mutate
+  it (``add``/``remove``), ship it (``serialize``/``wire_size``), combine
+  it with the peer's (``subtract``), and recover the symmetric
+  difference (``decode`` → :class:`~repro.core.decoder.DecodeResult`).
+* :class:`StreamingReconciler` — the rateless extension: the sketch is
+  an unbounded prefix-decodable stream (``produce_next``/``absorb``)
+  instead of a fixed-size blob.
+* :class:`Capabilities` — per-scheme flags the generic driver in
+  :mod:`repro.api.session` dispatches on.
+* :class:`ReconcileResult` — the scheme-independent outcome record.
+
+Direction convention (matches the rest of the repo): in
+``a_rec.subtract(b_rec)``, ``a_rec`` plays Alice (the remote sender —
+possibly a deserialized sketch) and ``b_rec`` plays Bob (the local,
+*live* receiver, built from his own items).  The decoded ``remote`` list
+is then A \\ B and ``local`` is B \\ A.  Schemes whose decoders need the
+receiver's full set (CPI, PinSketch attribution, Merkle heal) read it
+from ``b_rec`` — which is exactly what a real deployment's receiver has.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.core.decoder import DecodeResult
+
+
+class UnsupportedOperation(NotImplementedError):
+    """The scheme cannot perform the requested operation (by design)."""
+
+
+class ReconcileError(RuntimeError):
+    """Reconciliation did not complete within the configured budget."""
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a scheme can do; the generic driver dispatches on these."""
+
+    streaming: bool = False
+    """Produces an unbounded coded stream; decodes from any prefix."""
+
+    fixed_capacity: bool = False
+    """The sketch must be sized for the difference ``d`` in advance."""
+
+    needs_estimator: bool = False
+    """Always runs (and is charged for) a difference-size estimator."""
+
+    incremental: bool = False
+    """Supports both ``add`` and ``remove`` after construction."""
+
+    serializable: bool = True
+    """``serialize``/``deserialize`` round-trip through bytes."""
+
+
+@dataclass(frozen=True)
+class SchemeParams:
+    """Base class for per-scheme parameter dataclasses.
+
+    ``symbol_size`` (ℓ, the fixed byte width of every item) is the one
+    parameter every scheme shares.  Leave it ``None`` to have the
+    registry infer it from the first item at build time.
+    """
+
+    symbol_size: Optional[int] = None
+
+
+@dataclass
+class ReconcileResult:
+    """Scheme-independent outcome of one full reconciliation.
+
+    ``symbols_used`` counts the scheme's own coded units (coded symbols,
+    IBLT cells, syndromes, polynomial evaluations, trie nodes...);
+    ``bytes_on_wire`` is the comparable cross-scheme cost.  As in
+    :class:`repro.core.session.ReconcileOutcome`, ``overhead`` is 0.0
+    when the sets were already equal.
+    """
+
+    only_in_a: Set[bytes]
+    only_in_b: Set[bytes]
+    bytes_on_wire: int
+    symbols_used: int
+    scheme: str
+    rounds: int = 1
+    difference_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.difference_size = len(self.only_in_a) + len(self.only_in_b)
+
+    @property
+    def overhead(self) -> float:
+        """Coded units spent per recovered difference (0.0 when d = 0)."""
+        if self.difference_size == 0:
+            return 0.0
+        return self.symbols_used / self.difference_size
+
+    @property
+    def byte_overhead(self) -> float:
+        """Wire bytes per difference byte — the Fig 7 metric (0.0 when d = 0)."""
+        if self.difference_size == 0:
+            return 0.0
+        item = len(next(iter(self.only_in_a | self.only_in_b)))
+        return self.bytes_on_wire / (self.difference_size * item)
+
+
+class SetReconciler(ABC):
+    """Uniform wrapper around one scheme's sketch of one set.
+
+    Subclasses are constructed through the classmethods ``from_items``
+    and ``deserialize`` (the registry binds the right parameter
+    dataclass), never directly.
+    """
+
+    scheme: str = "?"  # stamped by registry registration
+    params: SchemeParams
+
+    # -- construction (adapter contract) ---------------------------------
+
+    @classmethod
+    @abstractmethod
+    def from_items(cls, items: Sequence[bytes], params: SchemeParams) -> "SetReconciler":
+        """Build a live sketch of ``items``."""
+
+    @classmethod
+    def deserialize(cls, blob: bytes, params: SchemeParams) -> "SetReconciler":
+        """Rebuild a received sketch from ``serialize()`` output."""
+        raise UnsupportedOperation(f"{cls.__name__} does not deserialize")
+
+    @classmethod
+    def params_for_difference(cls, params: SchemeParams, difference: int) -> SchemeParams:
+        """Parameters sized so a ``difference``-item gap decodes w.h.p.
+
+        Fixed-capacity schemes must override; rateless/rate-compatible
+        schemes may return ``params`` unchanged.
+        """
+        return params
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, item: bytes) -> None:
+        """Account one new set item in the existing sketch."""
+        raise UnsupportedOperation(f"{type(self).__name__} does not support add()")
+
+    def remove(self, item: bytes) -> None:
+        """Remove one item from the existing sketch."""
+        raise UnsupportedOperation(f"{type(self).__name__} does not support remove()")
+
+    # -- wire -------------------------------------------------------------
+
+    @abstractmethod
+    def serialize(self) -> bytes:
+        """The sketch as bytes (what Alice would transmit)."""
+
+    @abstractmethod
+    def wire_size(self) -> int:
+        """Transmitted size in bytes under the paper's §7.1 accounting."""
+
+    # -- reconciliation ---------------------------------------------------
+
+    @abstractmethod
+    def subtract(self, other: "SetReconciler") -> "SetReconciler":
+        """Difference sketch; ``other`` must be the live local side."""
+
+    @abstractmethod
+    def decode(self) -> DecodeResult:
+        """Recover the symmetric difference from a subtracted sketch.
+
+        Capacity overflow is reported as ``success=False``, never as an
+        exception — the generic driver retries with a larger sketch.
+        """
+
+    def decode_wire_bytes(self, result: DecodeResult) -> int:
+        """Bytes a deployment shipped to reach this decode.
+
+        Defaults to the full sketch; rate-compatible and interactive
+        schemes override (MET counts only the consumed block prefix,
+        Merkle heal counts its request/response transcript).
+        """
+        return self.wire_size()
+
+
+class StreamingReconciler(SetReconciler):
+    """Rateless extension: the sketch is an endless, incremental stream."""
+
+    @abstractmethod
+    def produce_next(self) -> bytes:
+        """Serialise the next coded unit(s) of this side's stream."""
+
+    @abstractmethod
+    def absorb(self, payload: bytes) -> bool:
+        """Consume the peer's next payload; True once fully decoded."""
+
+    @property
+    @abstractmethod
+    def decoded(self) -> bool:
+        """True once the whole symmetric difference has been recovered."""
+
+    @abstractmethod
+    def stream_result(self) -> DecodeResult:
+        """Snapshot of what ``absorb`` has recovered so far."""
+
+
+def as_item_list(items: Iterable[bytes], symbol_size: Optional[int]) -> list[bytes]:
+    """Materialise and validate a uniform-width item collection."""
+    out = list(items)
+    if out:
+        width = symbol_size if symbol_size is not None else len(out[0])
+        for item in out:
+            if len(item) != width:
+                raise ValueError(
+                    f"items must all be {width} bytes; got {len(item)}"
+                )
+    return out

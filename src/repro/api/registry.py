@@ -1,0 +1,147 @@
+"""String-keyed scheme registry: ``get_scheme("riblt")`` and friends.
+
+Every reconciliation scheme in the repo registers itself here under a
+stable name, together with its capability flags and parameter dataclass.
+Benchmarks, examples, the CLI, and the network protocols all select
+schemes through this registry, so "same workload, any scheme" is one
+string away::
+
+    from repro.api import get_scheme, available_schemes
+
+    handle = get_scheme("pinsketch", symbol_size=8, capacity=20)
+    sketch = handle.new(alice_items)
+
+Adapters live in :mod:`repro.api.adapters`; importing :mod:`repro.api`
+populates the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Iterable, Optional, Sequence, Type
+
+from repro.api.base import (
+    Capabilities,
+    SchemeParams,
+    SetReconciler,
+    as_item_list,
+)
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """One registry entry: identity, behaviour flags, and classes."""
+
+    name: str
+    summary: str
+    capabilities: Capabilities
+    param_class: Type[SchemeParams]
+    reconciler_class: Type[SetReconciler]
+
+
+_REGISTRY: dict[str, SchemeInfo] = {}
+
+
+def register_scheme(
+    name: str,
+    *,
+    summary: str,
+    capabilities: Capabilities,
+    param_class: Type[SchemeParams],
+    reconciler_class: Type[SetReconciler],
+) -> SchemeInfo:
+    """Add a scheme to the registry (called at adapter import time)."""
+    if name in _REGISTRY:
+        raise ValueError(f"scheme {name!r} is already registered")
+    info = SchemeInfo(name, summary, capabilities, param_class, reconciler_class)
+    _REGISTRY[name] = info
+    reconciler_class.scheme = name
+    return info
+
+
+def available_schemes() -> list[str]:
+    """Registered scheme names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def scheme_info(name: str) -> SchemeInfo:
+    """The registry entry for ``name`` (KeyError lists what exists)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
+        ) from None
+
+
+class Scheme:
+    """A scheme bound to concrete parameters — the user-facing handle."""
+
+    def __init__(self, info: SchemeInfo, params: SchemeParams) -> None:
+        self.info = info
+        self.params = params
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    @property
+    def capabilities(self) -> Capabilities:
+        return self.info.capabilities
+
+    def with_params(self, **overrides: object) -> "Scheme":
+        """A new handle with some parameters replaced."""
+        return Scheme(self.info, replace(self.params, **overrides))
+
+    def sized_for(self, difference: int) -> "Scheme":
+        """A handle whose sketch is provisioned for ``difference`` items."""
+        params = self.info.reconciler_class.params_for_difference(
+            self.params, difference
+        )
+        return Scheme(self.info, params)
+
+    def _bound_params(self, items: Sequence[bytes]) -> SchemeParams:
+        params = self.params
+        if params.symbol_size is None:
+            if not items:
+                raise ValueError(
+                    f"scheme {self.name!r}: symbol_size must be given explicitly "
+                    "when building from an empty set"
+                )
+            params = replace(params, symbol_size=len(items[0]))
+        return params
+
+    def new(self, items: Iterable[bytes]) -> SetReconciler:
+        """Build a live sketch of ``items`` (symbol_size inferred if unset)."""
+        materialised = as_item_list(items, self.params.symbol_size)
+        params = self._bound_params(materialised)
+        return self.info.reconciler_class.from_items(materialised, params)
+
+    def deserialize(self, blob: bytes) -> SetReconciler:
+        """Rebuild a received sketch (needs an explicit symbol_size)."""
+        if self.params.symbol_size is None:
+            raise ValueError(
+                f"scheme {self.name!r}: deserialize needs an explicit symbol_size"
+            )
+        return self.info.reconciler_class.deserialize(blob, self.params)
+
+    def __repr__(self) -> str:
+        return f"Scheme({self.name!r}, {self.params!r})"
+
+
+def get_scheme(name: str, **params: object) -> Scheme:
+    """Look up ``name`` and bind keyword parameters to its dataclass.
+
+    Unknown keyword arguments raise ``TypeError`` with the scheme's
+    accepted parameter names, so callers discover each scheme's knobs
+    without reading the adapter.
+    """
+    info = scheme_info(name)
+    accepted = {f.name for f in fields(info.param_class)}
+    unknown = set(params) - accepted
+    if unknown:
+        raise TypeError(
+            f"scheme {name!r} does not accept {sorted(unknown)}; "
+            f"accepted parameters: {sorted(accepted)}"
+        )
+    return Scheme(info, info.param_class(**params))  # type: ignore[arg-type]

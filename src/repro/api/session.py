@@ -1,0 +1,219 @@
+"""The scheme-generic reconciliation driver: ``reconcile`` + ``Session``.
+
+One call, any scheme::
+
+    from repro.api import reconcile
+
+    result = reconcile(alice_items, bob_items, scheme="pinsketch")
+
+The driver dispatches on the scheme's capability flags:
+
+* **streaming** — a :class:`Session` streams Alice's coded units to Bob
+  until he signals decoded (subsumes
+  :class:`repro.core.session.ReconciliationSession`, which remains as
+  the scheme-specific fast path).
+* **fixed_capacity** — sketches must be provisioned: an explicit
+  ``difference_bound`` sizes them directly; otherwise a strata-estimator
+  exchange is run first (and charged to the wire), exactly the
+  estimator-then-sized-sketch composition deployments use.  Undershoot
+  is survived by retrying with a doubled bound, each retry charged.
+* otherwise — one-shot protocol schemes (MET's rate-compatible prefix
+  decode, Merkle's interactive heal): build both sides, subtract,
+  decode, and let the adapter account the bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.api.base import (
+    ReconcileError,
+    ReconcileResult,
+    StreamingReconciler,
+)
+from repro.api.registry import Scheme, get_scheme
+from repro.baselines.strata import StrataEstimator
+
+# Sketches sized from a (noisy) strata estimate get this headroom; the
+# retry loop doubles from there if the estimate still undershot.
+ESTIMATE_MARGIN = 1.25
+
+# Give-up bound for fixed-capacity retries.
+DEFAULT_MAX_ROUNDS = 4
+
+
+class Session:
+    """One live streaming reconciliation between two in-memory sets.
+
+    Generalises :class:`repro.core.session.ReconciliationSession` to any
+    registered streaming scheme: ``step()`` moves one payload from Alice
+    to Bob, ``run()`` iterates until Bob has the whole difference.
+    """
+
+    def __init__(
+        self,
+        alice_items: Iterable[bytes],
+        bob_items: Iterable[bytes],
+        scheme: str | Scheme = "riblt",
+        **params: object,
+    ) -> None:
+        if isinstance(scheme, str):
+            handle = get_scheme(scheme, **params)
+        else:
+            if params:
+                raise TypeError(
+                    "pass parameters either in the Scheme handle or as kwargs, not both"
+                )
+            handle = scheme
+        if not handle.capabilities.streaming:
+            raise ValueError(
+                f"scheme {handle.name!r} is not streaming; use repro.api.reconcile"
+            )
+        self.scheme = handle.name
+        self.alice = handle.new(alice_items)
+        self.bob = handle.new(bob_items)
+        assert isinstance(self.alice, StreamingReconciler)
+        assert isinstance(self.bob, StreamingReconciler)
+        self.bytes_sent = 0
+        self.steps = 0
+
+    @property
+    def decoded(self) -> bool:
+        return self.bob.decoded
+
+    def step(self) -> bool:
+        """Move one coded payload Alice → Bob; True once decoded."""
+        payload = self.alice.produce_next()
+        self.bytes_sent += len(payload)
+        self.steps += 1
+        return self.bob.absorb(payload)
+
+    def run(self, max_symbols: Optional[int] = None) -> ReconcileResult:
+        """Stream until decoded (or raise after ``max_symbols`` payloads)."""
+        while not self.decoded:
+            if max_symbols is not None and self.steps >= max_symbols:
+                raise ReconcileError(
+                    f"{self.scheme}: no decode within {max_symbols} coded symbols"
+                )
+            self.step()
+        result = self.bob.stream_result()
+        return ReconcileResult(
+            only_in_a=set(result.remote),
+            only_in_b=set(result.local),
+            bytes_on_wire=self.bytes_sent,
+            symbols_used=result.symbols_used,
+            scheme=self.scheme,
+        )
+
+
+def _estimate_difference(
+    alice_items: list[bytes], bob_items: list[bytes]
+) -> tuple[int, int]:
+    """Strata-estimator exchange: (estimated d, wire bytes charged)."""
+    est_a = StrataEstimator.from_items(alice_items)
+    est_b = StrataEstimator.from_items(bob_items)
+    # Bob estimates from Alice's shipped summary; only hers crosses the wire.
+    return est_b.estimate(est_a), est_a.wire_size()
+
+
+def _fixed_reconcile(
+    handle: Scheme,
+    alice_items: list[bytes],
+    bob_items: list[bytes],
+    difference_bound: Optional[int],
+    max_rounds: int,
+) -> ReconcileResult:
+    bytes_total = 0
+    rounds = 0
+    if handle.capabilities.needs_estimator or difference_bound is None:
+        estimate, estimator_bytes = _estimate_difference(alice_items, bob_items)
+        bytes_total += estimator_bytes
+        rounds += 1
+        bound = max(1, math.ceil(estimate * ESTIMATE_MARGIN))
+        if difference_bound is not None:
+            bound = max(bound, difference_bound)
+    else:
+        bound = max(1, difference_bound)
+    for _ in range(max_rounds):
+        sized = handle.sized_for(bound)
+        alice = sized.new(alice_items)
+        bob = sized.new(bob_items)
+        diff = alice.subtract(bob)
+        result = diff.decode()
+        rounds += 1
+        bytes_total += diff.decode_wire_bytes(result)
+        if result.success:
+            return ReconcileResult(
+                only_in_a=set(result.remote),
+                only_in_b=set(result.local),
+                bytes_on_wire=bytes_total,
+                symbols_used=result.symbols_used,
+                scheme=handle.name,
+                rounds=rounds,
+            )
+        bound *= 2
+    raise ReconcileError(
+        f"{handle.name}: difference exceeded capacity for {max_rounds} "
+        f"doublings (last bound {bound // 2})"
+    )
+
+
+def _one_shot_reconcile(
+    handle: Scheme, alice_items: list[bytes], bob_items: list[bytes]
+) -> ReconcileResult:
+    alice = handle.new(alice_items)
+    bob = handle.new(bob_items)
+    diff = alice.subtract(bob)
+    result = diff.decode()
+    if not result.success:
+        raise ReconcileError(f"{handle.name}: sketch did not decode")
+    return ReconcileResult(
+        only_in_a=set(result.remote),
+        only_in_b=set(result.local),
+        bytes_on_wire=diff.decode_wire_bytes(result),
+        symbols_used=result.symbols_used,
+        scheme=handle.name,
+    )
+
+
+def reconcile(
+    alice_items: Iterable[bytes],
+    bob_items: Iterable[bytes],
+    scheme: str = "riblt",
+    *,
+    difference_bound: Optional[int] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    max_symbols: Optional[int] = None,
+    **params: object,
+) -> ReconcileResult:
+    """Compute A △ B with any registered scheme.
+
+    ``difference_bound`` pre-sizes fixed-capacity schemes (streaming and
+    protocol schemes ignore it); without it they fall back to a strata-
+    estimator exchange.  An *undershot* bound is normally detected as a
+    decode failure and retried with doubled capacity — but detection is
+    best-effort: a syndrome sketch provisioned far below the true
+    difference can alias to a plausible wrong answer (a known PinSketch
+    property), so treat an explicit bound as a promise, not a hint.
+    ``max_symbols`` bounds streaming schemes; ``max_rounds`` bounds
+    fixed-capacity retries.  Remaining keyword arguments go to the
+    scheme's parameter dataclass — see ``get_scheme(name)`` errors for
+    each scheme's knobs.
+
+    >>> a = {b"%07d" % i for i in range(50)}
+    >>> b = {b"%07d" % i for i in range(2, 52)}
+    >>> out = reconcile(a, b, scheme="riblt")
+    >>> sorted(out.only_in_a) == [b"0000000", b"0000001"]
+    True
+    """
+    if difference_bound is not None and difference_bound < 0:
+        raise ValueError(f"difference_bound must be >= 0, got {difference_bound}")
+    handle = get_scheme(scheme, **params)
+    a = list(dict.fromkeys(alice_items))
+    b = list(dict.fromkeys(bob_items))
+    if handle.capabilities.streaming:
+        return Session(a, b, handle).run(max_symbols=max_symbols)
+    if handle.capabilities.fixed_capacity:
+        return _fixed_reconcile(handle, a, b, difference_bound, max_rounds)
+    return _one_shot_reconcile(handle, a, b)

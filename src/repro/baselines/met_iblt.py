@@ -10,8 +10,9 @@ worse between them.
 
 The published parameter tables are not reproducible from the citing
 paper, so this module implements the construction generically (multi-edge
-types = per-block edge counts) with defaults calibrated by simulation; see
-DESIGN.md "Substitutions".  The defining properties are preserved:
+types = per-block edge counts) with defaults calibrated by simulation
+(see the calibration test in tests/test_met_iblt.py).  The defining
+properties are preserved:
 
 * cells are organised in append-only *blocks*, so longer tables extend
   shorter ones (rate compatibility);
@@ -136,6 +137,16 @@ class MetIBLT:
         checksum = self.codec.checksum_int(value)
         for pos in self._positions(checksum, self.config.levels):
             self.cells[pos].apply(value, checksum, 1)
+
+    def delete(self, data: bytes) -> None:
+        """Remove one item (XOR is self-inverse)."""
+        self.delete_value(self.codec.to_int(data))
+
+    def delete_value(self, value: int) -> None:
+        """Remove one item given in integer form."""
+        checksum = self.codec.checksum_int(value)
+        for pos in self._positions(checksum, self.config.levels):
+            self.cells[pos].apply(value, checksum, -1)
 
     @classmethod
     def from_items(

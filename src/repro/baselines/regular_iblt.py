@@ -85,6 +85,10 @@ class RegularIBLT:
         for pos in self._positions(checksum):
             self.cells[pos].apply(value, checksum, 1)
 
+    def delete(self, data: bytes) -> None:
+        """Remove one item (XOR is self-inverse)."""
+        self.delete_value(self.codec.to_int(data))
+
     def delete_value(self, value: int) -> None:
         """Remove one item (XOR is self-inverse)."""
         checksum = self.codec.checksum_int(value)

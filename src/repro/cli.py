@@ -8,12 +8,15 @@ Commands
 ``repro decode SKETCH LOCAL``
     Bob's side: subtract LOCAL's items from a received sketch stream and
     peel; prints the differences.
-``repro reconcile FILE_A FILE_B``
-    Run the full streaming protocol between two local files and report
-    the difference plus communication statistics.
+``repro reconcile FILE_A FILE_B [--scheme NAME]``
+    Reconcile two local files with any registered scheme (default:
+    the streaming Rateless IBLT) and report the difference plus
+    communication statistics.
 ``repro estimate FILE_A FILE_B``
     Strata-estimate the difference size (what a regular-IBLT deployment
     would do first).
+``repro schemes``
+    List every scheme in the registry with its capability flags.
 
 Item files are either raw binary (fixed-width records, ``--item-size``)
 or newline-delimited hex (``--format hex``).
@@ -23,13 +26,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import fields
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.api import ReconcileError, available_schemes, scheme_info
+from repro.api import reconcile as api_reconcile
 from repro.baselines.strata import StrataEstimator
 from repro.core.decoder import RatelessDecoder
 from repro.core.encoder import RatelessEncoder
-from repro.core.session import ReconciliationSession
 from repro.core.symbols import SymbolCodec
 from repro.core.wire import decode_stream, encode_stream
 from repro.hashing.keyed import make_hasher
@@ -68,6 +73,8 @@ def read_items(path: Path, item_size: int | None, file_format: str) -> list[byte
     if item_size is None:
         raise CliError("--item-size is required for binary files")
     blob = path.read_bytes()
+    if not blob:
+        raise CliError(f"{path}: no items")
     if len(blob) % item_size:
         raise CliError(
             f"{path}: size {len(blob)} is not a multiple of {item_size}"
@@ -129,6 +136,18 @@ def cmd_decode(args: argparse.Namespace) -> int:
     return 0 if result.success else 3
 
 
+def scheme_params_from_args(args: argparse.Namespace, item_size: int) -> dict:
+    """The CLI's codec knobs, narrowed to what the scheme accepts."""
+    candidates = {
+        "symbol_size": item_size,
+        "hasher": args.hasher,
+        "key": bytes.fromhex(args.key),
+        "checksum_size": args.checksum_size,
+    }
+    accepted = {f.name for f in fields(scheme_info(args.scheme).param_class)}
+    return {k: v for k, v in candidates.items() if k in accepted}
+
+
 def cmd_reconcile(args: argparse.Namespace) -> int:
     items_a = read_items(Path(args.file_a), args.item_size, args.format)
     items_b = read_items(Path(args.file_b), args.item_size, args.format)
@@ -136,19 +155,51 @@ def cmd_reconcile(args: argparse.Namespace) -> int:
         raise CliError("the two files hold items of different sizes")
     set_a = check_unique(items_a, args.file_a)
     set_b = check_unique(items_b, args.file_b)
-    codec = build_codec(items_a, args)
-    session = ReconciliationSession(set_a, set_b, codec)
-    outcome = session.run(max_symbols=args.max_symbols)
+    try:
+        result = api_reconcile(
+            set_a,
+            set_b,
+            scheme=args.scheme,
+            difference_bound=args.difference_bound,
+            max_symbols=args.max_symbols,
+            **scheme_params_from_args(args, len(items_a[0])),
+        )
+    except (ReconcileError, ValueError) as exc:
+        # scheme representation limits (item too wide for the field, bad
+        # bound, ...) and convergence failures are user-facing errors
+        raise CliError(str(exc)) from exc
+    print(f"scheme          : {result.scheme}")
     print(f"|A| = {len(set_a)}, |B| = {len(set_b)}")
-    print(f"difference      : {outcome.difference_size}")
-    print(f"coded symbols   : {outcome.symbols_used} "
-          f"(overhead {outcome.overhead:.2f})")
-    print(f"bytes on wire   : {outcome.bytes_on_wire}")
+    print(f"difference      : {result.difference_size}")
+    print(f"coded symbols   : {result.symbols_used} "
+          f"(overhead {result.overhead:.2f})")
+    print(f"bytes on wire   : {result.bytes_on_wire}")
+    if result.rounds > 1:
+        print(f"rounds          : {result.rounds}")
     if args.show_items:
-        for item in sorted(outcome.only_in_a):
+        for item in sorted(result.only_in_a):
             print(f"  A-only {item.hex()}")
-        for item in sorted(outcome.only_in_b):
+        for item in sorted(result.only_in_b):
             print(f"  B-only {item.hex()}")
+    return 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    print(f"{'scheme':22s} {'flags':28s} summary")
+    for name in available_schemes():
+        info = scheme_info(name)
+        caps = info.capabilities
+        flags = ",".join(
+            label
+            for label, on in (
+                ("streaming", caps.streaming),
+                ("fixed-capacity", caps.fixed_capacity),
+                ("estimator", caps.needs_estimator),
+                ("incremental", caps.incremental),
+            )
+            if on
+        ) or "-"
+        print(f"{name:22s} {flags:28s} {info.summary}")
     return 0
 
 
@@ -207,6 +258,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec = sub.add_parser("reconcile", help="reconcile two local files")
     p_rec.add_argument("file_a")
     p_rec.add_argument("file_b")
+    p_rec.add_argument(
+        "--scheme", default="riblt", choices=available_schemes(),
+        help="reconciliation scheme from the registry (default: riblt)",
+    )
+    p_rec.add_argument(
+        "--difference-bound", type=int, default=None,
+        help="pre-size fixed-capacity schemes for this many differences "
+             "(default: run a strata-estimator exchange)",
+    )
     p_rec.add_argument("--max-symbols", type=int, default=None)
     p_rec.add_argument("--show-items", action="store_true")
     p_rec.set_defaults(func=cmd_reconcile)
@@ -215,6 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("file_a")
     p_est.add_argument("file_b")
     p_est.set_defaults(func=cmd_estimate)
+
+    p_sch = sub.add_parser("schemes", help="list registered schemes")
+    p_sch.set_defaults(func=cmd_schemes)
     return parser
 
 

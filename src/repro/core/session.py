@@ -22,7 +22,14 @@ from repro.hashing.keyed import KeyedHasher
 
 @dataclass
 class ReconcileOutcome:
-    """Everything :func:`reconcile` learned about A △ B."""
+    """Everything :func:`reconcile` learned about A △ B.
+
+    ``overhead`` is coded symbols spent per recovered difference.  When
+    the sets were already equal there is nothing to normalise by, so the
+    convention is ``overhead == 0.0`` — the protocol still spends its
+    one termination symbol (visible in ``symbols_used``), but reporting
+    that as "overhead per difference" would be meaningless.
+    """
 
     only_in_a: Set[bytes]
     only_in_b: Set[bytes]
@@ -36,7 +43,7 @@ class ReconcileOutcome:
         if self.difference_size:
             self.overhead = self.symbols_used / self.difference_size
         else:
-            self.overhead = float(self.symbols_used)
+            self.overhead = 0.0
 
 
 class ReconciliationSession:
@@ -100,12 +107,17 @@ class ReconciliationSession:
 def reconcile(
     alice_items: Iterable[bytes],
     bob_items: Iterable[bytes],
-    symbol_size: int,
+    symbol_size: Optional[int] = None,
     hasher: Optional[KeyedHasher] = None,
     codec: Optional[SymbolCodec] = None,
     max_symbols: Optional[int] = None,
 ) -> ReconcileOutcome:
     """Compute A △ B with the full streaming protocol.
+
+    Exactly one way of fixing the item width is needed: either pass
+    ``symbol_size`` (a codec is built) or pass an explicit ``codec``
+    (``symbol_size`` is then derived from it and, if also given, must
+    agree).
 
     >>> a = {b"%07d" % i for i in range(50)}
     >>> b = {b"%07d" % i for i in range(2, 52)}
@@ -114,6 +126,13 @@ def reconcile(
     True
     """
     if codec is None:
+        if symbol_size is None:
+            raise TypeError("reconcile() needs symbol_size or an explicit codec")
         codec = SymbolCodec(symbol_size, hasher)
+    elif symbol_size is not None and symbol_size != codec.symbol_size:
+        raise ValueError(
+            f"symbol_size={symbol_size} contradicts codec.symbol_size="
+            f"{codec.symbol_size}; pass one or the other"
+        )
     session = ReconciliationSession(alice_items, bob_items, codec)
     return session.run(max_symbols=max_symbols)

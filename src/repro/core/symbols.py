@@ -35,7 +35,7 @@ class SymbolCodec:
         ℓ, the fixed byte length of every set item.
     hasher:
         Keyed 64-bit hash for checksums; defaults to keyed BLAKE2b
-        (see DESIGN.md for the SipHash substitution note).
+        (SipHash is the interchangeable keyed alternative).
     irregular:
         Optional §8 configuration.  When given, each symbol's subset — and
         hence its mapping parameter α — is chosen by its checksum hash.

@@ -9,7 +9,7 @@ provided:
   SipHash-2-4 (bit-faithful but interpreter-speed);
 * :class:`Blake2bHasher` — ``hashlib.blake2b`` with ``digest_size=8`` and
   the same 16-byte key, a keyed PRF that runs at C speed.  This is the
-  default for benchmarks; DESIGN.md documents the substitution.
+  default for benchmarks (a documented substitution).
 """
 
 from __future__ import annotations

@@ -79,7 +79,7 @@ def measure_riblt_plan(
     implementation — "Rateless IBLT … can saturate a 170 Mbps link using
     one CPU core" (§7.3).  The §7.3 benches use this so the network
     experiment reproduces the *protocol* dynamics rather than the Python
-    constant factor; DESIGN.md documents the substitution.
+    constant factor (a documented substitution).
     """
     if codec is None:
         codec = SymbolCodec(ITEM_BYTES)

@@ -1,5 +1,5 @@
 """Discrete-event network simulation substrate (replaces the paper's
-FreeBSD + Dummynet testbed; see DESIGN.md "Substitutions").
+FreeBSD + Dummynet testbed; a documented substitution).
 
 ``simulator``  — the event loop.
 ``link``       — duplex links with propagation delay and a serialising

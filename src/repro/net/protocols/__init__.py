@@ -1,19 +1,31 @@
 """Synchronisation protocols over the simulated network (§7.3).
 
-``riblt_sync`` — Alice streams Rateless IBLT coded symbols at line rate;
-                 Bob decodes incrementally and signals stop (half a round
-                 trip of interactivity).
-``heal_sync``  — lock-step replay of a state-heal transcript with a
-                 per-node compute model at Bob (reproducing the
-                 compute-bound plateau of Fig 14).
+``riblt_sync``  — Alice streams Rateless IBLT coded symbols at line rate;
+                  Bob decodes incrementally and signals stop (half a round
+                  trip of interactivity).
+``heal_sync``   — lock-step replay of a state-heal transcript with a
+                  per-node compute model at Bob (reproducing the
+                  compute-bound plateau of Fig 14).
+``scheme_sync`` — the registry face: ``simulate_scheme_sync(a, b,
+                  scheme=...)`` dispatches any registered scheme onto the
+                  right protocol shape (streaming, heal, or lock-step
+                  sketch exchange).
 """
 
 from repro.net.protocols.heal_sync import HealSyncOutcome, simulate_state_heal
 from repro.net.protocols.riblt_sync import RatelessSyncOutcome, simulate_riblt_sync
+from repro.net.protocols.scheme_sync import (
+    SchemeSyncOutcome,
+    measure_sync_plan,
+    simulate_scheme_sync,
+)
 
 __all__ = [
     "HealSyncOutcome",
     "RatelessSyncOutcome",
+    "SchemeSyncOutcome",
+    "measure_sync_plan",
     "simulate_riblt_sync",
+    "simulate_scheme_sync",
     "simulate_state_heal",
 ]

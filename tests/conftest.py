@@ -1,4 +1,10 @@
-"""Shared fixtures: deterministic RNGs, codecs, and item factories."""
+"""Shared fixtures: deterministic RNGs, codecs, and item factories.
+
+Plain helper functions (``make_items``, ``split_sets``) live in
+``tests/helpers.py`` so test modules never import from a module named
+``conftest`` — that name is claimed by every test directory and is
+shadowed as soon as two of them land on ``sys.path`` together.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,7 @@ import random
 import pytest
 from hypothesis import settings
 
+from helpers import make_items, split_sets  # noqa: F401  (re-export)
 from repro.core.symbols import SymbolCodec
 
 # Deterministic property testing: examples are derived from the test
@@ -31,26 +38,3 @@ def codec8() -> SymbolCodec:
 def codec32() -> SymbolCodec:
     """Codec for 32-byte items (the paper's communication benchmarks)."""
     return SymbolCodec(32)
-
-
-def make_items(rng: random.Random, count: int, size: int = 8) -> list[bytes]:
-    """``count`` distinct random items of ``size`` bytes.
-
-    Sorted so the workload is identical across processes — ``list(set)``
-    order would depend on the interpreter's randomised string hashing.
-    """
-    items: set[bytes] = set()
-    while len(items) < count:
-        items.add(rng.randbytes(size))
-    return sorted(items)
-
-
-def split_sets(
-    rng: random.Random, shared: int, only_a: int, only_b: int, size: int = 8
-) -> tuple[set[bytes], set[bytes]]:
-    """Two sets with the given shared/exclusive cardinalities."""
-    items = make_items(rng, shared + only_a + only_b, size)
-    common = items[:shared]
-    a_extra = items[shared : shared + only_a]
-    b_extra = items[shared + only_a :]
-    return set(common) | set(a_extra), set(common) | set(b_extra)

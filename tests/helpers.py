@@ -1,0 +1,35 @@
+"""Shared test helpers (imported as ``from helpers import ...``).
+
+Deliberately *not* named ``conftest``: test modules used to import
+helpers from ``conftest``, which breaks the moment another directory's
+``conftest.py`` (e.g. ``benchmarks/``) lands earlier on ``sys.path`` and
+shadows it.  Fixtures stay in ``tests/conftest.py``; plain functions
+live here under a collision-free module name.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_items(rng: random.Random, count: int, size: int = 8) -> list[bytes]:
+    """``count`` distinct random items of ``size`` bytes.
+
+    Sorted so the workload is identical across processes — ``list(set)``
+    order would depend on the interpreter's randomised string hashing.
+    """
+    items: set[bytes] = set()
+    while len(items) < count:
+        items.add(rng.randbytes(size))
+    return sorted(items)
+
+
+def split_sets(
+    rng: random.Random, shared: int, only_a: int, only_b: int, size: int = 8
+) -> tuple[set[bytes], set[bytes]]:
+    """Two sets with the given shared/exclusive cardinalities."""
+    items = make_items(rng, shared + only_a + only_b, size)
+    common = items[:shared]
+    a_extra = items[shared : shared + only_a]
+    b_extra = items[shared + only_a :]
+    return set(common) | set(a_extra), set(common) | set(b_extra)

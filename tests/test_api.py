@@ -1,0 +1,281 @@
+"""The acceptance suite for ``repro.api``: every registered scheme must
+pass the *same* calls on the *same* fixtures.
+
+Items are 7 bytes — the one width every scheme can represent exactly
+(CPI's field holds ≤56-bit items; PinSketch's largest built-in field is
+GF(2^64)) — and never all-zero (0 is not a PinSketch field element).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import (
+    ReconcileError,
+    Session,
+    UnsupportedOperation,
+    available_schemes,
+    get_scheme,
+    reconcile,
+    scheme_info,
+)
+
+ITEM = 7
+
+ALL_SCHEMES = available_schemes()
+STREAMING = [s for s in ALL_SCHEMES if scheme_info(s).capabilities.streaming]
+FIXED = [s for s in ALL_SCHEMES if scheme_info(s).capabilities.fixed_capacity]
+SERIALIZABLE = [s for s in ALL_SCHEMES if scheme_info(s).capabilities.serializable]
+INCREMENTAL = [s for s in ALL_SCHEMES if scheme_info(s).capabilities.incremental]
+
+# name -> (shared, only_a, only_b): the ISSUE's five shared workloads.
+FIXTURES: dict[str, tuple[int, int, int]] = {
+    "identical": (120, 0, 0),
+    "empty": (0, 0, 0),
+    "one_diff": (120, 1, 0),
+    "disjoint": (0, 25, 25),
+    "hundred_diff": (150, 50, 50),
+}
+
+
+def _items(rng: random.Random, count: int) -> list[bytes]:
+    out: set[bytes] = set()
+    while len(out) < count:
+        item = rng.randbytes(ITEM)
+        if item != bytes(ITEM):
+            out.add(item)
+    return sorted(out)
+
+
+def sets_for(fixture: str) -> tuple[set[bytes], set[bytes]]:
+    shared, only_a, only_b = FIXTURES[fixture]
+    rng = random.Random(0xAB1DE + len(fixture) * 1009 + shared + only_a)
+    pool = _items(rng, shared + only_a + only_b)
+    common = set(pool[:shared])
+    a = common | set(pool[shared : shared + only_a])
+    b = common | set(pool[shared + only_a :])
+    return a, b
+
+
+# --- the uniform round-trip: identical call, every scheme, every fixture ----
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_uniform_reconcile(scheme: str, fixture: str) -> None:
+    a, b = sets_for(fixture)
+    d = len(a ^ b)
+    result = reconcile(a, b, scheme=scheme, symbol_size=ITEM, difference_bound=d)
+    assert result.scheme == scheme
+    assert result.only_in_a == a - b
+    assert result.only_in_b == b - a
+    assert result.difference_size == d
+    assert result.bytes_on_wire >= 0
+    if d == 0:
+        assert result.overhead == 0.0
+    else:
+        assert result.overhead > 0.0
+        assert result.bytes_on_wire > 0
+
+
+@pytest.mark.parametrize("scheme", FIXED)
+def test_estimator_fallback_sizes_fixed_schemes(scheme: str) -> None:
+    """No difference_bound: a strata exchange sizes the sketch (±retries)."""
+    a, b = sets_for("one_diff")
+    result = reconcile(a, b, scheme=scheme, symbol_size=ITEM)
+    assert result.only_in_a == a - b and result.only_in_b == b - a
+    # The ~15 KB estimator surcharge is charged to the wire.
+    assert result.bytes_on_wire > 15_000
+    assert result.rounds >= 2
+
+
+# --- serialize/deserialize round-trips --------------------------------------
+
+
+@pytest.mark.parametrize("scheme", SERIALIZABLE)
+def test_serialize_roundtrip(scheme: str) -> None:
+    a, b = sets_for("one_diff")
+    d = len(a ^ b)
+    handle = get_scheme(scheme, symbol_size=ITEM).sized_for(d)
+    blob = handle.new(a).serialize()
+    assert isinstance(blob, bytes) and blob
+    rebuilt = handle.deserialize(blob)
+    result = rebuilt.subtract(handle.new(b)).decode()
+    assert result.success
+    assert set(result.remote) == a - b
+    assert set(result.local) == b - a
+
+
+@pytest.mark.parametrize("scheme", sorted(set(ALL_SCHEMES) - set(SERIALIZABLE)))
+def test_unserializable_schemes_say_so(scheme: str) -> None:
+    a, _ = sets_for("one_diff")
+    with pytest.raises(UnsupportedOperation):
+        get_scheme(scheme, symbol_size=ITEM).new(a).serialize()
+
+
+# --- incremental mutation through the uniform interface ---------------------
+
+
+@pytest.mark.parametrize("scheme", INCREMENTAL)
+def test_add_remove_then_reconcile(scheme: str) -> None:
+    a, b = sets_for("one_diff")
+    d_bound = len(a ^ b) + 2
+    handle = get_scheme(scheme, symbol_size=ITEM).sized_for(d_bound)
+    alice = handle.new(a)
+    bob = handle.new(b)
+    moved = next(iter(a - b))
+    extra = bytes([7] * ITEM)
+    alice.remove(moved)
+    alice.add(extra)
+    result = alice.subtract(bob).decode()
+    assert result.success
+    assert set(result.remote) == ((a - {moved}) | {extra}) - b
+    assert set(result.local) == b - ((a - {moved}) | {extra})
+
+
+# --- streaming extension ----------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", STREAMING)
+def test_streaming_session_step_by_step(scheme: str) -> None:
+    a, b = sets_for("disjoint")
+    session = Session(a, b, scheme, symbol_size=ITEM)
+    steps = 0
+    while not session.step():
+        steps += 1
+        assert steps < 10_000
+    result = session.run()
+    assert result.only_in_a == a - b
+    assert result.only_in_b == b - a
+    assert result.bytes_on_wire == session.bytes_sent
+
+
+def test_streaming_full_duplex_peers() -> None:
+    """One reconciler can send and receive at once: producing must not
+    consume the indices absorb() subtracts against (regression)."""
+    a, b = sets_for("one_diff")
+    handle = get_scheme("riblt", symbol_size=ITEM)
+    peer_a, peer_b = handle.new(a), handle.new(b)
+    exchanges = 0
+    while not (peer_a.decoded and peer_b.decoded):
+        exchanges += 1
+        assert exchanges < 1000
+        peer_b.absorb(peer_a.produce_next())
+        peer_a.absorb(peer_b.produce_next())
+    assert set(peer_b.stream_result().remote) == a - b
+    assert set(peer_a.stream_result().remote) == b - a
+
+
+def test_streaming_budget_raises() -> None:
+    a, b = sets_for("hundred_diff")
+    with pytest.raises(ReconcileError):
+        reconcile(a, b, scheme="riblt", symbol_size=ITEM, max_symbols=3)
+
+
+def test_session_rejects_non_streaming_schemes() -> None:
+    with pytest.raises(ValueError):
+        Session([], [], "regular_iblt", symbol_size=ITEM)
+
+
+# --- registry behaviour -----------------------------------------------------
+
+
+def test_registry_lists_all_schemes() -> None:
+    assert len(ALL_SCHEMES) >= 6
+    for expected in (
+        "riblt",
+        "regular_iblt",
+        "regular_iblt+strata",
+        "met_iblt",
+        "pinsketch",
+        "cpi",
+        "merkle",
+    ):
+        assert expected in ALL_SCHEMES
+
+
+def test_unknown_scheme_is_a_helpful_keyerror() -> None:
+    with pytest.raises(KeyError, match="riblt"):
+        get_scheme("no-such-scheme")
+
+
+def test_unknown_parameter_is_a_helpful_typeerror() -> None:
+    with pytest.raises(TypeError, match="accepted parameters"):
+        get_scheme("riblt", bogus_knob=3)
+
+
+def test_capability_flags_match_reality() -> None:
+    assert scheme_info("riblt").capabilities.streaming
+    assert scheme_info("regular_iblt").capabilities.fixed_capacity
+    assert scheme_info("regular_iblt+strata").capabilities.needs_estimator
+    assert not scheme_info("merkle").capabilities.serializable
+    assert not scheme_info("met_iblt").capabilities.fixed_capacity
+
+
+def test_symbol_size_inferred_from_items() -> None:
+    a, b = sets_for("one_diff")
+    result = reconcile(a, b, scheme="riblt")  # no symbol_size given
+    assert result.only_in_a == a - b
+
+
+def test_empty_build_needs_explicit_symbol_size() -> None:
+    with pytest.raises(ValueError, match="symbol_size"):
+        get_scheme("riblt").new([])
+
+
+def test_mixed_item_widths_rejected() -> None:
+    with pytest.raises(ValueError, match="bytes"):
+        reconcile([b"1234567", b"123"], [], scheme="riblt")
+
+
+# --- scheme-specific representation limits, surfaced uniformly --------------
+
+
+def test_cpi_rejects_wide_items() -> None:
+    with pytest.raises(ValueError, match="7 bytes"):
+        reconcile(
+            [bytes(range(8))], [], scheme="cpi", symbol_size=8, difference_bound=1
+        )
+
+
+def test_pinsketch_rejects_zero_item() -> None:
+    with pytest.raises(ValueError, match="zero"):
+        reconcile(
+            [bytes(ITEM)], [], scheme="pinsketch", symbol_size=ITEM,
+            difference_bound=1,
+        )
+
+
+def test_negative_difference_bound_rejected() -> None:
+    """A clamped negative bound once let PinSketch alias to a wrong
+    answer; nonsensical bounds must be refused outright (regression)."""
+    a, b = sets_for("one_diff")
+    with pytest.raises(ValueError, match="difference_bound"):
+        reconcile(a, b, scheme="pinsketch", symbol_size=ITEM, difference_bound=-3)
+
+
+@pytest.mark.parametrize("scheme", ["pinsketch", "cpi"])
+def test_attribution_survives_post_subtract_mutation(scheme: str) -> None:
+    """subtract() must snapshot the receiver's set, not alias it
+    (regression)."""
+    a, b = sets_for("one_diff")
+    handle = get_scheme(scheme, symbol_size=ITEM).sized_for(8)
+    alice, bob = handle.new(a), handle.new(b)
+    diff = alice.subtract(bob)
+    moved = next(iter(a - b))
+    bob.add(moved)  # receiver learns the item out of band, post-subtract
+    result = diff.decode()
+    assert result.success
+    assert moved in set(result.remote)
+
+
+def test_fixed_capacity_overflow_retries_then_succeeds() -> None:
+    """An undershot bound is survived by doubling, with each round charged."""
+    a, b = sets_for("disjoint")  # d = 50
+    result = reconcile(
+        a, b, scheme="pinsketch", symbol_size=ITEM, difference_bound=10
+    )
+    assert result.only_in_a == a - b
+    assert result.rounds >= 2

@@ -17,7 +17,7 @@ from repro.core.symbols import SymbolCodec
 from repro.core.wire import SymbolStreamReader, decode_stream, encode_stream
 from repro.hashing.keyed import Blake2bHasher
 
-from conftest import split_sets
+from helpers import split_sets
 
 CODEC = SymbolCodec(8)
 

@@ -13,7 +13,7 @@ from repro.core.countless import (
 from repro.core.encoder import RatelessEncoder
 from repro.core.wire import cell_wire_size
 
-from conftest import split_sets
+from helpers import split_sets
 
 
 def test_reconcile_countless_exact(codec8, rng):

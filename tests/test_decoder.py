@@ -6,7 +6,7 @@ from repro.core.decoder import RatelessDecoder, decode_sketch_cells
 from repro.core.encoder import RatelessEncoder
 from repro.core.symbols import SymbolCodec
 
-from conftest import make_items, split_sets
+from helpers import make_items, split_sets
 
 
 def stream_reconcile(codec, set_a, set_b, max_symbols=100_000):

@@ -8,7 +8,7 @@ from repro.core.symbols import SymbolCodec
 from repro.net.link import Link
 from repro.net.simulator import Simulator
 
-from conftest import make_items, split_sets
+from helpers import make_items, split_sets
 
 
 def test_peel_until_decoded_helper(codec8, rng):

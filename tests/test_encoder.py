@@ -6,7 +6,7 @@ from repro.core.encoder import RatelessEncoder
 from repro.core.sketch import RatelessSketch
 from repro.core.symbols import SymbolCodec
 
-from conftest import make_items
+from helpers import make_items
 
 
 def test_add_and_contains(codec8, rng):

@@ -6,7 +6,7 @@ from repro.core.irregular import PAPER_IRREGULAR, IrregularConfig
 from repro.core.session import reconcile
 from repro.core.symbols import SymbolCodec
 
-from conftest import split_sets
+from helpers import split_sets
 
 
 def test_paper_config_values():

@@ -6,7 +6,7 @@ import pytest
 
 from repro.baselines.met_iblt import DEFAULT_MET_CONFIG, MetConfig, MetIBLT
 
-from conftest import split_sets
+from helpers import split_sets
 
 
 def test_config_validation():

@@ -5,7 +5,7 @@ import pytest
 from repro.core.multiparty import UnionSynchronizer, synchronize_union
 from repro.core.symbols import SymbolCodec
 
-from conftest import make_items
+from helpers import make_items
 
 
 def build_world(rng, base=200, peers=3, churn=10):

@@ -10,7 +10,7 @@ from repro.baselines.regular_iblt import (
     RegularIBLT,
     recommended_cells,
 )
-from conftest import make_items, split_sets
+from helpers import make_items, split_sets
 
 
 def test_insert_delete_roundtrip(codec8, rng):

@@ -6,7 +6,7 @@ from repro.core.session import ReconciliationSession, reconcile
 from repro.core.symbols import SymbolCodec
 from repro.hashing.keyed import SipHasher
 
-from conftest import split_sets
+from helpers import split_sets
 
 
 def test_reconcile_basic(rng):

@@ -5,7 +5,7 @@ import pytest
 from repro.core.sketch import RatelessSketch
 from repro.core.symbols import SymbolCodec
 
-from conftest import make_items, split_sets
+from helpers import make_items, split_sets
 
 
 def test_linearity(codec8, rng):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.baselines.strata import StrataEstimator
 
-from conftest import split_sets
+from helpers import split_sets
 
 
 def build_pair(rng, shared, d_a, d_b, **kwargs):

@@ -14,7 +14,7 @@ from repro.core.wire import (
     expected_count,
 )
 
-from conftest import make_items
+from helpers import make_items
 
 
 def test_roundtrip(codec8, rng):

@@ -5,6 +5,12 @@ grows ~6× while d grows 50 000× (cost is per-item, amortised over d);
 (b) PinSketch with N = 10^4 — encoding time grows linearly in d, so
 throughput flattens to a constant.  Rateless is 2-2000× faster.
 
+The rateless sweep runs the bank-backed batch path
+(``RatelessEncoder.produce_block``), with the reference per-cell path
+timed once at the largest d for the recorded fast/reference speedup.
+Both emit bit-identical streams (golden-equivalence suite).  Results
+land in ``BENCH_fig08a_riblt_encode.json``.
+
 We scale N down (DESIGN.md): absolute numbers are interpreter-speed, the
 *scaling shapes* are asserted.
 """
@@ -12,6 +18,7 @@ We scale N down (DESIGN.md): absolute numbers are interpreter-speed, the
 import random
 import time
 
+from bench_json import write_bench_json
 from bench_util import by_scale, make_items
 from bench_util import report_table
 from repro.baselines.pinsketch import GF2m, PinSketch
@@ -32,6 +39,8 @@ def test_fig08a_riblt_encode(benchmark):
     rng = random.Random(88)
     items = make_items(rng, RIBLT_N, ITEM)
     rows = []
+    # Warm the NumPy lane outside the sweep.
+    RatelessEncoder(SymbolCodec(ITEM), items[:256]).produce_block(64)
 
     def run():
         encoder = RatelessEncoder(SymbolCodec(ITEM), items)
@@ -39,21 +48,49 @@ def test_fig08a_riblt_encode(benchmark):
         produced = 0
         for d in RIBLT_DIFFS:
             target = max(1, int(SYMBOLS_PER_DIFF * d))
-            while produced < target:
-                encoder.produce_next()
-                produced += 1
+            if target > produced:
+                encoder.produce_block(target - produced)
+                produced = target
             elapsed = time.perf_counter() - start
             rows.append((d, elapsed, d / elapsed))
         return rows
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Reference per-cell path at the largest d, for the recorded speedup.
+    max_target = max(1, int(SYMBOLS_PER_DIFF * RIBLT_DIFFS[-1]))
+    start = time.perf_counter()
+    reference = RatelessEncoder(SymbolCodec(ITEM), items)
+    for _ in range(max_target):
+        reference.produce_next()
+    reference_elapsed = time.perf_counter() - start
+    fast_elapsed = rows[-1][1]
+    speedup = reference_elapsed / fast_elapsed
+
     lines = [f"{'d':>7} {'encode time (s)':>16} {'throughput (1/s)':>17}"]
     lines += [f"{d:>7} {t:>16.4f} {tp:>17.1f}" for d, t, tp in rows]
     lines.append(
         f"N = {RIBLT_N}; paper: time grows ~6x while d grows 5e4x "
         "(throughput rises almost linearly in d)"
     )
+    lines.append(
+        f"batch path {fast_elapsed:.3f}s vs reference {reference_elapsed:.3f}s "
+        f"at d={RIBLT_DIFFS[-1]} -> {speedup:.1f}x"
+    )
     report_table("Fig 8a — Rateless IBLT encoding", lines)
+    write_bench_json(
+        "fig08a_riblt_encode",
+        rows=[
+            {"d": d, "seconds": t, "throughput_per_s": tp} for d, t, tp in rows
+        ],
+        meta={
+            "set_size": RIBLT_N,
+            "symbols_at_max_d": max_target,
+            "fast_seconds_at_max_d": fast_elapsed,
+            "reference_seconds_at_max_d": reference_elapsed,
+            "fast_over_reference_speedup": speedup,
+        },
+    )
     first_d, first_t, _ = rows[0]
     last_d, last_t, _ = rows[-1]
     growth = last_t / first_t
@@ -109,8 +146,7 @@ def test_fig08_crosscheck_riblt_vs_pinsketch(benchmark):
 
     def riblt():
         encoder = RatelessEncoder(SymbolCodec(ITEM), items)
-        for _ in range(int(SYMBOLS_PER_DIFF * d)):
-            encoder.produce_next()
+        encoder.produce_block(int(SYMBOLS_PER_DIFF * d))
 
     def pinsketch():
         PinSketch.from_items(values, field, capacity=d)

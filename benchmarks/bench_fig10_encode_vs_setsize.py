@@ -3,11 +3,15 @@
 Paper: encoding cost is linear in N (every item is mapped to the same
 expected number of the first m cells), e.g. 2.9 ms at N = 10^4 vs 294 ms
 at N = 10^6 — exactly 100×.
+
+Measured through the bank-backed batch path; results land in
+``BENCH_fig10_encode_vs_setsize.json``.
 """
 
 import random
 import time
 
+from bench_json import write_bench_json
 from bench_util import by_scale, make_items
 from bench_util import report_table
 from repro.core.encoder import RatelessEncoder
@@ -22,8 +26,7 @@ SIZES = by_scale([1_000, 10_000], [1_000, 10_000, 100_000], [1_000, 10_000, 100_
 def encode_time(items):
     encoder = RatelessEncoder(SymbolCodec(ITEM), items)
     start = time.perf_counter()
-    for _ in range(SYMBOLS):
-        encoder.produce_next()
+    encoder.produce_block(SYMBOLS)
     return time.perf_counter() - start
 
 
@@ -42,6 +45,11 @@ def test_fig10_encode_time_vs_set_size(benchmark):
     lines += [f"{n:>9} {t:>16.4f} {t / n * 1e6:>12.2f}" for n, t in rows]
     lines.append("paper: linear in N (100x items -> 100x time)")
     report_table("Fig 10 — encoding time of 1000 diffs vs set size", lines)
+    write_bench_json(
+        "fig10_encode_vs_setsize",
+        rows=[{"set_size": n, "seconds": t} for n, t in rows],
+        meta={"symbols": SYMBOLS, "difference": D},
+    )
 
     # linearity: per-item cost roughly constant across two decades
     per_item = [t / n for n, t in rows]

@@ -1,0 +1,68 @@
+"""Machine-readable benchmark records: ``BENCH_<name>.json`` at repo root.
+
+Throughput benches (figs 8–10) call :func:`write_bench_json` so every
+run leaves a structured artifact next to the human-readable table —
+the perf trajectory future PRs regress against.  CI's perf-smoke job
+uploads these files; locally just re-run the bench::
+
+    REPRO_SCALE=default PYTHONPATH=src python -m pytest \\
+        benchmarks/bench_fig08_encode_throughput.py -q
+
+Record layout::
+
+    {
+      "bench": "fig08a_riblt_encode",
+      "scale": "default",            # REPRO_SCALE profile
+      "unix_time": 1753500000.0,
+      "python": "3.11.7",
+      "rows": [...],                 # bench-specific series
+      "meta": {...}                  # bench-specific scalars (speedups &c.)
+    }
+
+Rows and meta are intentionally free-form per bench; the stable keys
+are the envelope above.  No thresholds are enforced here — trend
+tracking only.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from bench_util import SCALE
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_json_path(name: str) -> Path:
+    """Where ``write_bench_json(name, ...)`` lands.
+
+    Default-scale runs own the bare ``BENCH_<name>.json`` (the committed
+    trajectory records); other profiles write ``BENCH_<name>.<scale>.json``
+    so a quick smoke run never clobbers them.
+    """
+    if SCALE == "default":
+        return REPO_ROOT / f"BENCH_{name}.json"
+    return REPO_ROOT / f"BENCH_{name}.{SCALE}.json"
+
+
+def write_bench_json(
+    name: str,
+    rows: list[Any],
+    meta: Optional[dict[str, Any]] = None,
+) -> Path:
+    """Write one benchmark record; returns the path written."""
+    record = {
+        "bench": name,
+        "scale": SCALE,
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "rows": rows,
+        "meta": meta or {},
+    }
+    path = bench_json_path(name)
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return path

@@ -41,6 +41,7 @@ front door.
 """
 
 from repro import api
+from repro.core.cellbank import CodedSymbolBank
 from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult, RatelessDecoder
 from repro.core.encoder import RatelessEncoder
@@ -53,6 +54,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "CodedSymbol",
+    "CodedSymbolBank",
     "DecodeResult",
     "IndexGenerator",
     "IrregularConfig",

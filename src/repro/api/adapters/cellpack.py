@@ -17,12 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api.base import SchemeParams
+from repro.core.cellbank import CodedSymbolBank
 from repro.core.coded import CodedSymbol
 from repro.core.params import CHECKSUM_BYTES
 from repro.core.symbols import SymbolCodec
 from repro.hashing.keyed import DEFAULT_KEY, make_hasher
 
-COUNT_BYTES = 8
+COUNT_BYTES = CodedSymbolBank.COUNT_BYTES
 
 
 @dataclass(frozen=True)
@@ -49,27 +50,10 @@ def cell_blob_size(codec: SymbolCodec, num_cells: int) -> int:
 
 
 def pack_cells(codec: SymbolCodec, cells: list[CodedSymbol]) -> bytes:
-    parts = []
-    for cell in cells:
-        parts.append(cell.sum.to_bytes(codec.symbol_size, "little"))
-        parts.append(cell.checksum.to_bytes(codec.checksum_size, "little"))
-        parts.append(cell.count.to_bytes(COUNT_BYTES, "little", signed=True))
-    return b"".join(parts)
+    """Serialise cells in the flat layout (delegates to the bank codec)."""
+    return CodedSymbolBank.from_cells(cells).pack(codec)
 
 
 def unpack_cells(codec: SymbolCodec, blob: bytes) -> list[CodedSymbol]:
-    stride = codec.symbol_size + codec.checksum_size + COUNT_BYTES
-    if len(blob) % stride:
-        raise ValueError(
-            f"cell blob of {len(blob)} bytes is not a multiple of the "
-            f"{stride}-byte cell stride"
-        )
-    cells = []
-    for offset in range(0, len(blob), stride):
-        value = int.from_bytes(blob[offset : offset + codec.symbol_size], "little")
-        offset += codec.symbol_size
-        checksum = int.from_bytes(blob[offset : offset + codec.checksum_size], "little")
-        offset += codec.checksum_size
-        count = int.from_bytes(blob[offset : offset + COUNT_BYTES], "little", signed=True)
-        cells.append(CodedSymbol(value, checksum, count))
-    return cells
+    """Parse a flat cell blob (delegates to the bank codec)."""
+    return CodedSymbolBank.unpack(blob, codec).cells()

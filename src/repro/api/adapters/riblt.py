@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 from repro.api.adapters.cellpack import CodecParams, codec_for
 from repro.api.base import StreamingReconciler, UnsupportedOperation
 from repro.api.registry import Capabilities, register_scheme
+from repro.core.cellbank import CodedSymbolBank
 from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult, RatelessDecoder
 from repro.core.encoder import RatelessEncoder
@@ -102,15 +103,25 @@ class RibltReconciler(StreamingReconciler):
 
     def produce_next(self) -> bytes:
         """The next §6-framed coded symbol (header precedes the first)."""
+        return self.produce_block(1)
+
+    def produce_block(self, block_size: int) -> bytes:
+        """The next ``block_size`` §6-framed coded symbols in one payload.
+
+        Byte-identical to ``block_size`` :meth:`produce_next` calls —
+        the framing is per cell — but produced through the bank-backed
+        batch path.
+        """
         encoder = self._require_live()
         if self._writer is None:
             self._writer = SymbolStreamWriter(self.codec, set_size=encoder.set_size)
             head = self._writer.header()
         else:
             head = b""
-        cell = self._local_cell(self._wire_index)
-        self._wire_index += 1
-        return head + self._writer.write(cell)
+        lo = self._wire_index
+        self._wire_index += block_size
+        block = encoder.cached_block(lo, lo + block_size)
+        return head + self._writer.write_block(block)
 
     def absorb(self, payload: bytes) -> bool:
         """Subtract our matching cells from the peer's stream and peel."""
@@ -119,18 +130,14 @@ class RibltReconciler(StreamingReconciler):
             self._reader = SymbolStreamReader(self.codec)
             self._decoder = RatelessDecoder(self.codec)
         assert self._decoder is not None
-        for remote in self._reader.feed(payload):
-            local = self._local_cell(self._absorbed)
-            self._absorbed += 1
-            self._decoder.add_subtracted(remote, local)
+        incoming = CodedSymbolBank()
+        parsed = self._reader.feed_into(incoming, payload)
+        if parsed:
+            lo = self._absorbed
+            self._absorbed += parsed
+            incoming.subtract_in_place(encoder.cached_block(lo, lo + parsed))
+            self._decoder.add_coded_block(incoming)
         return self._decoder.decoded
-
-    def _local_cell(self, index: int) -> CodedSymbol:
-        """Coded symbol ``index`` of our cached stream, produced on demand."""
-        encoder = self._require_live()
-        while encoder.produced_count <= index:
-            encoder.produce_next()
-        return encoder.cached(index)
 
     @property
     def decoded(self) -> bool:
@@ -174,10 +181,10 @@ class RibltReconciler(StreamingReconciler):
     def decode(self) -> DecodeResult:
         assert self._cells is not None, "decode() applies to a subtracted sketch"
         decoder = RatelessDecoder(self.codec)
-        for cell in self._cells:
-            decoder.add_coded_symbol(cell.copy())
-            if decoder.decoded:
-                break
+        # chunk=1 keeps the consumed-prefix accounting cell-exact.
+        decoder.add_coded_block(
+            CodedSymbolBank.from_cells(self._cells), stop_when_decoded=True, chunk=1
+        )
         return decoder.result()
 
     def decode_wire_bytes(self, result: DecodeResult) -> int:

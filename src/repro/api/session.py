@@ -89,14 +89,35 @@ class Session:
         self.steps += 1
         return self.bob.absorb(payload)
 
-    def run(self, max_symbols: Optional[int] = None) -> ReconcileResult:
-        """Stream until decoded (or raise after ``max_symbols`` payloads)."""
+    def step_block(self, block_size: int) -> bool:
+        """Move ``block_size`` coded units in one payload; True once decoded.
+
+        Identical bytes on the wire to ``block_size`` single steps;
+        termination is detected at block granularity.
+        """
+        payload = self.alice.produce_block(block_size)
+        self.bytes_sent += len(payload)
+        self.steps += block_size
+        return self.bob.absorb(payload)
+
+    def run(
+        self, max_symbols: Optional[int] = None, block_size: int = 1
+    ) -> ReconcileResult:
+        """Stream until decoded (or raise after ``max_symbols`` payloads).
+
+        ``block_size > 1`` moves coded units in batches, riding the
+        scheme's block fast path where it has one (up to
+        ``block_size − 1`` units of overshoot past the decode point).
+        """
         while not self.decoded:
             if max_symbols is not None and self.steps >= max_symbols:
                 raise ReconcileError(
                     f"{self.scheme}: no decode within {max_symbols} coded symbols"
                 )
-            self.step()
+            if block_size > 1:
+                self.step_block(block_size)
+            else:
+                self.step()
         result = self.bob.stream_result()
         return ReconcileResult(
             only_in_a=set(result.remote),
@@ -185,6 +206,7 @@ def reconcile(
     difference_bound: Optional[int] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     max_symbols: Optional[int] = None,
+    block_size: int = 1,
     **params: object,
 ) -> ReconcileResult:
     """Compute A △ B with any registered scheme.
@@ -197,7 +219,8 @@ def reconcile(
     difference can alias to a plausible wrong answer (a known PinSketch
     property), so treat an explicit bound as a promise, not a hint.
     ``max_symbols`` bounds streaming schemes; ``max_rounds`` bounds
-    fixed-capacity retries.  Remaining keyword arguments go to the
+    fixed-capacity retries; ``block_size`` batches streaming payloads
+    (see :meth:`Session.run`).  Remaining keyword arguments go to the
     scheme's parameter dataclass — see ``get_scheme(name)`` errors for
     each scheme's knobs.
 
@@ -213,7 +236,7 @@ def reconcile(
     a = list(dict.fromkeys(alice_items))
     b = list(dict.fromkeys(bob_items))
     if handle.capabilities.streaming:
-        return Session(a, b, handle).run(max_symbols=max_symbols)
+        return Session(a, b, handle).run(max_symbols=max_symbols, block_size=block_size)
     if handle.capabilities.fixed_capacity:
         return _fixed_reconcile(handle, a, b, difference_bound, max_rounds)
     return _one_shot_reconcile(handle, a, b)

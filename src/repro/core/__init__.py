@@ -8,14 +8,16 @@ Module map:
                 keyed checksums, mapping-generator construction.
 ``mapping``   — the §4.2 index generator realising ρ(i) = 1/(1+αi).
 ``coded``     — the (sum, checksum, count) coded-symbol cell.
-``encoder``   — incremental heap-based encoder (§6).
-``decoder``   — incremental peeling decoder (§3, §4).
+``cellbank``  — array-backed coded-symbol banks + batch scatter samplers.
+``encoder``   — incremental heap-based encoder (§6) with block fast path.
+``decoder``   — incremental peeling decoder (§3, §4) with block fast path.
 ``sketch``    — fixed-length prefixes ("sketches") with linear subtraction.
 ``wire``      — §6 wire format with var-int compressed counts.
 ``session``   — in-memory reconciliation protocol driver.
 ``irregular`` — §8 Irregular Rateless IBLT configuration.
 """
 
+from repro.core.cellbank import CodedSymbolBank
 from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult, RatelessDecoder
 from repro.core.encoder import RatelessEncoder
@@ -27,6 +29,7 @@ from repro.core.symbols import SymbolCodec
 
 __all__ = [
     "CodedSymbol",
+    "CodedSymbolBank",
     "DecodeResult",
     "IndexGenerator",
     "IrregularConfig",

@@ -1,0 +1,456 @@
+"""Array-backed coded-symbol banks and the batch scatter-walk samplers.
+
+The per-cell :class:`~repro.core.coded.CodedSymbol` object is the right
+unit for the protocol definition, but the wrong unit for throughput: one
+Python object, one method call, and one heap operation per cell/edge
+drown the paper's computational claims (§7, Figs 8–10) in interpreter
+constant factors.  A :class:`CodedSymbolBank` stores a coded-symbol
+prefix as three parallel lanes — ``sums``, ``checksums``, ``counts`` —
+and the hot loops operate on the lanes directly.
+
+Lane representation
+-------------------
+Lanes are plain Python lists of ints.  We measured ``array('Q')`` at
+~1.4× *slower* than a list for the read-modify-write inner loop (every
+``array`` access boxes/unboxes a fresh int object, while a list hands
+back the stored object), and lists additionally handle symbols wider
+than 8 bytes with the same code path.  ``array``/``bytearray`` appear at
+the serialisation boundary (:meth:`CodedSymbolBank.pack` /
+:meth:`CodedSymbolBank.unpack`), and the optional NumPy lane views the
+same data as ``uint64``/``int64`` vectors for batch scatters.
+
+Batch sampling (the §4.2 mapping, many symbols at once)
+-------------------------------------------------------
+:func:`scatter_walk` XORs a batch of source symbols into every lane index
+they map to inside ``[·, hi)``, advancing each symbol's splitmix64 state
+exactly as :class:`~repro.core.mapping.IndexGenerator.next_index` would.
+Two interchangeable engines exist:
+
+* :func:`scatter_walk_scalar` — the splitmix64 step and the α = 0.5
+  inverse CDF inlined as local-variable arithmetic (no function calls on
+  the per-edge path); handles any symbol width and per-symbol α (§8).
+* :func:`scatter_walk_numpy` — vectorised across symbols.  Splitmix64's
+  state is an additive counter, so a whole batch advances in lock-step
+  rounds of uint64 vector arithmetic plus ``np.bitwise_xor.at``
+  scatters.  Guarded: requires NumPy, sums/checksums that fit in 64
+  bits, and the regular α = 0.5 mapping.
+
+Both engines are bit-identical to the reference per-cell path (IEEE-754
+double arithmetic is performed in the same order), which the
+golden-equivalence suite asserts; ``REPRO_NO_NUMPY=1`` (or setting
+``NUMPY_LANE = False``) forces the scalar engine everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
+
+from repro.core.coded import CodedSymbol
+from repro.core.params import DEFAULT_ALPHA, MAX_INDEX
+from repro.hashing.prng import GAMMA, INV_2_53, MASK64, MIX1, MIX2
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.symbols import SymbolCodec
+
+try:  # pragma: no cover - exercised implicitly by the lane dispatch tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+# Flip to False (or set REPRO_NO_NUMPY=1) to force the scalar engine;
+# the golden-equivalence tests toggle this to cover both lanes.
+NUMPY_LANE = _np is not None and os.environ.get("REPRO_NO_NUMPY", "") != "1"
+
+# Below these sizes the NumPy call overhead outweighs the vector win.
+NUMPY_MIN_JOBS = 8
+NUMPY_MIN_SPAN = 32
+
+
+class CodedSymbolBank:
+    """A coded-symbol prefix stored as three parallel lanes.
+
+    Semantically a ``list[CodedSymbol]``; physically three lists of ints
+    that the batch producers/consumers address directly.  All mutating
+    bank-level operations are linear (XOR on sums/checksums, ± on
+    counts), mirroring :class:`~repro.core.coded.CodedSymbol`.
+    """
+
+    __slots__ = ("sums", "checksums", "counts")
+
+    def __init__(
+        self,
+        sums: Optional[list[int]] = None,
+        checksums: Optional[list[int]] = None,
+        counts: Optional[list[int]] = None,
+    ) -> None:
+        self.sums: list[int] = sums if sums is not None else []
+        self.checksums: list[int] = checksums if checksums is not None else []
+        self.counts: list[int] = counts if counts is not None else []
+        if not (len(self.sums) == len(self.checksums) == len(self.counts)):
+            raise ValueError("bank lanes must have equal length")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_cells(cls, cells: Iterable[CodedSymbol]) -> "CodedSymbolBank":
+        """Bank holding a value copy of ``cells``."""
+        sums: list[int] = []
+        checksums: list[int] = []
+        counts: list[int] = []
+        for cell in cells:
+            sums.append(cell.sum)
+            checksums.append(cell.checksum)
+            counts.append(cell.count)
+        return cls(sums, checksums, counts)
+
+    @classmethod
+    def zeros(cls, size: int) -> "CodedSymbolBank":
+        """Bank of ``size`` zero cells (the sketch of the empty set)."""
+        return cls([0] * size, [0] * size, [0] * size)
+
+    def copy(self) -> "CodedSymbolBank":
+        """Value copy of this bank."""
+        return CodedSymbolBank(list(self.sums), list(self.checksums), list(self.counts))
+
+    def slice(self, lo: int, hi: int) -> "CodedSymbolBank":
+        """Value copy of cells ``[lo, hi)``."""
+        return CodedSymbolBank(
+            self.sums[lo:hi], self.checksums[lo:hi], self.counts[lo:hi]
+        )
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.sums)
+
+    def __iter__(self) -> Iterator[CodedSymbol]:
+        for s, k, c in zip(self.sums, self.checksums, self.counts):
+            yield CodedSymbol(s, k, c)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CodedSymbolBank):
+            return NotImplemented
+        return (
+            self.sums == other.sums
+            and self.checksums == other.checksums
+            and self.counts == other.counts
+        )
+
+    def __repr__(self) -> str:
+        return f"CodedSymbolBank(size={len(self.sums)})"
+
+    def cell_at(self, index: int) -> CodedSymbol:
+        """Value snapshot of cell ``index``."""
+        return CodedSymbol(self.sums[index], self.checksums[index], self.counts[index])
+
+    def cells(self) -> list[CodedSymbol]:
+        """Value snapshots of every cell."""
+        return list(self)
+
+    def append(self, sum_: int, checksum: int, count: int) -> None:
+        """Append one cell given as a lane triple."""
+        self.sums.append(sum_)
+        self.checksums.append(checksum)
+        self.counts.append(count)
+
+    def append_cell(self, cell: CodedSymbol) -> None:
+        """Append a value copy of ``cell``."""
+        self.append(cell.sum, cell.checksum, cell.count)
+
+    def extend_zeros(self, size: int) -> None:
+        """Grow the bank by ``size`` zero cells."""
+        self.sums.extend([0] * size)
+        self.checksums.extend([0] * size)
+        self.counts.extend([0] * size)
+
+    def extend(self, other: "CodedSymbolBank") -> None:
+        """Append a value copy of every cell of ``other``."""
+        self.sums.extend(other.sums)
+        self.checksums.extend(other.checksums)
+        self.counts.extend(other.counts)
+
+    # -- linear algebra ---------------------------------------------------
+
+    def apply_batch(
+        self, value: int, checksum: int, direction: int, indices: Sequence[int]
+    ) -> None:
+        """XOR one source symbol into many cells at once.
+
+        ``direction`` is +1 to add, −1 to remove — the count bookkeeping,
+        exactly as :meth:`CodedSymbol.apply` per index.
+        """
+        sums = self.sums
+        checksums = self.checksums
+        counts = self.counts
+        for idx in indices:
+            sums[idx] ^= value
+            checksums[idx] ^= checksum
+            counts[idx] += direction
+
+    def subtract(self, other: "CodedSymbolBank") -> "CodedSymbolBank":
+        """Cell-wise ``self ⊖ other`` (paper §3 sketch subtraction)."""
+        if len(other) != len(self):
+            raise ValueError(
+                f"bank sizes differ: {len(self)} vs {len(other)}"
+            )
+        return CodedSymbolBank(
+            [a ^ b for a, b in zip(self.sums, other.sums)],
+            [a ^ b for a, b in zip(self.checksums, other.checksums)],
+            [a - b for a, b in zip(self.counts, other.counts)],
+        )
+
+    def subtract_in_place(self, other: "CodedSymbolBank") -> None:
+        """In-place version of :meth:`subtract`."""
+        if len(other) != len(self):
+            raise ValueError(
+                f"bank sizes differ: {len(self)} vs {len(other)}"
+            )
+        sums = self.sums
+        checksums = self.checksums
+        counts = self.counts
+        for i, (s, k, c) in enumerate(zip(other.sums, other.checksums, other.counts)):
+            sums[i] ^= s
+            checksums[i] ^= k
+            counts[i] -= c
+
+    def is_all_zero(self) -> bool:
+        """True when every cell has been reduced to zero."""
+        return (
+            not any(self.counts) and not any(self.sums) and not any(self.checksums)
+        )
+
+    # -- wire format ------------------------------------------------------
+    #
+    # The bank's own wire format is the flat fixed-width cell layout also
+    # used by the table-based schemes (see ``repro.api.adapters.cellpack``):
+    # ℓ-byte sum | checksum_size-byte checksum | 8-byte signed count, all
+    # little-endian.  The §6 compressed-count stream framing lives in
+    # ``repro.core.wire`` (``SymbolStreamWriter.write_block`` /
+    # ``SymbolStreamReader.feed_into``) and builds on the same lanes.
+
+    COUNT_BYTES = 8
+
+    def pack(self, codec: "SymbolCodec") -> bytes:
+        """Serialise the lanes into one contiguous byte string."""
+        ssize = codec.symbol_size
+        csize = codec.checksum_size
+        stride = ssize + csize + self.COUNT_BYTES
+        blob = bytearray(stride * len(self.sums))
+        offset = 0
+        for s, k, c in zip(self.sums, self.checksums, self.counts):
+            blob[offset : offset + ssize] = s.to_bytes(ssize, "little")
+            offset += ssize
+            blob[offset : offset + csize] = k.to_bytes(csize, "little")
+            offset += csize
+            blob[offset : offset + 8] = c.to_bytes(8, "little", signed=True)
+            offset += 8
+        return bytes(blob)
+
+    @classmethod
+    def unpack(cls, blob: bytes, codec: "SymbolCodec") -> "CodedSymbolBank":
+        """Parse a :meth:`pack`-format byte string back into a bank."""
+        ssize = codec.symbol_size
+        csize = codec.checksum_size
+        stride = ssize + csize + cls.COUNT_BYTES
+        if len(blob) % stride:
+            raise ValueError(
+                f"bank blob of {len(blob)} bytes is not a multiple of the "
+                f"{stride}-byte cell stride"
+            )
+        view = memoryview(blob)
+        sums: list[int] = []
+        checksums: list[int] = []
+        counts: list[int] = []
+        from_bytes = int.from_bytes
+        for offset in range(0, len(blob), stride):
+            sums.append(from_bytes(view[offset : offset + ssize], "little"))
+            offset += ssize
+            checksums.append(from_bytes(view[offset : offset + csize], "little"))
+            offset += csize
+            counts.append(from_bytes(view[offset : offset + 8], "little", signed=True))
+        return cls(sums, checksums, counts)
+
+
+# -- batch scatter-walk samplers ------------------------------------------
+
+
+def numpy_lane_eligible(codec: "SymbolCodec") -> bool:
+    """True when ``codec``'s symbols can ride the vectorised lane.
+
+    Requires NumPy, sums and checksums that fit in uint64, and the
+    regular α = 0.5 mapping (the §8 irregular power-step falls back to
+    the scalar engine).
+    """
+    return (
+        NUMPY_LANE
+        and _np is not None
+        and codec.symbol_size <= 8
+        and codec.checksum_size <= 8
+        and codec.irregular is None
+    )
+
+
+def scatter_walk_scalar(
+    sums: list[int],
+    checksums: list[int],
+    counts: list[int],
+    indices: list[int],
+    states: list[int],
+    values: Sequence[int],
+    symbol_checksums: Sequence[int],
+    directions: Sequence[int],
+    alphas: Sequence[float],
+    hi: int,
+    touched: Optional[list[int]] = None,
+) -> None:
+    """Walk each symbol ``j`` from ``indices[j]`` to its first index ≥ ``hi``,
+    XOR-ing it into every lane index it maps to along the way.
+
+    ``indices``/``states`` are the symbols' (``current``, splitmix64
+    ``state``) pairs checked out of their
+    :class:`~repro.core.mapping.IndexGenerator`; both lists are updated
+    in place so the caller can check them back in.  ``touched``, when
+    given, collects every lane index written (with multiplicity).
+
+    The splitmix64 step and the α = 0.5 inverse CDF are inlined as
+    local-variable arithmetic — this loop IS the encoder/decoder per-edge
+    hot path, bit-identical to ``IndexGenerator.next_index``.
+    """
+    sqrt = math.sqrt
+    default_alpha = DEFAULT_ALPHA
+    collect = touched.append if touched is not None else None
+    for j in range(len(indices)):
+        idx = indices[j]
+        if idx >= hi:
+            continue
+        state = states[j]
+        value = values[j]
+        checksum = symbol_checksums[j]
+        direction = directions[j]
+        alpha = alphas[j]
+        if alpha == default_alpha:
+            while idx < hi:
+                sums[idx] ^= value
+                checksums[idx] ^= checksum
+                counts[idx] += direction
+                if collect is not None:
+                    collect(idx)
+                state = (state + GAMMA) & MASK64
+                z = (state ^ (state >> 30)) * MIX1 & MASK64
+                z = (z ^ (z >> 27)) * MIX2 & MASK64
+                r = ((z ^ (z >> 31)) >> 11) * INV_2_53
+                half = idx + 1.5
+                gap = (
+                    sqrt(half * half + r * (idx + 1.0) * (idx + 2.0) / (1.0 - r))
+                    - half
+                )
+                step = int(gap)
+                if step < gap:
+                    step += 1
+                if step < 1:
+                    step = 1
+                nxt = idx + step
+                if nxt > MAX_INDEX:
+                    nxt = idx + 1
+                idx = nxt
+        else:
+            neg_alpha = -alpha
+            while idx < hi:
+                sums[idx] ^= value
+                checksums[idx] ^= checksum
+                counts[idx] += direction
+                if collect is not None:
+                    collect(idx)
+                state = (state + GAMMA) & MASK64
+                z = (state ^ (state >> 30)) * MIX1 & MASK64
+                z = (z ^ (z >> 27)) * MIX2 & MASK64
+                r = ((z ^ (z >> 31)) >> 11) * INV_2_53
+                gap = (idx + 1.0) * ((1.0 - r) ** neg_alpha - 1.0)
+                step = int(gap)
+                if step < gap:
+                    step += 1
+                if step < 1:
+                    step = 1
+                nxt = idx + step
+                if nxt > MAX_INDEX:
+                    nxt = idx + 1
+                idx = nxt
+        indices[j] = idx
+        states[j] = state
+
+
+def scatter_walk_numpy(
+    sums,  # np.ndarray[uint64]
+    checksums,  # np.ndarray[uint64]
+    counts,  # np.ndarray[int64]
+    indices: list[int],
+    states: list[int],
+    values: Sequence[int],
+    symbol_checksums: Sequence[int],
+    directions: Sequence[int],
+    hi: int,
+    base: int = 0,
+    touched: Optional[list] = None,
+) -> None:
+    """Vectorised :func:`scatter_walk_scalar` (α = 0.5, ≤64-bit lanes).
+
+    The lane arrays cover absolute indices ``[base, base + len)``.  Each
+    lock-step round scatters one edge per still-active symbol with
+    ``np.bitwise_xor.at`` / ``np.add.at`` (unbuffered, so colliding
+    indices accumulate correctly), then advances every active state with
+    uint64 vector arithmetic.  Bit-identical to the scalar engine: the
+    float64 expression tree is evaluated in the same order, and IEEE-754
+    makes each elementwise op exactly reproducible.
+
+    ``touched``, when given, collects per-round absolute-index arrays.
+    """
+    np = _np
+    n = len(indices)
+    idx = np.array(indices, dtype=np.int64)
+    state = np.array(states, dtype=np.uint64)
+    vals = np.array(values, dtype=np.uint64)
+    csums = np.array(symbol_checksums, dtype=np.uint64)
+    dirs = np.array(directions, dtype=np.int64)
+    u30, u27, u31, u11 = (np.uint64(b) for b in (30, 27, 31, 11))
+    gamma = np.uint64(GAMMA)
+    mix1 = np.uint64(MIX1)
+    mix2 = np.uint64(MIX2)
+    active = np.where(idx < hi)[0]
+    with np.errstate(over="ignore"):
+        while active.size:
+            ia = idx[active]
+            slot = ia - base
+            np.bitwise_xor.at(sums, slot, vals[active])
+            np.bitwise_xor.at(checksums, slot, csums[active])
+            np.add.at(counts, slot, dirs[active])
+            if touched is not None:
+                touched.append(ia)
+            st = state[active] + gamma
+            state[active] = st
+            z = (st ^ (st >> u30)) * mix1
+            z = (z ^ (z >> u27)) * mix2
+            z = z ^ (z >> u31)
+            r = (z >> u11).astype(np.float64) * INV_2_53
+            fi = ia.astype(np.float64)
+            half = fi + 1.5
+            t = r * (fi + 1.0)
+            t = t * (fi + 2.0)
+            t = t / (1.0 - r)
+            gap = np.sqrt(half * half + t) - half
+            step = np.ceil(gap)
+            # Cap before the int64 cast: a far-tail draw (r → 1) can push
+            # ceil(gap) past 2^63.  Any step this large already exceeds
+            # MAX_INDEX, so the clamp below fires either way — the cap
+            # only keeps the cast defined.
+            np.minimum(step, 1e18, out=step)
+            stepi = step.astype(np.int64)
+            np.maximum(stepi, 1, out=stepi)
+            nxt = ia + stepi
+            nxt = np.where(nxt > MAX_INDEX, ia + 1, nxt)
+            idx[active] = nxt
+            active = active[nxt < hi]
+    for j in range(n):
+        indices[j] = int(idx[j])
+        states[j] = int(state[j])

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 
 from repro.core.params import DEFAULT_ALPHA, MAX_INDEX
-from repro.hashing.prng import Splitmix64
+from repro.hashing.prng import GAMMA, INV_2_53, MASK64, MIX1, MIX2
 
 
 class IndexGenerator:
@@ -34,6 +34,13 @@ class IndexGenerator:
     the first coded symbol — the property that gives Bob his termination
     signal (§4.1.2).
 
+    The splitmix64 stream is held inline (``state``) rather than behind a
+    :class:`~repro.hashing.prng.Splitmix64` object: ``next_index`` sits on
+    the per-edge hot path of the encoder and decoder, and the batch
+    samplers in :mod:`repro.core.cellbank` check the (``state``,
+    ``current``) pair out, advance it with identical arithmetic, and check
+    it back in.
+
     >>> gen = IndexGenerator(seed=1234)
     >>> gen.current
     0
@@ -42,19 +49,24 @@ class IndexGenerator:
     True
     """
 
-    __slots__ = ("_rng", "current", "alpha")
+    __slots__ = ("state", "current", "alpha")
 
     def __init__(self, seed: int, alpha: float = DEFAULT_ALPHA) -> None:
         if alpha <= 0.0:
             raise ValueError("alpha must be positive")
-        self._rng = Splitmix64(seed)
+        self.state = seed & MASK64
         self.current = 0
         self.alpha = alpha
 
     def next_index(self) -> int:
         """Advance to — and return — the next mapped coded index."""
         i = self.current
-        r = self._rng.next_float()
+        # Inlined Splitmix64.next_float() (bit-identical; see class doc).
+        state = (self.state + GAMMA) & MASK64
+        self.state = state
+        z = (state ^ (state >> 30)) * MIX1 & MASK64
+        z = (z ^ (z >> 27)) * MIX2 & MASK64
+        r = ((z ^ (z >> 31)) >> 11) * INV_2_53
         if self.alpha == DEFAULT_ALPHA:
             # Exact inverse CDF for α = 0.5 (one sqrt; see module docstring).
             half = i + 1.5

@@ -4,6 +4,17 @@ Alice streams coded symbols; Bob subtracts his own symbols pairwise and
 peels.  He stops the moment every received cell zeroises (§4.1's
 termination signal).  :func:`reconcile` is the one-call convenience API.
 
+Symbols move either one at a time (:meth:`ReconciliationSession.step`,
+cell-exact accounting — the default) or as blocks
+(:meth:`ReconciliationSession.step_block` / ``run(block_size=...)``),
+which ride the bank-backed batch paths: both encoders extend their
+cached prefix in one pass, the banks are subtracted lane-wise, and Bob
+ingests the whole difference block.  A block stream is bit-identical on
+the wire to the same number of single steps; the only difference is
+that termination is detected at block granularity, so up to
+``block_size − 1`` extra symbols may be sent after the difference was
+already decodable.
+
 For the simulated-network version used in the Ethereum experiments, see
 ``repro.net.protocols``.
 """
@@ -88,14 +99,37 @@ class ReconciliationSession:
         self.symbols_sent += 1
         return self.decoder.decoded
 
-    def run(self, max_symbols: Optional[int] = None) -> ReconcileOutcome:
-        """Stream until decoded (or until ``max_symbols``; then raises)."""
+    def step_block(self, block_size: int) -> bool:
+        """Send ``block_size`` coded symbols at once; True when decoded.
+
+        Rides the batch fast paths end to end: block production at both
+        encoders, lane-wise subtraction, block ingestion at the decoder.
+        """
+        remote = self.alice.produce_block(block_size)
+        self._writer.write_block(remote)
+        remote.subtract_in_place(self.bob.produce_block(block_size))
+        self.decoder.add_coded_block(remote)
+        self.symbols_sent += block_size
+        return self.decoder.decoded
+
+    def run(
+        self, max_symbols: Optional[int] = None, block_size: int = 1
+    ) -> ReconcileOutcome:
+        """Stream until decoded (or until ``max_symbols``; then raises).
+
+        ``block_size=1`` (default) keeps cell-exact termination; larger
+        blocks trade up to ``block_size − 1`` extra symbols for batch
+        throughput.
+        """
         while not self.decoder.decoded:
             if max_symbols is not None and self.symbols_sent >= max_symbols:
                 raise RuntimeError(
                     f"reconciliation did not converge within {max_symbols} symbols"
                 )
-            self.step()
+            if block_size > 1:
+                self.step_block(block_size)
+            else:
+                self.step()
         return ReconcileOutcome(
             only_in_a=set(self.decoder.remote_items()),
             only_in_b=set(self.decoder.local_items()),
@@ -111,13 +145,15 @@ def reconcile(
     hasher: Optional[KeyedHasher] = None,
     codec: Optional[SymbolCodec] = None,
     max_symbols: Optional[int] = None,
+    block_size: int = 1,
 ) -> ReconcileOutcome:
     """Compute A △ B with the full streaming protocol.
 
     Exactly one way of fixing the item width is needed: either pass
     ``symbol_size`` (a codec is built) or pass an explicit ``codec``
     (``symbol_size`` is then derived from it and, if also given, must
-    agree).
+    agree).  ``block_size > 1`` moves symbols in batches (see
+    :meth:`ReconciliationSession.run`).
 
     >>> a = {b"%07d" % i for i in range(50)}
     >>> b = {b"%07d" % i for i in range(2, 52)}
@@ -135,4 +171,4 @@ def reconcile(
             f"{codec.symbol_size}; pass one or the other"
         )
     session = ReconciliationSession(alice_items, bob_items, codec)
-    return session.run(max_symbols=max_symbols)
+    return session.run(max_symbols=max_symbols, block_size=block_size)

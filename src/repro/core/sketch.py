@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from repro.core.cellbank import CodedSymbolBank
 from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult, RatelessDecoder
 from repro.core.symbols import SymbolCodec
@@ -45,11 +46,8 @@ class RatelessSketch:
             count += 1
             value = codec.to_int(data)
             checksum = codec.checksum_int(value)
-            gen = codec.new_mapping(checksum)
-            idx = 0
-            while idx < size:
+            for idx in codec.new_mapping(checksum).indices_below(size):
                 cells[idx].apply(value, checksum, 1)
-                idx = gen.next_index()
         return cls(codec, cells, set_size=count)
 
     @classmethod
@@ -74,24 +72,16 @@ class RatelessSketch:
         """Fold one more item into this sketch in place (linearity)."""
         value = self.codec.to_int(data)
         checksum = self.codec.checksum_int(value)
-        gen = self.codec.new_mapping(checksum)
-        idx = 0
-        size = len(self.cells)
-        while idx < size:
+        for idx in self.codec.new_mapping(checksum).indices_below(len(self.cells)):
             self.cells[idx].apply(value, checksum, 1)
-            idx = gen.next_index()
         self.set_size += 1
 
     def remove_item(self, data: bytes) -> None:
         """Peel one item back out of this sketch in place."""
         value = self.codec.to_int(data)
         checksum = self.codec.checksum_int(value)
-        gen = self.codec.new_mapping(checksum)
-        idx = 0
-        size = len(self.cells)
-        while idx < size:
+        for idx in self.codec.new_mapping(checksum).indices_below(len(self.cells)):
             self.cells[idx].apply(value, checksum, -1)
-            idx = gen.next_index()
         self.set_size -= 1
 
     def truncated(self, size: int) -> "RatelessSketch":
@@ -107,12 +97,15 @@ class RatelessSketch:
     # -- decoding ------------------------------------------------------------
 
     def decode(self) -> DecodeResult:
-        """Peel this (already subtracted) sketch; cells are not mutated."""
+        """Peel this (already subtracted) sketch; cells are not mutated.
+
+        Cell-exact early stop (``chunk=1``), so ``symbols_used`` reports
+        the same consumed prefix as per-cell feeding.
+        """
         decoder = RatelessDecoder(self.codec)
-        for cell in self.cells:
-            decoder.add_coded_symbol(cell.copy())
-            if decoder.decoded:
-                break
+        decoder.add_coded_block(
+            CodedSymbolBank.from_cells(self.cells), stop_when_decoded=True, chunk=1
+        )
         return decoder.result()
 
     # -- container protocol ---------------------------------------------------

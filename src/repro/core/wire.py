@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional
 
 from repro.core import varint
+from repro.core.cellbank import CodedSymbolBank
 from repro.core.coded import CodedSymbol
 from repro.core.symbols import SymbolCodec
 
@@ -76,6 +77,35 @@ class SymbolStreamWriter:
         self.count_bytes_written += len(count_blob)
         return blob
 
+    def write_block(self, bank: CodedSymbolBank) -> bytes:
+        """Serialise a whole bank of cells; byte-identical to per-cell
+        :meth:`write` calls, without materialising cell objects."""
+        codec = self.codec
+        symbol_size = codec.symbol_size
+        checksum_size = codec.checksum_size
+        set_size = self.set_size
+        encode_svarint = varint.encode_svarint
+        index = self.index
+        count_bytes = 0
+        parts = []
+        for cell_sum, cell_checksum, cell_count in zip(
+            bank.sums, bank.checksums, bank.counts
+        ):
+            count_blob = encode_svarint(
+                cell_count - expected_count(codec, set_size, index)
+            )
+            parts.append(cell_sum.to_bytes(symbol_size, "little"))
+            parts.append(cell_checksum.to_bytes(checksum_size, "little"))
+            parts.append(count_blob)
+            count_bytes += len(count_blob)
+            index += 1
+        blob = b"".join(parts)
+        self.index = index
+        self.cells_written += len(bank)
+        self.bytes_written += len(blob)
+        self.count_bytes_written += count_bytes
+        return blob
+
     @property
     def mean_count_bytes(self) -> float:
         """Average bytes spent on the compressed count field per cell
@@ -97,15 +127,44 @@ class SymbolStreamReader:
 
     def feed(self, data: bytes) -> list[CodedSymbol]:
         """Append bytes; return every cell that became complete."""
+        bank = CodedSymbolBank()
+        self.feed_into(bank, data)
+        return bank.cells()
+
+    def feed_into(self, bank: CodedSymbolBank, data: bytes) -> int:
+        """Append bytes; parse every completed cell straight into ``bank``'s
+        lanes (no cell objects).  Returns the number of cells appended."""
         self._buffer.extend(data)
-        cells = []
         if not self._header_parsed and not self._try_parse_header():
-            return cells
-        while True:
-            cell = self._try_parse_cell()
-            if cell is None:
-                return cells
-            cells.append(cell)
+            return 0
+        codec = self.codec
+        symbol_size = codec.symbol_size
+        fixed = symbol_size + codec.checksum_size
+        decode_svarint = varint.decode_svarint
+        from_bytes = int.from_bytes
+        sums = bank.sums
+        checksums = bank.checksums
+        counts = bank.counts
+        set_size = self.set_size
+        assert set_size is not None
+        appended = 0
+        buf = bytes(self._buffer)
+        pos = 0
+        end = len(buf)
+        while end - pos >= fixed + 1:
+            try:
+                delta, after = decode_svarint(buf, pos + fixed)
+            except ValueError:
+                break  # count varint still incomplete
+            sums.append(from_bytes(buf[pos : pos + symbol_size], "little"))
+            checksums.append(from_bytes(buf[pos + symbol_size : pos + fixed], "little"))
+            counts.append(delta + expected_count(codec, set_size, self.index))
+            self.index += 1
+            appended += 1
+            pos = after
+        if pos:
+            del self._buffer[:pos]
+        return appended
 
     def _try_parse_header(self) -> bool:
         buf = bytes(self._buffer)
@@ -137,36 +196,21 @@ class SymbolStreamReader:
         self._header_parsed = True
         return True
 
-    def _try_parse_cell(self) -> Optional[CodedSymbol]:
-        codec = self.codec
-        fixed = codec.symbol_size + codec.checksum_size
-        buf = bytes(self._buffer)
-        if len(buf) < fixed + 1:
-            return None
-        try:
-            delta, pos = varint.decode_svarint(buf, fixed)
-        except ValueError:
-            return None  # count varint still incomplete
-        value = int.from_bytes(buf[: codec.symbol_size], "little")
-        checksum = int.from_bytes(buf[codec.symbol_size : fixed], "little")
-        assert self.set_size is not None
-        count = delta + expected_count(codec, self.set_size, self.index)
-        self.index += 1
-        del self._buffer[:pos]
-        return CodedSymbol(value, checksum, count)
-
-
 def encode_stream(
     codec: SymbolCodec,
     set_size: int,
-    cells: Iterable[CodedSymbol],
+    cells: "Iterable[CodedSymbol] | CodedSymbolBank",
     start_index: int = 0,
 ) -> bytes:
-    """One-shot serialisation: header followed by every cell."""
+    """One-shot serialisation: header followed by every cell.
+
+    Accepts a :class:`CodedSymbolBank` directly (block fast path) or any
+    iterable of cells.
+    """
     writer = SymbolStreamWriter(codec, set_size, start_index)
-    parts = [writer.header()]
-    parts.extend(writer.write(cell) for cell in cells)
-    return b"".join(parts)
+    if not isinstance(cells, CodedSymbolBank):
+        cells = CodedSymbolBank.from_cells(cells)
+    return writer.header() + writer.write_block(cells)
 
 
 def decode_stream(codec: SymbolCodec, data: bytes) -> tuple[list[CodedSymbol], int]:

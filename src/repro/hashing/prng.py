@@ -10,14 +10,24 @@ identical streams from a recovered symbol.
 
 from __future__ import annotations
 
-_MASK = 0xFFFFFFFFFFFFFFFF
-_GAMMA = 0x9E3779B97F4A7C15
-_MIX1 = 0xBF58476D1CE4E5B9
-_MIX2 = 0x94D049BB133111EB
+# The splitmix64 constants are public: the batch samplers in
+# ``repro.core.cellbank`` inline the state transition (both as local-variable
+# arithmetic and as NumPy uint64 vectors) and must stay bit-identical to
+# :class:`Splitmix64`.
+MASK64 = 0xFFFFFFFFFFFFFFFF
+GAMMA = 0x9E3779B97F4A7C15
+MIX1 = 0xBF58476D1CE4E5B9
+MIX2 = 0x94D049BB133111EB
 
 # 2^-53: floats are mapped from the top 53 bits so the result is strictly
 # below 1.0 (a full 64-bit value times 2^-64 can round *up* to 1.0).
-_INV_2_53 = 1.0 / 9007199254740992.0
+INV_2_53 = 1.0 / 9007199254740992.0
+
+_MASK = MASK64
+_GAMMA = GAMMA
+_MIX1 = MIX1
+_MIX2 = MIX2
+_INV_2_53 = INV_2_53
 
 
 def mix64(z: int) -> int:

@@ -66,6 +66,7 @@ def measure_riblt_plan(
     codec: SymbolCodec | None = None,
     chunk_symbols: int = 256,
     calibrated_line_rate_bps: float | None = None,
+    block_symbols: int = 1,
 ) -> SyncPlan:
     """Run the real reconciliation once, measuring symbols and CPU costs.
 
@@ -94,11 +95,19 @@ def measure_riblt_plan(
     t0 = time.perf_counter()
     symbols = 0
     while not decoder.decoded:
-        remote = alice.produce_next()
-        bytes_total += len(writer.write(remote))
-        local = bob.produce_next()
-        decoder.add_subtracted(remote, local)
-        symbols += 1
+        if block_symbols > 1:
+            # Bank-backed block path (``block_symbols − 1`` max overshoot).
+            remote = alice.produce_block(block_symbols)
+            bytes_total += len(writer.write_block(remote))
+            remote.subtract_in_place(bob.produce_block(block_symbols))
+            decoder.add_coded_block(remote)
+            symbols += block_symbols
+        else:
+            remote = alice.produce_next()
+            bytes_total += len(writer.write(remote))
+            local = bob.produce_next()
+            decoder.add_subtracted(remote, local)
+            symbols += 1
     stream_seconds = time.perf_counter() - t0
     bytes_per_symbol = bytes_total / symbols
     if calibrated_line_rate_bps is not None:

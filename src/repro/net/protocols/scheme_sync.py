@@ -55,11 +55,16 @@ def measure_sync_plan(
     scheme: str = "riblt",
     *,
     chunk_symbols: int = 256,
+    block_symbols: int = 1,
     calibrated_line_rate_bps: Optional[float] = None,
     **params: object,
 ) -> tuple[SyncPlan, ReconcileResult]:
     """Run any streaming scheme for real; return the replayable plan.
 
+    ``block_symbols > 1`` moves coded units in blocks (the bank-backed
+    fast path) — the measured plan then includes up to
+    ``block_symbols − 1`` symbols of overshoot past the decode point,
+    exactly as a block-granular deployment would ship.
     ``calibrated_line_rate_bps`` substitutes the paper's measured
     line-rate decode cost for the Python-interpreter one, as
     ``measure_riblt_plan`` documents.
@@ -67,7 +72,10 @@ def measure_sync_plan(
     session = Session(alice_items, bob_items, scheme, **params)
     t0 = time.perf_counter()
     while not session.decoded:
-        session.step()
+        if block_symbols > 1:
+            session.step_block(block_symbols)
+        else:
+            session.step()
     stream_seconds = time.perf_counter() - t0
     result = session.run()  # already decoded: assembles the outcome
     bytes_per_symbol = session.bytes_sent / session.steps
@@ -108,16 +116,22 @@ def simulate_scheme_sync(
     *,
     bandwidth_bps: float,
     delay_s: float,
+    block_symbols: int = 1,
     calibrated_line_rate_bps: Optional[float] = None,
     **params: object,
 ) -> SchemeSyncOutcome:
-    """Synchronise Bob to Alice with any registered scheme, under a link model."""
+    """Synchronise Bob to Alice with any registered scheme, under a link model.
+
+    ``block_symbols`` batches streaming schemes' coded units per payload
+    (see :func:`measure_sync_plan`); non-streaming schemes ignore it.
+    """
     handle = get_scheme(scheme, **params)
     if handle.capabilities.streaming:
         plan, result = measure_sync_plan(
             alice_items,
             bob_items,
             scheme,
+            block_symbols=block_symbols,
             calibrated_line_rate_bps=calibrated_line_rate_bps,
             **params,
         )

@@ -1,0 +1,282 @@
+"""Golden equivalence: the batch fast paths emit bit-identical results
+to the reference per-cell paths.
+
+Covers both scatter engines (NumPy lane on and off), regular and
+irregular (§8) codecs, wide symbols (>64-bit, scalar-only lane),
+truncated checksums, mid-stream add/remove patching of a bank-backed
+prefix, block wire framing, and session-level block stepping.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import cellbank
+from repro.core.cellbank import CodedSymbolBank
+from repro.core.decoder import RatelessDecoder
+from repro.core.encoder import RatelessEncoder
+from repro.core.irregular import PAPER_IRREGULAR
+from repro.core.session import ReconciliationSession
+from repro.core.symbols import SymbolCodec
+from repro.core.wire import SymbolStreamReader, SymbolStreamWriter
+
+from helpers import make_items, split_sets
+
+
+CODECS = {
+    "regular8": lambda: SymbolCodec(8),
+    "irregular8": lambda: SymbolCodec(8, irregular=PAPER_IRREGULAR),
+    "wide16": lambda: SymbolCodec(16),
+    "truncated4": lambda: SymbolCodec(8, checksum_size=4),
+}
+
+
+@pytest.fixture(params=[True, False], ids=["numpy", "scalar"])
+def lane(request, monkeypatch):
+    if request.param and cellbank._np is None:
+        pytest.skip("NumPy not available")
+    monkeypatch.setattr(cellbank, "NUMPY_LANE", request.param)
+    return request.param
+
+
+def codec_items(name, rng, n):
+    codec = CODECS[name]()
+    return codec, make_items(rng, n, size=codec.symbol_size)
+
+
+# -- encoder ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_produce_block_equals_produce_next(lane, codec_name, rng):
+    codec, items = codec_items(codec_name, rng, 150)
+    m = 260
+    reference = RatelessEncoder(codec, items)
+    expected = [reference.produce_next() for _ in range(m)]
+    batch = RatelessEncoder(codec, items)
+    bank = batch.produce_block(m)
+    assert bank.cells() == expected
+    # the cached prefix is the same object stream
+    assert [batch.cached(i) for i in range(m)] == expected
+
+
+@pytest.mark.parametrize("codec_name", ["regular8", "irregular8"])
+def test_produce_block_split_points_agree(lane, codec_name, rng):
+    """Any split of the stream into blocks yields the same prefix."""
+    codec, items = codec_items(codec_name, rng, 80)
+    reference = RatelessEncoder(codec, items)
+    expected = [reference.produce_next() for _ in range(160)]
+    batch = RatelessEncoder(codec, items)
+    out = []
+    for size in (1, 2, 3, 5, 19, 40, 80, 10):  # sums to 160
+        out.extend(batch.produce_block(size).cells())
+    assert out == expected
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_midstream_churn_patches_bank_prefix(lane, codec_name, rng):
+    """add/remove after block production patches the cached bank so it
+    matches a fresh encode of the final set (§4.1 linearity)."""
+    codec, items = codec_items(codec_name, rng, 90)
+    enc = RatelessEncoder(codec, items[:70])
+    enc.produce_block(120)
+    for item in items[70:]:
+        enc.add_item(item)
+    for item in items[:15]:
+        enc.remove_item(item)
+    enc.produce_block(40)
+    final_set = items[15:]
+    fresh = RatelessEncoder(codec, final_set)
+    assert fresh.produce_block(160).cells() == [enc.cached(i) for i in range(160)]
+
+
+def test_add_items_batch_equals_singles(lane, rng):
+    codec = SymbolCodec(8)
+    items = make_items(rng, 60)
+    batch = RatelessEncoder(codec, items)  # add_items fast path
+    singles = RatelessEncoder(codec)
+    for item in items:
+        singles.add_item(item)
+    assert batch.produce_block(100).cells() == singles.produce_block(100).cells()
+
+
+# -- decoder ---------------------------------------------------------------
+
+
+def subtracted_stream(codec, set_a, set_b, m):
+    alice = RatelessEncoder(codec, set_a)
+    bank = alice.produce_block(m)
+    bank.subtract_in_place(RatelessEncoder(codec, set_b).produce_block(m))
+    return bank
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_add_coded_block_equals_per_cell(lane, codec_name, rng):
+    codec = CODECS[codec_name]()
+    a, b = split_sets(rng, shared=120, only_a=30, only_b=25, size=codec.symbol_size)
+    stream = subtracted_stream(codec, a, b, 200)
+    reference = RatelessDecoder(codec)
+    for cell in stream.cells():
+        reference.add_coded_symbol(cell)
+    batch = RatelessDecoder(codec)
+    consumed = batch.add_coded_block(stream)
+    assert consumed == len(stream)
+    assert batch.decoded == reference.decoded
+    assert sorted(batch.remote_values()) == sorted(reference.remote_values())
+    assert sorted(batch.local_values()) == sorted(reference.local_values())
+    # the peeled lane state reaches the same fixed point
+    assert batch._bank == reference._bank
+    assert batch._nonzero == reference._nonzero
+
+
+@pytest.mark.parametrize("codec_name", ["regular8", "irregular8"])
+def test_add_coded_block_chunked_split_points_agree(lane, codec_name, rng):
+    """Feeding the same stream in arbitrary block sizes converges to the
+    same state, including continued ingestion after decode completes."""
+    codec = CODECS[codec_name]()
+    a, b = split_sets(rng, shared=100, only_a=20, only_b=20, size=codec.symbol_size)
+    stream = subtracted_stream(codec, a, b, 180)
+    reference = RatelessDecoder(codec)
+    for cell in stream.cells():
+        reference.add_coded_symbol(cell)
+    chunked = RatelessDecoder(codec)
+    lo = 0
+    for size in (1, 7, 64, 3, 80, 25):  # sums to 180
+        chunked.add_coded_block(stream.slice(lo, lo + size))
+        lo += size
+    assert chunked._bank == reference._bank
+    assert sorted(chunked.remote_values()) == sorted(reference.remote_values())
+    assert sorted(chunked.local_values()) == sorted(reference.local_values())
+
+
+def test_add_coded_block_stop_when_decoded_cell_exact(lane, rng):
+    """chunk=1 reproduces per-cell early-stop accounting on both engines."""
+    codec = SymbolCodec(8)
+    a, b = split_sets(rng, shared=80, only_a=8, only_b=8)
+    stream = subtracted_stream(codec, a, b, 120)
+    reference = RatelessDecoder(codec)
+    used_reference = reference.add_stream(stream.cells())
+    batch = RatelessDecoder(codec)
+    used_batch = batch.add_coded_block(stream, stop_when_decoded=True, chunk=1)
+    assert used_batch == used_reference
+    assert batch.decoded
+    assert batch._bank == reference._bank
+
+
+def test_add_coded_block_rejects_bad_chunk(rng):
+    codec = SymbolCodec(8)
+    with pytest.raises(ValueError):
+        RatelessDecoder(codec).add_coded_block(
+            CodedSymbolBank.zeros(4), stop_when_decoded=True, chunk=0
+        )
+
+
+def test_scalar_and_numpy_decoders_agree(rng):
+    if cellbank._np is None:
+        pytest.skip("NumPy not available")
+    codec = SymbolCodec(8)
+    a, b = split_sets(rng, shared=200, only_a=40, only_b=40)
+    stream = subtracted_stream(codec, a, b, 300)
+    results = {}
+    for flag in (True, False):
+        saved = cellbank.NUMPY_LANE
+        cellbank.NUMPY_LANE = flag
+        try:
+            decoder = RatelessDecoder(codec)
+            decoder.add_coded_block(stream, stop_when_decoded=True)
+            results[flag] = (
+                decoder.symbols_received,
+                sorted(decoder.remote_values()),
+                sorted(decoder.local_values()),
+                decoder._bank.copy(),
+            )
+        finally:
+            cellbank.NUMPY_LANE = saved
+    assert results[True] == results[False]
+
+
+@given(
+    st.sets(st.binary(min_size=8, max_size=8), min_size=0, max_size=50),
+    st.sets(st.binary(min_size=8, max_size=8), min_size=0, max_size=50),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_property_block_paths_reconcile_exactly(set_a, set_b):
+    """Whatever the sets, the all-batch pipeline recovers exactly A △ B."""
+    codec = SymbolCodec(8)
+    m = 24 * (len(set_a ^ set_b) + 2)
+    stream = subtracted_stream(codec, set_a, set_b, m)
+    decoder = RatelessDecoder(codec)
+    decoder.add_coded_block(stream, stop_when_decoded=True)
+    assert decoder.decoded
+    assert set(decoder.remote_items()) == set_a - set_b
+    assert set(decoder.local_items()) == set_b - set_a
+
+
+# -- wire + session --------------------------------------------------------
+
+
+def test_write_block_bytes_identical_to_per_cell(lane, rng):
+    codec = SymbolCodec(8)
+    items = make_items(rng, 64)
+    bank = RatelessEncoder(codec, items).produce_block(90)
+    one = SymbolStreamWriter(codec, set_size=64)
+    per_cell = one.header() + b"".join(one.write(cell) for cell in bank.cells())
+    two = SymbolStreamWriter(codec, set_size=64)
+    blocked = two.header() + two.write_block(bank)
+    assert blocked == per_cell
+    assert one.bytes_written == two.bytes_written
+    assert one.count_bytes_written == two.count_bytes_written
+
+
+def test_feed_into_matches_feed(rng):
+    codec = SymbolCodec(8)
+    items = make_items(rng, 40)
+    bank = RatelessEncoder(codec, items).produce_block(50)
+    writer = SymbolStreamWriter(codec, set_size=40)
+    blob = writer.header() + writer.write_block(bank)
+    reader_a = SymbolStreamReader(codec)
+    cells = []
+    # dribble bytes to exercise partial-cell buffering
+    for i in range(0, len(blob), 7):
+        cells.extend(reader_a.feed(blob[i : i + 7]))
+    assert cells == bank.cells()
+    reader_b = SymbolStreamReader(codec)
+    parsed = CodedSymbolBank()
+    for i in range(0, len(blob), 11):
+        reader_b.feed_into(parsed, blob[i : i + 11])
+    assert parsed == bank
+
+
+def test_session_block_run_matches_outcome(lane, rng):
+    a, b = split_sets(rng, shared=150, only_a=12, only_b=12)
+    exact = ReconciliationSession(a, b, SymbolCodec(8)).run()
+    blocked = ReconciliationSession(a, b, SymbolCodec(8)).run(block_size=32)
+    assert blocked.only_in_a == exact.only_in_a
+    assert blocked.only_in_b == exact.only_in_b
+    # block granularity: within one block of the exact count
+    assert exact.symbols_used <= blocked.symbols_used < exact.symbols_used + 32
+
+
+def test_api_session_block_run_matches(lane, rng):
+    from repro.api import Session
+
+    a, b = split_sets(rng, shared=120, only_a=10, only_b=10)
+    exact = Session(sorted(a), sorted(b), "riblt").run()
+    blocked = Session(sorted(a), sorted(b), "riblt").run(block_size=16)
+    assert blocked.only_in_a == exact.only_in_a
+    assert blocked.only_in_b == exact.only_in_b
+    assert exact.symbols_used <= blocked.symbols_used < exact.symbols_used + 16
+
+
+def test_riblt_adapter_block_payload_bytes_identical(lane, rng):
+    from repro.api import get_scheme
+
+    items = make_items(rng, 60)
+    handle = get_scheme("riblt")
+    singles = handle.new(items)
+    payload_singles = b"".join(singles.produce_next() for _ in range(40))
+    blocks = handle.new(items)
+    payload_blocks = blocks.produce_block(25) + blocks.produce_block(15)
+    assert payload_blocks == payload_singles

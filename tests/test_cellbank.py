@@ -1,0 +1,263 @@
+"""CodedSymbolBank: lane semantics, wire pack/unpack, batch scatter."""
+
+import pytest
+
+from repro.core import cellbank
+from repro.core.cellbank import (
+    CodedSymbolBank,
+    scatter_walk_numpy,
+    scatter_walk_scalar,
+)
+from repro.core.coded import CodedSymbol
+from repro.core.mapping import IndexGenerator
+from repro.core.params import DEFAULT_ALPHA
+from repro.core.symbols import SymbolCodec
+
+
+def bank_of(triples):
+    bank = CodedSymbolBank()
+    for s, k, c in triples:
+        bank.append(s, k, c)
+    return bank
+
+
+def test_from_cells_round_trip():
+    cells = [CodedSymbol(1, 2, 3), CodedSymbol(0xFF, 0xAB, -1)]
+    bank = CodedSymbolBank.from_cells(cells)
+    assert len(bank) == 2
+    assert bank.cells() == cells
+    assert bank.cell_at(1) == cells[1]
+    assert list(bank) == cells
+
+
+def test_lane_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        CodedSymbolBank([1], [], [])
+
+
+def test_zeros_and_is_all_zero():
+    bank = CodedSymbolBank.zeros(4)
+    assert len(bank) == 4
+    assert bank.is_all_zero()
+    bank.counts[2] = 1
+    assert not bank.is_all_zero()
+
+
+def test_copy_and_slice_are_value_copies():
+    bank = bank_of([(1, 2, 3), (4, 5, 6), (7, 8, 9)])
+    dup = bank.copy()
+    cut = bank.slice(1, 3)
+    bank.sums[1] = 99
+    assert dup.sums[1] == 4
+    assert cut.sums == [4, 7]
+
+
+def test_subtract_matches_cell_subtract():
+    a = bank_of([(0b1100, 7, 2), (5, 5, 1)])
+    b = bank_of([(0b1010, 3, 1), (5, 5, 1)])
+    diff = a.subtract(b)
+    expected = [x.subtract(y) for x, y in zip(a.cells(), b.cells())]
+    assert diff.cells() == expected
+    a.subtract_in_place(b)
+    assert a.cells() == expected
+
+
+def test_subtract_size_mismatch_rejected():
+    with pytest.raises(ValueError):
+        CodedSymbolBank.zeros(2).subtract(CodedSymbolBank.zeros(3))
+    with pytest.raises(ValueError):
+        CodedSymbolBank.zeros(2).subtract_in_place(CodedSymbolBank.zeros(3))
+
+
+def test_apply_batch_matches_per_cell_apply():
+    bank = CodedSymbolBank.zeros(8)
+    cells = [CodedSymbol() for _ in range(8)]
+    for idx in (0, 3, 5):
+        cells[idx].apply(0xDEAD, 0xBEEF, 1)
+    bank.apply_batch(0xDEAD, 0xBEEF, 1, [0, 3, 5])
+    assert bank.cells() == cells
+    bank.apply_batch(0xDEAD, 0xBEEF, -1, [0, 3, 5])
+    assert bank.is_all_zero()
+
+
+def test_extend_and_append():
+    bank = bank_of([(1, 1, 1)])
+    bank.extend(bank_of([(2, 2, 2)]))
+    bank.append_cell(CodedSymbol(3, 3, 3))
+    bank.extend_zeros(1)
+    assert bank.sums == [1, 2, 3, 0]
+    assert bank.counts == [1, 2, 3, 0]
+
+
+@pytest.mark.parametrize("symbol_size,checksum_size", [(8, 8), (16, 4), (3, 8)])
+def test_pack_unpack_round_trip(rng, symbol_size, checksum_size):
+    codec = SymbolCodec(symbol_size, checksum_size=checksum_size)
+    bank = CodedSymbolBank()
+    for _ in range(17):
+        bank.append(
+            int.from_bytes(rng.randbytes(symbol_size), "little"),
+            int.from_bytes(rng.randbytes(checksum_size), "little"),
+            rng.randint(-5, 5),
+        )
+    blob = bank.pack(codec)
+    stride = symbol_size + checksum_size + CodedSymbolBank.COUNT_BYTES
+    assert len(blob) == 17 * stride
+    assert CodedSymbolBank.unpack(blob, codec) == bank
+
+
+def test_unpack_rejects_ragged_blob():
+    codec = SymbolCodec(8)
+    with pytest.raises(ValueError):
+        CodedSymbolBank.unpack(b"\x00" * 25, codec)
+
+
+def test_bank_equality():
+    a = bank_of([(1, 2, 3)])
+    assert a == bank_of([(1, 2, 3)])
+    assert a != bank_of([(1, 2, 4)])
+    assert a.__eq__(object()) is NotImplemented
+
+
+# -- scatter-walk engines --------------------------------------------------
+
+
+def reference_walk(seeds, alphas, hi):
+    """Per-symbol IndexGenerator walks — the ground truth."""
+    cells = [CodedSymbol() for _ in range(hi)]
+    ends = []
+    for (value, checksum), alpha in zip(seeds, alphas):
+        gen = IndexGenerator(checksum, alpha)
+        for idx in gen.indices_below(hi):
+            cells[idx].apply(value, checksum, 1)
+        ends.append((gen.current, gen.state))
+    return cells, ends
+
+
+def walk_jobs(seeds):
+    indices = [0] * len(seeds)
+    states = [checksum for _, checksum in seeds]
+    values = [value for value, _ in seeds]
+    checksums = [checksum for _, checksum in seeds]
+    directions = [1] * len(seeds)
+    return indices, states, values, checksums, directions
+
+
+@pytest.mark.parametrize("alpha", [DEFAULT_ALPHA, 0.11, 0.82])
+def test_scatter_walk_scalar_matches_index_generator(rng, alpha):
+    hi = 96
+    seeds = [
+        (int.from_bytes(rng.randbytes(8), "little"), rng.getrandbits(64))
+        for _ in range(40)
+    ]
+    expected_cells, expected_ends = reference_walk(seeds, [alpha] * 40, hi)
+    bank = CodedSymbolBank.zeros(hi)
+    indices, states, values, checksums, directions = walk_jobs(seeds)
+    touched: list[int] = []
+    scatter_walk_scalar(
+        bank.sums,
+        bank.checksums,
+        bank.counts,
+        indices,
+        states,
+        values,
+        checksums,
+        directions,
+        [alpha] * 40,
+        hi,
+        touched=touched,
+    )
+    assert bank.cells() == expected_cells
+    assert list(zip(indices, states)) == expected_ends
+    assert len(touched) == sum(c.count for c in expected_cells)
+    assert all(i < hi for i in touched)
+
+
+def test_scatter_walk_numpy_matches_scalar(rng):
+    np = pytest.importorskip("numpy")
+    hi = 128
+    seeds = [
+        (int.from_bytes(rng.randbytes(8), "little"), rng.getrandbits(64))
+        for _ in range(64)
+    ]
+    expected_cells, expected_ends = reference_walk(seeds, [DEFAULT_ALPHA] * 64, hi)
+    sums = np.zeros(hi, dtype=np.uint64)
+    checksums = np.zeros(hi, dtype=np.uint64)
+    counts = np.zeros(hi, dtype=np.int64)
+    indices, states, values, symbol_checksums, directions = walk_jobs(seeds)
+    touched: list = []
+    scatter_walk_numpy(
+        sums,
+        checksums,
+        counts,
+        indices,
+        states,
+        values,
+        symbol_checksums,
+        directions,
+        hi,
+        touched=touched,
+    )
+    got = [
+        CodedSymbol(int(s), int(k), int(c))
+        for s, k, c in zip(sums.tolist(), checksums.tolist(), counts.tolist())
+    ]
+    assert got == expected_cells
+    assert list(zip(indices, states)) == expected_ends
+    flat = np.concatenate(touched)
+    assert len(flat) == sum(c.count for c in expected_cells)
+
+
+def test_scatter_walk_numpy_base_offset(rng):
+    """Scatters land relative to ``base`` when lanes cover a suffix region."""
+    np = pytest.importorskip("numpy")
+    hi = 64
+    base = 40
+    seeds = [
+        (int.from_bytes(rng.randbytes(8), "little"), rng.getrandbits(64))
+        for _ in range(16)
+    ]
+    # Reference: full-range walk, then keep only [base, hi).
+    expected_cells, _ = reference_walk(seeds, [DEFAULT_ALPHA] * 16, hi)
+    # Advance each job to its first index >= base first.
+    indices, states, values, checksums, directions = walk_jobs(seeds)
+    scratch = CodedSymbolBank.zeros(base)
+    scatter_walk_scalar(
+        scratch.sums,
+        scratch.checksums,
+        scratch.counts,
+        indices,
+        states,
+        values,
+        checksums,
+        directions,
+        [DEFAULT_ALPHA] * 16,
+        base,
+    )
+    sums = np.zeros(hi - base, dtype=np.uint64)
+    cks = np.zeros(hi - base, dtype=np.uint64)
+    counts = np.zeros(hi - base, dtype=np.int64)
+    scatter_walk_numpy(
+        sums, cks, counts, indices, states, values, checksums, directions, hi,
+        base=base,
+    )
+    got = [
+        CodedSymbol(int(s), int(k), int(c))
+        for s, k, c in zip(sums.tolist(), cks.tolist(), counts.tolist())
+    ]
+    assert got == expected_cells[base:]
+
+
+def test_numpy_lane_eligibility(monkeypatch):
+    from repro.core.irregular import PAPER_IRREGULAR
+
+    if cellbank._np is None:
+        assert not cellbank.numpy_lane_eligible(SymbolCodec(8))
+        return
+    monkeypatch.setattr(cellbank, "NUMPY_LANE", True)
+    assert cellbank.numpy_lane_eligible(SymbolCodec(8))
+    assert not cellbank.numpy_lane_eligible(SymbolCodec(16))  # >64-bit sums
+    assert not cellbank.numpy_lane_eligible(
+        SymbolCodec(8, irregular=PAPER_IRREGULAR)
+    )
+    monkeypatch.setattr(cellbank, "NUMPY_LANE", False)
+    assert not cellbank.numpy_lane_eligible(SymbolCodec(8))

@@ -36,11 +36,15 @@ def test_peel_until_decoded_respects_budget(codec8, rng):
 
 
 def test_decode_result_overhead_empty():
+    """d = 0 reports overhead 0.0 — the convention shared with
+    ``ReconcileOutcome`` and ``ReconcileResult`` (PR 1); the termination
+    symbol stays visible in ``symbols_used``."""
     from repro.core.decoder import DecodeResult
 
     result = DecodeResult(success=True, symbols_used=1)
     assert result.difference_size == 0
-    assert result.overhead == 1.0
+    assert result.overhead == 0.0
+    assert result.symbols_used == 1
 
 
 def test_simulator_event_budget():

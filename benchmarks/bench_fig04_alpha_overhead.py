@@ -18,7 +18,9 @@ ALPHAS = by_scale(
     list(np.round(np.arange(0.05, 1.0, 0.05), 2)),
 )
 MC_ALPHAS = by_scale([0.5], [0.3, 0.5, 0.7, 0.95], [0.2, 0.35, 0.5, 0.64, 0.8, 0.95])
-MC_SIZES = by_scale([(100, 5)], [(100, 20), (1000, 8)], [(100, 100), (1000, 30), (10000, 10)])
+MC_SIZES = by_scale(
+    [(100, 5)], [(100, 20), (1000, 8)], [(100, 100), (1000, 30), (10000, 10)]
+)
 
 
 def test_fig04_density_evolution_curve(benchmark):

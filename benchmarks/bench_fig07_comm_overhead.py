@@ -19,7 +19,11 @@ from repro.api import get_scheme, reconcile
 from repro.baselines.strata import StrataEstimator
 
 ITEM = 32
-DIFFS = by_scale([1, 10, 100], [1, 2, 5, 10, 20, 50, 100, 200, 400], [1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 400])
+DIFFS = by_scale(
+    [1, 10, 100],
+    [1, 2, 5, 10, 20, 50, 100, 200, 400],
+    [1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 400],
+)
 RUNS = by_scale(3, 12, 50)
 SET_SIZE = by_scale(300, 1200, 4000)
 MET_RUNS = by_scale(2, 6, 20)
@@ -117,7 +121,9 @@ def test_fig07_merkle_trie_overhead(benchmark):
     benchmark.pedantic(run, rounds=1, iterations=1)
     lines = [f"{'d':>5} {'Merkle trie overhead':>22}"]
     lines += [f"{d:>5} {oh:>22.1f}" for d, oh in rows]
-    lines.append(f"paper: > 40 across all d (at |A| = 10^6; here |A| = {TRIE_ACCOUNTS})")
+    lines.append(
+        f"paper: > 40 across all d (at |A| = 10^6; here |A| = {TRIE_ACCOUNTS})"
+    )
     report_table("Fig 7 — Merkle trie line", lines)
     for d, overhead in rows:
         assert overhead > 10, f"trie overhead suspiciously low at d={d}"

@@ -27,7 +27,9 @@ from repro.core.symbols import SymbolCodec
 
 ITEM = 8
 RIBLT_N = by_scale(5_000, 100_000, 300_000)
-RIBLT_DIFFS = by_scale([10, 100], [1, 10, 100, 1000, 10000], [1, 10, 100, 1000, 10000, 30000])
+RIBLT_DIFFS = by_scale(
+    [10, 100], [1, 10, 100, 1000, 10000], [1, 10, 100, 1000, 10000, 30000]
+)
 PIN_N = by_scale(1_000, 10_000, 10_000)
 PIN_DIFFS = by_scale([1, 4], [1, 4, 16, 64, 256], [1, 4, 16, 64, 256, 512])
 
@@ -154,7 +156,9 @@ def test_fig08_crosscheck_riblt_vs_pinsketch(benchmark):
     t0 = time.perf_counter()
     riblt()
     riblt_time = time.perf_counter() - t0
-    pin_time = benchmark.pedantic(lambda: (pinsketch(), None)[1], rounds=1, iterations=1)
+    pin_time = benchmark.pedantic(
+        lambda: (pinsketch(), None)[1], rounds=1, iterations=1
+    )
     t0 = time.perf_counter()
     pinsketch()
     pin_time = time.perf_counter() - t0

@@ -24,7 +24,9 @@ from repro.core.encoder import RatelessEncoder
 from repro.core.symbols import SymbolCodec
 
 ITEM = 8
-RIBLT_DIFFS = by_scale([10, 100], [1, 10, 100, 1000, 10000], [1, 10, 100, 1000, 10000, 100000])
+RIBLT_DIFFS = by_scale(
+    [10, 100], [1, 10, 100, 1000, 10000], [1, 10, 100, 1000, 10000, 100000]
+)
 PIN_DIFFS = by_scale([1, 4], [1, 4, 16, 64, 128], [1, 4, 16, 64, 128, 256])
 
 

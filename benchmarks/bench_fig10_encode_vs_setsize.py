@@ -20,7 +20,9 @@ from repro.core.symbols import SymbolCodec
 ITEM = 8
 D = 1000
 SYMBOLS = int(1.4 * D)
-SIZES = by_scale([1_000, 10_000], [1_000, 10_000, 100_000], [1_000, 10_000, 100_000, 1_000_000])
+SIZES = by_scale(
+    [1_000, 10_000], [1_000, 10_000, 100_000], [1_000, 10_000, 100_000, 1_000_000]
+)
 
 
 def encode_time(items):

@@ -17,7 +17,9 @@ BANDWIDTH = 20e6
 DELAY = 0.05
 ACCOUNTS = by_scale(3_000, 30_000, 120_000)
 UPDATES_PER_BLOCK = by_scale(6, 12, 40)
-STALENESS_BLOCKS = by_scale([5, 25], [5, 25, 50, 100, 150], [5, 25, 50, 100, 200, 400, 800])
+STALENESS_BLOCKS = by_scale(
+    [5, 25], [5, 25, 50, 100, 150], [5, 25, 50, 100, 200, 400, 800]
+)
 LINE_RATE = 170e6  # §7.3: one core saturates ≈170 Mbps in the Go implementation
 
 

@@ -17,7 +17,16 @@ from repro.core.irregular import PAPER_IRREGULAR
 GRID = by_scale(
     [(32, 10), (512, 4)],
     [(2, 100), (8, 60), (32, 40), (128, 20), (512, 12), (2048, 8), (8192, 4)],
-    [(2, 200), (8, 100), (32, 60), (128, 40), (512, 20), (2048, 12), (8192, 8), (32768, 4)],
+    [
+        (2, 200),
+        (8, 100),
+        (32, 60),
+        (128, 40),
+        (512, 20),
+        (2048, 12),
+        (8192, 8),
+        (32768, 4),
+    ],
 )
 
 

@@ -39,7 +39,9 @@ def test_sec6_count_field_compression(benchmark):
     benchmark.pedantic(run, rounds=1, iterations=1)
     lines = [f"{'set size':>9} {'symbols':>8} {'count bytes/symbol':>19}"]
     lines += [f"{n:>9} {m:>8} {b:>19.3f}" for n, m, b in rows]
-    lines.append("paper: 1.05 bytes average (10^6 items -> 10^4 symbols); fixed-width: 8")
+    lines.append(
+        "paper: 1.05 bytes average (10^6 items -> 10^4 symbols); fixed-width: 8"
+    )
     report_table("§6 — var-int count compression", lines)
     for n, m, mean_bytes in rows:
         assert mean_bytes < 2.0, f"count compression ineffective: {mean_bytes}"

@@ -1,0 +1,104 @@
+"""Service throughput: coded symbols/sec served to K concurrent clients.
+
+The serving claim behind the service subsystem: one warm encoder bank
+per shard amortises encoding across every client, so aggregate
+symbols/sec *grows* with concurrency until the event loop saturates —
+clients beyond the first mostly re-read cached cells.
+
+Results land in ``BENCH_service_throughput.json``.
+"""
+
+import asyncio
+import random
+import time
+
+from bench_json import write_bench_json
+from bench_util import by_scale, make_items, report_table
+from repro.service.client import sync
+from repro.service.server import ReconciliationServer, ServerConfig
+
+ITEM = 8
+SET_SIZE = by_scale(2_000, 20_000, 50_000)
+DIFFERENCE = by_scale(64, 512, 2_048)
+CLIENT_COUNTS = by_scale([1, 4], [1, 4, 8, 16], [1, 8, 16, 32])
+NUM_SHARDS = 4
+
+
+def _workload(rng):
+    base = make_items(rng, SET_SIZE + DIFFERENCE, ITEM)
+    server_items = base[:SET_SIZE]
+    fresh = base[SET_SIZE:]
+    return server_items, fresh
+
+
+async def _serve_k_clients(server_items, fresh, k):
+    """One server, k concurrent clients with distinct differences."""
+    config = ServerConfig(block_size=128, max_symbols_per_shard=None)
+    server = ReconciliationServer(server_items, num_shards=NUM_SHARDS, config=config)
+    host, port = await server.start()
+    half = DIFFERENCE // 2
+    clients = []
+    for i in range(k):
+        # Each client misses `half` server items and owns `half` extras,
+        # rotated so no two clients share the exact difference.
+        lo = (i * 7) % half
+        missing = server_items[lo : lo + half]
+        extras = fresh[(i * half) % len(fresh) :][:half]
+        client_items = [x for x in server_items if x not in set(missing)] + extras
+        clients.append(client_items)
+    start = time.perf_counter()
+    results = await asyncio.gather(
+        *(sync(host, port, items) for items in clients)
+    )
+    elapsed = time.perf_counter() - start
+    symbols = sum(r.symbols for r in results)
+    payload_bytes = sum(r.bytes_received for r in results)
+    await server.close()
+    for r in results:
+        assert r.difference_size > 0
+    return symbols, payload_bytes, elapsed
+
+
+def test_service_throughput_vs_clients(benchmark):
+    rng = random.Random(0x5E51CE)
+    server_items, fresh = _workload(rng)
+    rows = []
+
+    def run():
+        for k in CLIENT_COUNTS:
+            symbols, payload_bytes, elapsed = asyncio.run(
+                _serve_k_clients(server_items, fresh, k)
+            )
+            rows.append(
+                {
+                    "clients": k,
+                    "symbols_absorbed": symbols,
+                    "payload_bytes": payload_bytes,
+                    "seconds": elapsed,
+                    "symbols_per_s": symbols / elapsed,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'clients':>8} {'symbols':>10} {'seconds':>9} {'symbols/s':>12}"]
+    lines += [
+        f"{r['clients']:>8} {r['symbols_absorbed']:>10} "
+        f"{r['seconds']:>9.3f} {r['symbols_per_s']:>12.0f}"
+        for r in rows
+    ]
+    report_table(
+        f"Service — symbols/sec vs concurrent clients "
+        f"(N={SET_SIZE}, d={DIFFERENCE}, {NUM_SHARDS} shards)",
+        lines,
+    )
+    write_bench_json(
+        "service_throughput",
+        rows=rows,
+        meta={
+            "set_size": SET_SIZE,
+            "difference": DIFFERENCE,
+            "num_shards": NUM_SHARDS,
+        },
+    )
+    assert all(r["symbols_per_s"] > 0 for r in rows)

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Gate: compare fresh ``BENCH_*.json`` records against the committed ones.
+
+CI's perf-smoke job runs the throughput benches at ``REPRO_SCALE=quick``
+(which writes ``BENCH_<name>.quick.json`` beside the committed
+default-scale ``BENCH_<name>.json``) and then calls this script.  Rows
+are matched on their workload key (``d`` / ``set_size`` / ``clients``)
+and compared on their throughput-style metric; a row that fell below
+``1/THRESHOLD`` of the committed value fails the job.
+
+Differences in workload *scale* between profiles only ever make the
+fresh quick run faster (smaller sets, same d), so the gate can miss a
+regression hidden by scale but cannot fabricate one.  Unmatched rows
+and missing fresh records are reported and skipped — not every bench
+runs in CI.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py --scale quick [name ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Throughput regression tolerated before the gate trips: CI runners are
+# slower and noisier than the machines that wrote the committed records.
+THRESHOLD = 3.0
+
+# (key field, metric field, higher_is_better) probed in order.
+_METRICS = (
+    ("throughput_per_s", True),
+    ("symbols_per_s", True),
+    ("seconds", False),
+)
+_KEYS = ("d", "set_size", "clients")
+
+
+def _row_key(row: dict):
+    for key in _KEYS:
+        if key in row:
+            return key, row[key]
+    return None
+
+
+def _metric(row: dict):
+    for name, higher_better in _METRICS:
+        if name in row:
+            return name, float(row[name]), higher_better
+    return None
+
+
+def compare_records(committed: dict, fresh: dict) -> list[str]:
+    """Human-readable failures (empty = this record passes)."""
+    failures = []
+    fresh_rows = {}
+    for row in fresh.get("rows", []):
+        key = _row_key(row)
+        if key is not None:
+            fresh_rows[key] = row
+    compared = 0
+    for row in committed.get("rows", []):
+        key = _row_key(row)
+        if key is None or key not in fresh_rows:
+            continue
+        baseline = _metric(row)
+        current = _metric(fresh_rows[key])
+        if baseline is None or current is None or baseline[0] != current[0]:
+            continue
+        name, base_value, higher_better = baseline
+        _, new_value, _ = current
+        if base_value <= 0 or new_value <= 0:
+            continue
+        compared += 1
+        ratio = new_value / base_value if higher_better else base_value / new_value
+        marker = "ok" if ratio * THRESHOLD >= 1.0 else "REGRESSION"
+        print(
+            f"  {key[0]}={key[1]:<10} {name}: committed {base_value:.4g}, "
+            f"fresh {new_value:.4g}  ({ratio:.2f}x)  {marker}"
+        )
+        if ratio * THRESHOLD < 1.0:
+            failures.append(
+                f"{committed['bench']}: {key[0]}={key[1]} {name} fell to "
+                f"{ratio:.2f}x of the committed record (threshold 1/{THRESHOLD:g})"
+            )
+    if compared == 0:
+        print("  (no comparable rows)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="quick", help="fresh records' REPRO_SCALE")
+    parser.add_argument(
+        "names", nargs="*", help="bench names (default: every committed BENCH_*.json)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.names:
+        committed_paths = [REPO_ROOT / f"BENCH_{name}.json" for name in args.names]
+    else:
+        committed_paths = sorted(
+            path
+            for path in REPO_ROOT.glob("BENCH_*.json")
+            if path.suffixes == [".json"]  # skip BENCH_<name>.<scale>.json
+        )
+    failures: list[str] = []
+    for committed_path in committed_paths:
+        if not committed_path.exists():
+            print(f"{committed_path.name}: missing committed record", file=sys.stderr)
+            return 2
+        name = committed_path.stem.removeprefix("BENCH_")
+        suffix = "" if args.scale == "default" else f".{args.scale}"
+        fresh_path = REPO_ROOT / f"BENCH_{name}{suffix}.json"
+        print(f"{name}:")
+        if not fresh_path.exists():
+            print(f"  (no fresh {fresh_path.name}; skipped)")
+            continue
+        committed = json.loads(committed_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        failures.extend(compare_records(committed, fresh))
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

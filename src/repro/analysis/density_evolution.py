@@ -16,14 +16,29 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-from scipy.special import expi
+try:
+    import numpy as np
+    from scipy.special import expi
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+    expi = None
 
 from repro.core.params import DEFAULT_ALPHA
 
 
+def _require_deps() -> None:
+    """The closed-form §5 analysis is numpy/scipy-backed (Ei has no
+    stdlib form); the rest of the repo stays importable without them."""
+    if np is None or expi is None:
+        raise ImportError(
+            "repro.analysis.density_evolution needs numpy and scipy "
+            "(pip install numpy scipy)"
+        )
+
+
 def f_limit(q: float, eta: float, alpha: float = DEFAULT_ALPHA) -> float:
     """The density-evolution update f(q) in the n → ∞ limit."""
+    _require_deps()
     if q <= 0.0:
         return 0.0
     if eta <= 0.0:
@@ -31,8 +46,9 @@ def f_limit(q: float, eta: float, alpha: float = DEFAULT_ALPHA) -> float:
     return math.exp(expi(-q / (alpha * eta)) / alpha)
 
 
-def _q_grid(points: int = 4000) -> np.ndarray:
+def _q_grid(points: int = 4000) -> "np.ndarray":
     """A grid over (0, 1] dense near 0, where the condition binds last."""
+    _require_deps()
     log_part = np.logspace(-7, 0, points // 2, endpoint=False)
     lin_part = np.linspace(1e-3, 1.0, points // 2)
     return np.unique(np.concatenate([log_part, lin_part, [1.0]]))
@@ -42,6 +58,7 @@ def satisfies_de_condition(
     eta: float, alpha: float = DEFAULT_ALPHA, grid: np.ndarray | None = None
 ) -> bool:
     """Check Theorem 5.1's condition ∀q ∈ (0,1]: f(q) < q on a fine grid."""
+    _require_deps()
     if grid is None:
         grid = _q_grid()
     values = np.exp(expi(-grid / (alpha * eta)) / alpha)

@@ -37,6 +37,7 @@ from repro.api.base import (
     SchemeParams,
     SetReconciler,
     StreamingReconciler,
+    SymbolBudgetExceeded,
     UnsupportedOperation,
 )
 from repro.api.registry import (
@@ -63,6 +64,7 @@ __all__ = [
     "Session",
     "SetReconciler",
     "StreamingReconciler",
+    "SymbolBudgetExceeded",
     "UnsupportedOperation",
     "available_schemes",
     "get_scheme",

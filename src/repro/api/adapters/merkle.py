@@ -48,7 +48,9 @@ class MerkleReconciler(SetReconciler):
         self._report: Optional[HealReport] = None
 
     @classmethod
-    def from_items(cls, items: Sequence[bytes], params: MerkleParams) -> "MerkleReconciler":
+    def from_items(
+        cls, items: Sequence[bytes], params: MerkleParams
+    ) -> "MerkleReconciler":
         store = NodeStore()
         trie = Trie.from_items(((item, b"") for item in items), store)
         return cls(params, store, trie, set(items))

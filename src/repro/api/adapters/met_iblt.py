@@ -16,7 +16,12 @@ from typing import Optional, Sequence
 from repro.api.adapters.cellpack import CodecParams, codec_for, pack_cells, unpack_cells
 from repro.api.base import SetReconciler
 from repro.api.registry import Capabilities, register_scheme
-from repro.baselines.met_iblt import CELL_OVERHEAD_BYTES, DEFAULT_MET_CONFIG, MetConfig, MetIBLT
+from repro.baselines.met_iblt import (
+    CELL_OVERHEAD_BYTES,
+    DEFAULT_MET_CONFIG,
+    MetConfig,
+    MetIBLT,
+)
 from repro.core.decoder import DecodeResult
 
 

@@ -22,7 +22,12 @@ from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult, RatelessDecoder
 from repro.core.encoder import RatelessEncoder
 from repro.core.symbols import SymbolCodec
-from repro.core.wire import SymbolStreamReader, SymbolStreamWriter, decode_stream, encode_stream
+from repro.core.wire import (
+    SymbolStreamReader,
+    SymbolStreamWriter,
+    decode_stream,
+    encode_stream,
+)
 
 # Sketch-mode prefix when nobody sized the sketch: enough for ~20
 # differences at the paper's 1.35-1.72 overhead, with tail margin.
@@ -59,7 +64,9 @@ class RibltReconciler(StreamingReconciler):
     # -- construction -----------------------------------------------------
 
     @classmethod
-    def from_items(cls, items: Sequence[bytes], params: RibltParams) -> "RibltReconciler":
+    def from_items(
+        cls, items: Sequence[bytes], params: RibltParams
+    ) -> "RibltReconciler":
         codec = codec_for(params)
         rec = cls(params, codec)
         rec._encoder = RatelessEncoder(codec, items)
@@ -138,6 +145,10 @@ class RibltReconciler(StreamingReconciler):
             incoming.subtract_in_place(encoder.cached_block(lo, lo + parsed))
             self._decoder.add_coded_block(incoming)
         return self._decoder.decoded
+
+    @property
+    def symbols_absorbed(self) -> int:
+        return self._absorbed
 
     @property
     def decoded(self) -> bool:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Set
 
 from repro.core.decoder import DecodeResult
+from repro.core.session import SymbolBudgetExceeded as _CoreSymbolBudgetExceeded
 
 
 class UnsupportedOperation(NotImplementedError):
@@ -37,6 +38,21 @@ class UnsupportedOperation(NotImplementedError):
 
 class ReconcileError(RuntimeError):
     """Reconciliation did not complete within the configured budget."""
+
+
+class SymbolBudgetExceeded(ReconcileError, _CoreSymbolBudgetExceeded):
+    """A streaming reconciliation exhausted ``max_symbols`` undecoded.
+
+    Subclasses both :class:`ReconcileError` (so generic ``except
+    ReconcileError`` handlers keep working) and the core
+    :class:`repro.core.session.SymbolBudgetExceeded` (so servers built
+    on either layer can catch one type to drop runaway sessions).
+    """
+
+    def __init__(self, message: str, symbols_sent: int, max_symbols: int) -> None:
+        _CoreSymbolBudgetExceeded.__init__(
+            self, message, symbols_sent=symbols_sent, max_symbols=max_symbols
+        )
 
 
 @dataclass(frozen=True)
@@ -124,7 +140,9 @@ class SetReconciler(ABC):
 
     @classmethod
     @abstractmethod
-    def from_items(cls, items: Sequence[bytes], params: SchemeParams) -> "SetReconciler":
+    def from_items(
+        cls, items: Sequence[bytes], params: SchemeParams
+    ) -> "SetReconciler":
         """Build a live sketch of ``items``."""
 
     @classmethod
@@ -133,7 +151,9 @@ class SetReconciler(ABC):
         raise UnsupportedOperation(f"{cls.__name__} does not deserialize")
 
     @classmethod
-    def params_for_difference(cls, params: SchemeParams, difference: int) -> SchemeParams:
+    def params_for_difference(
+        cls, params: SchemeParams, difference: int
+    ) -> SchemeParams:
         """Parameters sized so a ``difference``-item gap decodes w.h.p.
 
         Fixed-capacity schemes must override; rateless/rate-compatible
@@ -204,6 +224,16 @@ class StreamingReconciler(SetReconciler):
     @abstractmethod
     def absorb(self, payload: bytes) -> bool:
         """Consume the peer's next payload; True once fully decoded."""
+
+    @property
+    def symbols_absorbed(self) -> int:
+        """Coded units consumed by ``absorb`` so far.
+
+        The default derives it from :meth:`stream_result`, which may
+        materialise the recovered items; adapters with an O(1) counter
+        override it (hot path: the service client reads this per frame).
+        """
+        return self.stream_result().symbols_used
 
     @property
     @abstractmethod

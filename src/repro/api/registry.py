@@ -18,7 +18,7 @@ populates the registry.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Iterable, Optional, Sequence, Type
+from typing import Iterable, Sequence, Type
 
 from repro.api.base import (
     Capabilities,

@@ -31,6 +31,7 @@ from repro.api.base import (
     ReconcileError,
     ReconcileResult,
     StreamingReconciler,
+    SymbolBudgetExceeded,
 )
 from repro.api.registry import Scheme, get_scheme
 from repro.baselines.strata import StrataEstimator
@@ -111,8 +112,10 @@ class Session:
         """
         while not self.decoded:
             if max_symbols is not None and self.steps >= max_symbols:
-                raise ReconcileError(
-                    f"{self.scheme}: no decode within {max_symbols} coded symbols"
+                raise SymbolBudgetExceeded(
+                    f"{self.scheme}: no decode within {max_symbols} coded symbols",
+                    symbols_sent=self.steps,
+                    max_symbols=max_symbols,
                 )
             if block_size > 1:
                 self.step_block(block_size)

@@ -90,7 +90,9 @@ def _poly_gcd(p: Sequence[int], q: Sequence[int]) -> list[int]:
     return a
 
 
-def _poly_pow_mod(base: Sequence[int], exponent: int, modulus: Sequence[int]) -> list[int]:
+def _poly_pow_mod(
+    base: Sequence[int], exponent: int, modulus: Sequence[int]
+) -> list[int]:
     result = [1]
     acc = _poly_mod(base, modulus)
     while exponent:
@@ -133,7 +135,9 @@ def _poly_roots(p: Sequence[int], seed: int = 0xC91) -> list[int]:
         while True:
             shift = rng.next_u64() % PRIME
             probe = _poly_pow_mod([shift, 1], (PRIME - 1) // 2, current)
-            probe = _poly_trim([(c - (1 if i == 0 else 0)) % PRIME for i, c in enumerate(probe + [0])])
+            probe = _poly_trim(
+                [(c - (1 if i == 0 else 0)) % PRIME for i, c in enumerate(probe + [0])]
+            )
             g = _poly_gcd(current, probe)
             if 0 < len(g) - 1 < deg:
                 quotient = _poly_div_exact(current, g)

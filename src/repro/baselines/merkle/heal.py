@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines.merkle.trie import EMPTY_HASH, HASH_SIZE, NodeStore, Trie, decode_node
+from repro.baselines.merkle.trie import (
+    EMPTY_HASH,
+    HASH_SIZE,
+    NodeStore,
+    Trie,
+    decode_node,
+)
 
 # Geth's snap/1 limits node requests to 384 per message.
 DEFAULT_BATCH_LIMIT = 384

@@ -99,7 +99,9 @@ DEFAULT_MET_CONFIG = MetConfig(
 class MetIBLT:
     """A MET-IBLT of a set, decodable at any block-aligned prefix."""
 
-    def __init__(self, codec: SymbolCodec, config: MetConfig = DEFAULT_MET_CONFIG) -> None:
+    def __init__(
+        self, codec: SymbolCodec, config: MetConfig = DEFAULT_MET_CONFIG
+    ) -> None:
         self.codec = codec
         self.config = config
         self.num_cells = config.cumulative_cells(config.levels)

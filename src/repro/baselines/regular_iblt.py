@@ -127,7 +127,11 @@ class RegularIBLT:
         used to reproduce Theorem A.2's truncation experiment.  The table
         is not mutated.
         """
-        limit = self.num_cells if prefix_cells is None else min(prefix_cells, self.num_cells)
+        limit = (
+            self.num_cells
+            if prefix_cells is None
+            else min(prefix_cells, self.num_cells)
+        )
         cells = [cell.copy() for cell in self.cells[:limit]]
         codec = self.codec
         queue = deque(

@@ -17,6 +17,12 @@ Commands
     would do first).
 ``repro schemes``
     List every scheme in the registry with its capability flags.
+``repro serve INPUT --port P --shards N``
+    Expose INPUT's items as an asyncio reconciliation service: warm
+    per-shard encoders, any number of concurrent clients.
+``repro sync INPUT --port P [--push] [-o OUT]``
+    Reconcile INPUT's items against a running ``serve`` instance; with
+    ``--push`` the server also learns this side's exclusive items.
 
 Item files are either raw binary (fixed-width records, ``--item-size``)
 or newline-delimited hex (``--format hex``).
@@ -124,7 +130,8 @@ def cmd_decode(args: argparse.Namespace) -> int:
     result = decoder.result()
     print(f"remote set size : {remote_size}")
     print(f"symbols used    : {result.symbols_used} of {len(cells)}")
-    print(f"decoded         : {'yes' if result.success else 'NO (need a longer sketch)'}")
+    verdict = "yes" if result.success else "NO (need a longer sketch)"
+    print(f"decoded         : {verdict}")
     if result.success:
         print(f"missing locally : {len(result.remote)}")
         print(f"extra locally   : {len(result.local)}")
@@ -203,6 +210,100 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ReconciliationServer, ServerConfig
+
+    items = read_items(Path(args.input), args.item_size, args.format)
+    unique = check_unique(items, args.input)
+    config = ServerConfig(
+        block_size=args.block_size,
+        max_symbols_per_shard=args.max_symbols,
+        max_sessions=args.max_sessions,
+    )
+
+    async def run_server() -> None:
+        try:
+            server = ReconciliationServer(
+                sorted(unique),
+                scheme=args.scheme,
+                num_shards=args.shards,
+                config=config,
+                **scheme_params_from_args(args, len(items[0])),
+            )
+        except ValueError as exc:
+            # e.g. a scheme that can neither stream nor ship a sketch
+            raise CliError(str(exc)) from exc
+        host, port = await server.start(args.host, args.port)
+        print(
+            f"serving {len(unique)} items ({args.scheme}, {args.shards} shards) "
+            f"on {host}:{port}",
+            flush=True,
+        )
+        try:
+            await server.wait_finished()
+        finally:
+            await server.close()
+        stats = server.stats
+        print(
+            f"served {stats.sessions_completed} sessions "
+            f"({stats.sessions_dropped} dropped), "
+            f"{stats.symbols_sent} symbols / {stats.bytes_sent} bytes, "
+            f"{stats.items_pushed} items pushed"
+        )
+
+    try:
+        asyncio.run(run_server())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
+def cmd_sync(args: argparse.Namespace) -> int:
+    from repro.api import SymbolBudgetExceeded
+    from repro.service import ServiceError, sync_once
+
+    items = read_items(Path(args.input), args.item_size, args.format)
+    unique = check_unique(items, args.input)
+    try:
+        result = sync_once(
+            args.host,
+            args.port,
+            sorted(unique),
+            scheme=args.scheme,
+            push=args.push,
+            max_symbols=args.max_symbols,
+            **scheme_params_from_args(args, len(items[0])),
+        )
+    except SymbolBudgetExceeded as exc:
+        raise CliError(f"symbol budget exhausted: {exc}") from exc
+    except (ServiceError, ValueError, ConnectionError, OSError) as exc:
+        raise CliError(f"sync failed: {exc}") from exc
+    print(f"scheme          : {result.scheme} ({result.num_shards} shards)")
+    print(f"missing locally : {len(result.only_in_server)}")
+    print(f"extra locally   : {len(result.only_in_client)}")
+    print(f"coded symbols   : {result.symbols}")
+    print(f"bytes received  : {result.bytes_received}")
+    if args.push:
+        print(f"items pushed    : {result.pushed}")
+    if args.show_items:
+        for item in sorted(result.only_in_server):
+            print(f"  + {item.hex()}")
+        for item in sorted(result.only_in_client):
+            print(f"  - {item.hex()}")
+    if args.output:
+        merged = sorted(unique | result.only_in_server)
+        if args.format == "hex":
+            Path(args.output).write_text(
+                "".join(f"{item.hex()}\n" for item in merged)
+            )
+        else:
+            Path(args.output).write_bytes(b"".join(merged))
+        print(f"wrote {len(merged)} reconciled items to {args.output}")
+    return 0
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     items_a = read_items(Path(args.file_a), args.item_size, args.format)
     items_b = read_items(Path(args.file_b), args.item_size, args.format)
@@ -249,7 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sketch.add_argument("--symbols", type=int, required=True)
     p_sketch.set_defaults(func=cmd_sketch)
 
-    p_decode = sub.add_parser("decode", help="decode a received sketch against a local file")
+    p_decode = sub.add_parser(
+        "decode", help="decode a received sketch against a local file"
+    )
     p_decode.add_argument("sketch")
     p_decode.add_argument("local")
     p_decode.add_argument("--show-items", action="store_true")
@@ -271,6 +374,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--show-items", action="store_true")
     p_rec.set_defaults(func=cmd_reconcile)
 
+    p_serve = sub.add_parser("serve", help="serve reconciliation sessions over TCP")
+    p_serve.add_argument("input")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0: pick a free one and print it)")
+    p_serve.add_argument(
+        "--shards", type=int, default=4,
+        help="hash-partition the set into this many parallel streams (default 4)",
+    )
+    p_serve.add_argument(
+        "--scheme", default="riblt", choices=available_schemes(),
+        help="scheme backing each shard (default: riblt, warm encoders)",
+    )
+    p_serve.add_argument("--block-size", type=int, default=64,
+                         help="coded symbols per frame (default 64)")
+    p_serve.add_argument(
+        "--max-symbols", type=int, default=1 << 17,
+        help="per-shard symbol budget before a session is dropped",
+    )
+    p_serve.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="exit after serving this many sessions (default: run forever)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_sync = sub.add_parser("sync", help="reconcile a local file against a server")
+    p_sync.add_argument("input")
+    p_sync.add_argument("--host", default="127.0.0.1")
+    p_sync.add_argument("--port", type=int, required=True)
+    p_sync.add_argument(
+        "--scheme", default="riblt", choices=available_schemes(),
+        help="must match the server's scheme (default: riblt)",
+    )
+    p_sync.add_argument("--push", action="store_true",
+                        help="send the server the items it is missing")
+    p_sync.add_argument("--max-symbols", type=int, default=None,
+                        help="client-side per-shard symbol budget")
+    p_sync.add_argument("--show-items", action="store_true")
+    p_sync.add_argument("-o", "--output", default=None,
+                        help="write the reconciled (merged) item file here")
+    p_sync.set_defaults(func=cmd_sync)
+
     p_est = sub.add_parser("estimate", help="strata-estimate the difference size")
     p_est.add_argument("file_a")
     p_est.add_argument("file_b")
@@ -289,6 +434,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout consumer (head, less, ...) went away mid-print; the
+        # Unix convention is a quiet exit, not a traceback.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -161,7 +161,9 @@ class RatelessDecoder:
             remote_cell.count - local_cell.count,
         )
 
-    def add_stream(self, cells: Iterable[CodedSymbol], stop_when_decoded: bool = True) -> int:
+    def add_stream(
+        self, cells: Iterable[CodedSymbol], stop_when_decoded: bool = True
+    ) -> int:
         """Consume cells until the stream is exhausted or decoding completes.
 
         Returns the number of cells consumed from ``cells``.

@@ -77,7 +77,9 @@ class RatelessEncoder:
     1
     """
 
-    def __init__(self, codec: SymbolCodec, items: Optional[Iterable[bytes]] = None) -> None:
+    def __init__(
+        self, codec: SymbolCodec, items: Optional[Iterable[bytes]] = None
+    ) -> None:
         self.codec = codec
         self._entries: dict[int, _SourceEntry] = {}
         self._heap: list[tuple[int, int, _SourceEntry]] = []

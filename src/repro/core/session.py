@@ -31,6 +31,22 @@ from repro.core.wire import SymbolStreamWriter
 from repro.hashing.keyed import KeyedHasher
 
 
+class SymbolBudgetExceeded(RuntimeError):
+    """A bounded reconciliation ran out of coded symbols before decoding.
+
+    Raised (instead of returning a sentinel) so long-running servers can
+    catch exactly this condition and drop a runaway session — a stalled
+    peer, a mismatched hash key, or a difference far beyond what the
+    budget provisions all surface here.  ``symbols_sent`` records how
+    much was spent before giving up.
+    """
+
+    def __init__(self, message: str, symbols_sent: int, max_symbols: int) -> None:
+        super().__init__(message)
+        self.symbols_sent = symbols_sent
+        self.max_symbols = max_symbols
+
+
 @dataclass
 class ReconcileOutcome:
     """Everything :func:`reconcile` learned about A △ B.
@@ -119,17 +135,36 @@ class ReconciliationSession:
 
         ``block_size=1`` (default) keeps cell-exact termination; larger
         blocks trade up to ``block_size − 1`` extra symbols for batch
-        throughput.
+        throughput.  Budget exhaustion raises the typed
+        :class:`SymbolBudgetExceeded` (a ``RuntimeError`` subclass, so
+        pre-existing handlers keep working).
         """
         while not self.decoder.decoded:
             if max_symbols is not None and self.symbols_sent >= max_symbols:
-                raise RuntimeError(
-                    f"reconciliation did not converge within {max_symbols} symbols"
+                raise SymbolBudgetExceeded(
+                    f"reconciliation did not converge within {max_symbols} symbols",
+                    symbols_sent=self.symbols_sent,
+                    max_symbols=max_symbols,
                 )
             if block_size > 1:
                 self.step_block(block_size)
             else:
                 self.step()
+        return self.outcome()
+
+    def run_bounded(self, max_symbols: int, block_size: int = 1) -> bool:
+        """Boolean wrapper over :meth:`run`: ``True`` once decoded, ``False``
+        when the budget ran out (instead of raising).  On success the
+        outcome is available from :meth:`outcome`.
+        """
+        try:
+            self.run(max_symbols=max_symbols, block_size=block_size)
+        except SymbolBudgetExceeded:
+            return False
+        return True
+
+    def outcome(self) -> ReconcileOutcome:
+        """The outcome accumulated so far (meaningful once ``decoded``)."""
         return ReconcileOutcome(
             only_in_a=set(self.decoder.remote_items()),
             only_in_b=set(self.decoder.local_items()),

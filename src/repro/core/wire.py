@@ -26,6 +26,11 @@ from repro.core.symbols import SymbolCodec
 
 MAGIC = b"RIB1"
 
+# LEB128 never legitimately needs more than 10 bytes for a 64-bit value;
+# a count varint that is still "incomplete" with this many bytes buffered
+# is corruption, not truncation.
+_MAX_VARINT_BYTES = 10
+
 
 def expected_count(codec: SymbolCodec, set_size: int, index: int) -> int:
     """E[count] of coded cell ``index`` for a ``set_size``-item set:
@@ -155,6 +160,14 @@ class SymbolStreamReader:
             try:
                 delta, after = decode_svarint(buf, pos + fixed)
             except ValueError:
+                # Distinguish truncation (wait for more bytes) from a
+                # corrupted varint that no amount of further data can
+                # complete — the latter must fail loudly, not stall the
+                # stream while the buffer grows without bound.
+                if end - (pos + fixed) >= _MAX_VARINT_BYTES:
+                    raise ValueError(
+                        f"corrupt count varint at cell {self.index}"
+                    ) from None
                 break  # count varint still incomplete
             sums.append(from_bytes(buf[pos : pos + symbol_size], "little"))
             checksums.append(from_bytes(buf[pos + symbol_size : pos + fixed], "little"))
@@ -165,6 +178,26 @@ class SymbolStreamReader:
         if pos:
             del self._buffer[:pos]
         return appended
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete cell (or header)."""
+        return len(self._buffer)
+
+    def finish(self) -> None:
+        """Assert the stream ended on a cell boundary.
+
+        Call when the byte source is exhausted (EOF, peer disconnect): a
+        stream cut mid-header or mid-cell raises ``ValueError`` instead of
+        silently dropping the partial tail.
+        """
+        if not self._header_parsed:
+            raise ValueError("truncated stream: header incomplete")
+        if self._buffer:
+            raise ValueError(
+                f"truncated stream: {len(self._buffer)} bytes of a partial "
+                f"cell after cell {self.index - 1}"
+            )
 
     def _try_parse_header(self) -> bool:
         buf = bytes(self._buffer)
@@ -217,10 +250,8 @@ def decode_stream(codec: SymbolCodec, data: bytes) -> tuple[list[CodedSymbol], i
     """One-shot parse; returns ``(cells, set_size)``."""
     reader = SymbolStreamReader(codec)
     cells = reader.feed(data)
-    if reader.set_size is None:
-        raise ValueError("truncated stream: header incomplete")
-    if len(reader._buffer) != 0:
-        raise ValueError("trailing bytes after last complete cell")
+    reader.finish()
+    assert reader.set_size is not None
     return cells, reader.set_size
 
 

@@ -97,7 +97,9 @@ class Chain:
                 continue
             touched.add(address)
             old = self.state[address]
-            new = Account.decode(old).bumped(rng.randrange(-(1 << 40), 1 << 40)).encode()
+            new = (
+                Account.decode(old).bumped(rng.randrange(-(1 << 40), 1 << 40)).encode()
+            )
             writes.append((address, old, new))
         for _ in range(self.creates_per_block):
             address = self._new_address()

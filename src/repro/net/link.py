@@ -88,8 +88,12 @@ class Link:
         """Round-trip propagation time (no serialisation)."""
         return self.a_to_b.delay_s + self.b_to_a.delay_s
 
-    def send_to_b(self, size: int, payload: Any, deliver: Callable[[Message], None]) -> float:
+    def send_to_b(
+        self, size: int, payload: Any, deliver: Callable[[Message], None]
+    ) -> float:
         return self.a_to_b.send(Message(size, payload), deliver)
 
-    def send_to_a(self, size: int, payload: Any, deliver: Callable[[Message], None]) -> float:
+    def send_to_a(
+        self, size: int, payload: Any, deliver: Callable[[Message], None]
+    ) -> float:
         return self.b_to_a.send(Message(size, payload), deliver)

@@ -1,0 +1,59 @@
+"""``repro.service`` — asyncio reconciliation serving (paper §1, §7.3).
+
+The paper's deployment story is a server that streams coded symbols to
+arbitrarily many clients *without any per-client state or prior
+context*: one universal stream, patched incrementally as the set
+churns.  This package is that story over real sockets:
+
+:mod:`repro.service.framing`
+    Length-prefixed frame layer over TCP, multiplexing per-shard §6
+    coded-symbol streams (and one-shot sketches) on one connection.
+:mod:`repro.service.shard`
+    Keyed hash-partitioning of a set into independently reconciled
+    shards, so large sets become N smaller parallel streams.
+:mod:`repro.service.backends`
+    What produces a shard's bytes: the warm Rateless-IBLT backend
+    (one shared, continuously patched encoder per shard — never
+    re-encodes for a new client) or any registered scheme from
+    :mod:`repro.api`.
+:mod:`repro.service.server`
+    The asyncio server: session manager, bounded-queue backpressure,
+    typed symbol budgets that drop runaway sessions.
+:mod:`repro.service.client`
+    The asyncio client: :func:`~repro.service.client.sync` reconciles a
+    local set against a server, optionally pushing back what the server
+    is missing.
+:mod:`repro.service.node`
+    :class:`~repro.service.node.ServiceNode`, the high-level peer API
+    combining a local set with both roles.
+"""
+
+from repro.service.backends import StaleStream
+from repro.service.client import SyncResult, sync, sync_once
+from repro.service.errors import (
+    PeerError,
+    ProtocolError,
+    SchemeMismatch,
+    ServiceError,
+)
+from repro.service.framing import FrameError, FrameTooLarge, TruncatedFrame
+from repro.service.node import ServiceNode
+from repro.service.server import ReconciliationServer, ServerConfig, ServerStats
+
+__all__ = [
+    "FrameError",
+    "FrameTooLarge",
+    "PeerError",
+    "ProtocolError",
+    "ReconciliationServer",
+    "SchemeMismatch",
+    "ServerConfig",
+    "ServerStats",
+    "ServiceError",
+    "ServiceNode",
+    "StaleStream",
+    "SyncResult",
+    "TruncatedFrame",
+    "sync",
+    "sync_once",
+]

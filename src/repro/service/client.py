@@ -1,0 +1,413 @@
+"""The asyncio reconciliation client: :func:`sync` a local set with a server.
+
+The client is the receiving side of §4.1: per shard it builds a local
+:class:`~repro.api.base.StreamingReconciler` (any registered streaming
+scheme — the scheme's ``absorb`` does the pairwise subtraction and
+peeling) and consumes the server's multiplexed frames until every shard
+reports decoded.  Fixed-capacity schemes arrive as sized sketches
+instead, with client-driven doubling retries — same wire connection,
+different frame type.
+
+``push=True`` closes the loop: once everything decoded, the items the
+server is missing (this side's exclusives) are pushed back, so both
+sets converge in a single session while the server's warm encoders are
+patched — not rebuilt — by the incoming items.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.api.base import ReconcileError, StreamingReconciler, SymbolBudgetExceeded
+from repro.api.registry import Scheme, get_scheme
+from repro.core.decoder import DecodeResult
+from repro.service.backends import StaleStream
+from repro.service.errors import PeerError, ProtocolError, SchemeMismatch
+from repro.service.framing import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    BodyReader,
+    ErrorCode,
+    FrameType,
+    SyncMode,
+    pack_lp_str,
+    pack_uvarints,
+    read_frame,
+    write_frame,
+)
+from repro.service.server import _codec_of, _hash64_of
+from repro.service.shard import key_probe, partition_items
+
+# Give up on a sketch-mode shard after this many doublings (mirrors
+# repro.api.session.DEFAULT_MAX_ROUNDS).
+DEFAULT_MAX_ROUNDS = 4
+
+
+@dataclass
+class ShardReport:
+    """Per-shard accounting of one sync."""
+
+    shard: int
+    symbols: int = 0
+    bytes_received: int = 0
+    rounds: int = 1
+    only_in_server: int = 0
+    only_in_client: int = 0
+
+
+@dataclass
+class SyncResult:
+    """Everything one :func:`sync` call learned (and spent)."""
+
+    only_in_server: set = field(default_factory=set)
+    only_in_client: set = field(default_factory=set)
+    scheme: str = "riblt"
+    mode: SyncMode = SyncMode.STREAM
+    num_shards: int = 1
+    symbols: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    pushed: int = 0
+    per_shard: list = field(default_factory=list)
+    payloads: Optional[dict] = None
+    """Raw per-shard wire bytes, captured only when asked (golden tests)."""
+
+    @property
+    def difference_size(self) -> int:
+        return len(self.only_in_server) + len(self.only_in_client)
+
+
+class _ShardState:
+    """Client-side decoding state for one shard."""
+
+    def __init__(self, shard: int, items: list) -> None:
+        self.shard = shard
+        self.items = items
+        self.reconciler: Optional[StreamingReconciler] = None
+        self.report = ShardReport(shard)
+        self.done = False
+        self.result: Optional[DecodeResult] = None
+        self.bound = 0  # sketch mode only
+
+
+async def sync(
+    host: str,
+    port: int,
+    items: Iterable[bytes],
+    *,
+    scheme: str = "riblt",
+    num_shards: int = 0,
+    push: bool = False,
+    max_symbols: Optional[int] = None,
+    difference_bound: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    capture_payloads: bool = False,
+    max_frame: int = MAX_FRAME_BYTES,
+    **params: object,
+) -> SyncResult:
+    """Reconcile ``items`` against the server at ``(host, port)``.
+
+    ``num_shards=0`` adopts the server's shard count (pass a value only
+    to assert it).  ``max_symbols`` is this side's per-shard budget —
+    exceeding it raises the same typed
+    :class:`~repro.api.SymbolBudgetExceeded` a server-side drop
+    produces.  ``difference_bound`` seeds sketch-mode sizing (ignored by
+    streaming schemes); ``params`` configure the scheme exactly as in
+    :func:`repro.api.reconcile`.
+    """
+    materialised = list(dict.fromkeys(items))
+    handle = get_scheme(scheme, **params)
+    if handle.params.symbol_size is None:
+        if not materialised:
+            raise ValueError("syncing an empty set needs an explicit symbol_size")
+        handle = handle.with_params(symbol_size=len(materialised[0]))
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        return await _sync_over(
+            reader,
+            writer,
+            handle,
+            materialised,
+            num_shards=num_shards,
+            push=push,
+            max_symbols=max_symbols,
+            difference_bound=difference_bound,
+            max_rounds=max_rounds,
+            capture_payloads=capture_payloads,
+            max_frame=max_frame,
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def sync_once(
+    host: str, port: int, items: Iterable[bytes], **kwargs: object
+) -> SyncResult:
+    """Blocking convenience wrapper around :func:`sync` (CLI, scripts)."""
+    return asyncio.run(sync(host, port, items, **kwargs))
+
+
+async def _sync_over(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    handle: Scheme,
+    items: list,
+    *,
+    num_shards: int,
+    push: bool,
+    max_symbols: Optional[int],
+    difference_bound: int,
+    max_rounds: int,
+    capture_payloads: bool,
+    max_frame: int,
+) -> SyncResult:
+    codec = _codec_of(handle)
+    hash64 = _hash64_of(handle, codec)
+    symbol_size = handle.params.symbol_size
+    assert symbol_size is not None
+    await write_frame(
+        writer,
+        FrameType.HELLO,
+        pack_uvarints(PROTOCOL_VERSION)
+        + pack_lp_str(handle.name)
+        + pack_uvarints(
+            symbol_size,
+            codec.checksum_size if codec is not None else 0,
+        )
+        + pack_lp_str(str(getattr(handle.params, "hasher", "")))
+        + pack_uvarints(
+            key_probe(hash64),
+            num_shards,
+            0,  # block size: server's choice
+            difference_bound,
+        ),
+    )
+    frame = await read_frame(reader, max_frame)
+    if frame is None:
+        raise ProtocolError("server closed the connection before WELCOME")
+    ftype, body = frame
+    if ftype == FrameType.ERROR:
+        _raise_peer_error(body)
+    if ftype != FrameType.WELCOME:
+        raise ProtocolError(f"expected WELCOME, got frame type {ftype:#x}")
+    welcome = BodyReader(body)
+    version = welcome.uvarint()
+    try:
+        mode = SyncMode(welcome.uvarint())
+    except ValueError as exc:
+        raise ProtocolError(f"unknown sync mode in WELCOME: {exc}") from None
+    granted_shards = welcome.uvarint()
+    welcome.uvarint()  # server block size: informational
+    welcome.expect_end()
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"server speaks protocol {version}, client {PROTOCOL_VERSION}"
+        )
+    if num_shards and granted_shards != num_shards:
+        raise SchemeMismatch(
+            f"server runs {granted_shards} shards, caller demanded {num_shards}"
+        )
+
+    shards = [
+        _ShardState(i, part)
+        for i, part in enumerate(partition_items(hash64, items, granted_shards))
+    ]
+    result = SyncResult(
+        scheme=handle.name,
+        mode=mode,
+        num_shards=granted_shards,
+        payloads={i: bytearray() for i in range(granted_shards)}
+        if capture_payloads
+        else None,
+    )
+    if mode == SyncMode.STREAM:
+        for state in shards:
+            state.reconciler = _streaming_reconciler(handle, state.items)
+        await _stream_rounds(reader, writer, shards, result, max_symbols, max_frame)
+    else:
+        await _sketch_rounds(
+            reader, writer, handle, shards, result,
+            initial_bound=difference_bound, max_rounds=max_rounds, max_frame=max_frame,
+        )
+
+    for state in shards:
+        decode = state.result
+        assert decode is not None
+        state.report.only_in_server = len(decode.remote)
+        state.report.only_in_client = len(decode.local)
+        result.only_in_server.update(decode.remote)
+        result.only_in_client.update(decode.local)
+        result.per_shard.append(state.report)
+        result.symbols += state.report.symbols
+        result.bytes_received += state.report.bytes_received
+
+    if push and result.only_in_client:
+        await _push_items(writer, hash64, result, symbol_size)
+    await write_frame(writer, FrameType.BYE)
+    await _await_stats(reader, max_frame)
+    return result
+
+
+def _streaming_reconciler(handle: Scheme, items: list) -> StreamingReconciler:
+    reconciler = handle.new(items)
+    if not isinstance(reconciler, StreamingReconciler):
+        raise ProtocolError(
+            f"scheme {handle.name!r} announced stream mode but is not streaming"
+        )
+    return reconciler
+
+
+async def _stream_rounds(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    shards: list,
+    result: SyncResult,
+    max_symbols: Optional[int],
+    max_frame: int,
+) -> None:
+    remaining = len(shards)
+    while remaining:
+        frame = await read_frame(reader, max_frame)
+        if frame is None:
+            raise ProtocolError("server closed mid-sync (missing shards undecoded)")
+        ftype, body = frame
+        if ftype == FrameType.ERROR:
+            _raise_peer_error(body)
+        if ftype != FrameType.SYMBOLS:
+            raise ProtocolError(f"expected SYMBOLS, got frame type {ftype:#x}")
+        parser = BodyReader(body)
+        shard_id = parser.uvarint()
+        payload = parser.rest()
+        if shard_id >= len(shards):
+            raise ProtocolError(f"server sent unknown shard {shard_id}")
+        state = shards[shard_id]
+        if state.done:
+            continue  # frames already in flight when SHARD_DONE crossed them
+        if result.payloads is not None:
+            result.payloads[shard_id].extend(payload)
+        state.report.bytes_received += len(payload)
+        reconciler = state.reconciler
+        assert reconciler is not None
+        decoded = reconciler.absorb(payload)
+        state.report.symbols = reconciler.symbols_absorbed
+        if decoded:
+            state.done = True
+            state.result = reconciler.stream_result()
+            remaining -= 1
+            await write_frame(writer, FrameType.SHARD_DONE, pack_uvarints(shard_id))
+        elif max_symbols is not None and state.report.symbols >= max_symbols:
+            raise SymbolBudgetExceeded(
+                f"shard {shard_id}: no decode within {max_symbols} coded symbols",
+                symbols_sent=state.report.symbols,
+                max_symbols=max_symbols,
+            )
+
+
+async def _sketch_rounds(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    handle: Scheme,
+    shards: list,
+    result: SyncResult,
+    *,
+    initial_bound: int,
+    max_rounds: int,
+    max_frame: int,
+) -> None:
+    from repro.service.server import DEFAULT_SKETCH_BOUND
+
+    for state in shards:
+        state.bound = initial_bound or DEFAULT_SKETCH_BOUND
+    remaining = len(shards)
+    while remaining:
+        frame = await read_frame(reader, max_frame)
+        if frame is None:
+            raise ProtocolError("server closed mid-sync (missing shards undecoded)")
+        ftype, body = frame
+        if ftype == FrameType.ERROR:
+            _raise_peer_error(body)
+        if ftype != FrameType.SKETCH:
+            raise ProtocolError(f"expected SKETCH, got frame type {ftype:#x}")
+        parser = BodyReader(body)
+        shard_id = parser.uvarint()
+        bound = parser.uvarint()
+        blob = parser.rest()
+        if shard_id >= len(shards):
+            raise ProtocolError(f"server sent unknown shard {shard_id}")
+        state = shards[shard_id]
+        if state.done:
+            continue
+        if result.payloads is not None:
+            result.payloads[shard_id].extend(blob)
+        state.report.bytes_received += len(blob)
+        sized = handle.sized_for(max(1, bound))
+        remote = sized.deserialize(blob)
+        local = sized.new(state.items)
+        decode = remote.subtract(local).decode()
+        if decode.success:
+            state.done = True
+            state.result = decode
+            state.report.symbols = decode.symbols_used
+            remaining -= 1
+            await write_frame(writer, FrameType.SHARD_DONE, pack_uvarints(shard_id))
+            continue
+        state.report.rounds += 1
+        if state.report.rounds > max_rounds:
+            raise ReconcileError(
+                f"shard {shard_id}: sketch did not decode within "
+                f"{max_rounds} doublings (last bound {bound})"
+            )
+        state.bound = max(1, bound) * 2
+        await write_frame(
+            writer, FrameType.RETRY, pack_uvarints(shard_id, state.bound)
+        )
+
+
+async def _push_items(
+    writer: asyncio.StreamWriter, hash64, result: SyncResult, symbol_size: int
+) -> None:
+    by_shard = partition_items(
+        hash64, sorted(result.only_in_client), result.num_shards
+    )
+    for shard_id, members in enumerate(by_shard):
+        if not members:
+            continue
+        body = pack_uvarints(shard_id, len(members)) + b"".join(members)
+        result.bytes_sent += len(body)
+        await write_frame(writer, FrameType.PUSH, body)
+        result.pushed += len(members)
+
+
+async def _await_stats(reader: asyncio.StreamReader, max_frame: int) -> None:
+    """Drain frames until the server acknowledges BYE with STATS."""
+    while True:
+        frame = await read_frame(reader, max_frame)
+        if frame is None:
+            return  # server closed without STATS; the sync itself succeeded
+        ftype, body = frame
+        if ftype == FrameType.STATS:
+            return
+        if ftype == FrameType.ERROR:
+            _raise_peer_error(body)
+        # late SYMBOLS/SKETCH frames racing the BYE: ignore
+
+
+def _raise_peer_error(body: bytes) -> None:
+    parser = BodyReader(body)
+    code = parser.uvarint()
+    message = parser.rest().decode("utf-8", errors="replace")
+    if code == ErrorCode.BUDGET:
+        raise SymbolBudgetExceeded(f"server: {message}", symbols_sent=0, max_symbols=0)
+    if code == ErrorCode.STALE:
+        raise StaleStream(f"server: {message}")
+    if code == ErrorCode.MISMATCH:
+        raise SchemeMismatch(f"server: {message}")
+    if code in (ErrorCode.PROTOCOL, ErrorCode.UNSUPPORTED):
+        raise ProtocolError(f"server: {message}")
+    raise PeerError(code, message)

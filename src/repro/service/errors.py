@@ -1,0 +1,32 @@
+"""Typed failures of the reconciliation service.
+
+Transport-level framing errors live in :mod:`repro.service.framing`
+(:class:`~repro.service.framing.FrameError` and friends); this module
+holds the protocol- and session-level hierarchy.  Budget exhaustion is
+*not* redefined here — the service raises
+:class:`repro.api.SymbolBudgetExceeded` so one ``except`` clause covers
+in-process sessions and served sessions alike.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for reconciliation-service failures."""
+
+
+class ProtocolError(ServiceError):
+    """The peer sent something the protocol does not allow here."""
+
+
+class SchemeMismatch(ProtocolError):
+    """Client and server disagree on scheme, codec, key, or sharding."""
+
+
+class PeerError(ServiceError):
+    """The peer reported a failure this side cannot map to a typed error."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"peer error {code}: {message}")
+        self.code = code
+        self.peer_message = message

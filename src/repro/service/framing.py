@@ -1,0 +1,260 @@
+"""Length-prefixed frame layer: the service's unit of transmission.
+
+A frame is ``uvarint(len) || type-byte || body``.  The §6 coded-symbol
+wire format stays untouched inside ``SYMBOLS`` frame bodies — this layer
+only adds what a multiplexed TCP connection needs: delimitation (so one
+connection can interleave N shard streams), a type tag, and a hard size
+cap so a corrupted length prefix cannot balloon the receive buffer.
+
+Both a sans-io incremental decoder (:class:`FrameDecoder`, used by the
+robustness tests and any non-asyncio transport) and asyncio stream
+helpers (:func:`read_frame` / :func:`write_frame`) are provided.
+
+Frame catalogue (bodies are varint-packed, see the pack helpers)::
+
+    HELLO       c->s  version, scheme, symbol_size, checksum_size,
+                      hasher, key_probe, num_shards, block_size, bound
+    WELCOME     s->c  version, mode, num_shards, block_size
+    SYMBOLS     s->c  shard, <§6 stream bytes>
+    SKETCH      s->c  shard, bound, <serialized sketch>
+    SHARD_DONE  c->s  shard
+    RETRY       c->s  shard, bound          (sketch mode undershoot)
+    PUSH        c->s  shard, count, count·symbol_size item bytes
+    BYE         c->s  (empty)
+    STATS       s->c  symbols_sent, bytes_sent, pushes_applied
+    ERROR       both  code, utf-8 message
+"""
+
+from __future__ import annotations
+
+import asyncio
+from enum import IntEnum
+from typing import Iterator, Optional
+
+from repro.core import varint
+
+PROTOCOL_VERSION = 1
+
+# A frame larger than this is corruption (or abuse), not data: the
+# biggest legitimate frames are PUSH bodies and serialized sketches,
+# both far below 4 MiB under any sane shard size.
+MAX_FRAME_BYTES = 4 << 20
+
+# LEB128 for a value below MAX_FRAME_BYTES fits in 4 bytes; allow the
+# full 64-bit width before declaring the prefix malformed.
+_MAX_PREFIX_BYTES = 10
+
+
+class FrameType(IntEnum):
+    """The one-byte tag leading every frame body."""
+
+    HELLO = 0x01
+    WELCOME = 0x02
+    SYMBOLS = 0x03
+    SKETCH = 0x04
+    SHARD_DONE = 0x05
+    RETRY = 0x06
+    PUSH = 0x07
+    BYE = 0x08
+    STATS = 0x09
+    ERROR = 0x0A
+
+
+class ErrorCode(IntEnum):
+    """Codes carried by ``ERROR`` frames."""
+
+    PROTOCOL = 1
+    BUDGET = 2
+    MISMATCH = 3
+    STALE = 4
+    UNSUPPORTED = 5
+
+
+class SyncMode(IntEnum):
+    """How a scheme's shard bytes travel (announced in ``WELCOME``)."""
+
+    STREAM = 0  # rateless coded-symbol stream, SYMBOLS frames
+    SKETCH = 1  # sized sketch + retry doubling, SKETCH frames
+
+
+class FrameError(Exception):
+    """Malformed framing: bad length prefix, unknown type, size cap."""
+
+
+class FrameTooLarge(FrameError):
+    """A frame's declared length exceeds the configured cap."""
+
+
+class TruncatedFrame(FrameError):
+    """The byte source ended in the middle of a frame."""
+
+
+def encode_frame(ftype: int, body: bytes = b"") -> bytes:
+    """Serialise one frame (length prefix covers the type byte)."""
+    payload_len = 1 + len(body)
+    if payload_len > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"frame of {payload_len} bytes exceeds cap")
+    return varint.encode_uvarint(payload_len) + bytes((ftype,)) + body
+
+
+class FrameDecoder:
+    """Incremental, transport-agnostic frame parser.
+
+    Feed arbitrary byte chunks; complete frames come out.  State
+    survives partial frames across feeds; :meth:`finish` turns a
+    mid-frame EOF into a typed error instead of silent data loss.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[tuple[int, bytes]]:
+        """Append bytes; return every ``(type, body)`` that completed."""
+        self._buffer.extend(data)
+        frames = list(self._drain())
+        return frames
+
+    def _drain(self) -> Iterator[tuple[int, bytes]]:
+        buf = self._buffer
+        pos = 0
+        end = len(buf)
+        while pos < end:
+            try:
+                length, after = varint.decode_uvarint(
+                    bytes(buf[pos : pos + _MAX_PREFIX_BYTES])
+                )
+            except ValueError:
+                if end - pos >= _MAX_PREFIX_BYTES:
+                    raise FrameError("malformed frame length prefix") from None
+                break  # prefix still incomplete
+            if length > self.max_frame:
+                raise FrameTooLarge(
+                    f"frame declares {length} bytes, cap is {self.max_frame}"
+                )
+            if length < 1:
+                raise FrameError("empty frame (no type byte)")
+            start = pos + after
+            if end - start < length:
+                break  # body still incomplete
+            yield buf[start], bytes(buf[start + 1 : start + length])
+            pos = start + length
+        if pos:
+            del buf[:pos]
+
+    def finish(self) -> None:
+        """Assert the source ended on a frame boundary."""
+        if self._buffer:
+            raise TruncatedFrame(
+                f"stream ended with {len(self._buffer)} bytes of a partial frame"
+            )
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[tuple[int, bytes]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF inside a frame raises :class:`TruncatedFrame` — a peer that
+    vanishes mid-message must never look like a graceful goodbye.
+    """
+    length = 0
+    shift = 0
+    for i in range(_MAX_PREFIX_BYTES):
+        try:
+            byte = (await reader.readexactly(1))[0]
+        except asyncio.IncompleteReadError:
+            if i == 0:
+                return None  # clean EOF between frames
+            raise TruncatedFrame("connection closed inside a frame length") from None
+        length |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+    else:
+        raise FrameError("malformed frame length prefix")
+    if length > max_frame:
+        raise FrameTooLarge(f"frame declares {length} bytes, cap is {max_frame}")
+    if length < 1:
+        raise FrameError("empty frame (no type byte)")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrame(
+            f"connection closed {length - len(exc.partial)} bytes short of a frame"
+        ) from None
+    return payload[0], payload[1:]
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, ftype: int, body: bytes = b""
+) -> None:
+    """Write one frame and apply transport backpressure (``drain``)."""
+    writer.write(encode_frame(ftype, body))
+    await writer.drain()
+
+
+# -- body packing -----------------------------------------------------------
+
+
+class BodyReader:
+    """Sequential parser for varint-packed frame bodies."""
+
+    def __init__(self, body: bytes) -> None:
+        self._body = body
+        self._pos = 0
+
+    def uvarint(self) -> int:
+        try:
+            value, self._pos = varint.decode_uvarint(self._body, self._pos)
+        except ValueError as exc:
+            raise FrameError(f"bad frame body: {exc}") from None
+        return value
+
+    def raw(self, size: int) -> bytes:
+        if len(self._body) - self._pos < size:
+            raise FrameError(
+                f"bad frame body: wanted {size} bytes, "
+                f"{len(self._body) - self._pos} left"
+            )
+        out = self._body[self._pos : self._pos + size]
+        self._pos += size
+        return out
+
+    def rest(self) -> bytes:
+        out = self._body[self._pos :]
+        self._pos = len(self._body)
+        return out
+
+    def lp_bytes(self) -> bytes:
+        """A length-prefixed byte string."""
+        return self.raw(self.uvarint())
+
+    def lp_str(self) -> str:
+        try:
+            return self.lp_bytes().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FrameError(f"bad frame body: {exc}") from None
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._body):
+            raise FrameError(
+                f"bad frame body: {len(self._body) - self._pos} trailing bytes"
+            )
+
+
+def pack_uvarints(*values: int) -> bytes:
+    return b"".join(varint.encode_uvarint(v) for v in values)
+
+
+def pack_lp(data: bytes) -> bytes:
+    return varint.encode_uvarint(len(data)) + data
+
+
+def pack_lp_str(text: str) -> bytes:
+    return pack_lp(text.encode("utf-8"))

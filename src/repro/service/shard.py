@@ -1,0 +1,111 @@
+"""Keyed hash-partitioning of a set into independently reconciled shards.
+
+Sharding turns one huge reconciliation into ``N`` small, embarrassingly
+parallel ones: each shard is its own coded-symbol stream with its own
+termination, so a server can interleave them over one connection and a
+client can finish cheap shards early while a hot shard keeps streaming.
+
+Placement must be *identical* on both peers, so the router hashes with
+the same keyed 64-bit hash the codec uses for checksums — mixed through
+an extra splitmix64 round with a salt, so shard membership is
+decorrelated from the checksum values that seed the §4.2 index mapping.
+Peers that disagree on the hash family or key will disagree on
+placement (and on checksums); the service handshake carries a key probe
+to reject that pairing before any symbols flow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.hashing.prng import mix64
+
+# Any fixed constant works; it only needs to differ from the identity so
+# the shard index and the checksum are independent functions of hash64.
+_SHARD_SALT = 0x5379_6E63_5368_6172  # "SyncShar"
+
+# A fixed probe string both peers hash during the handshake: equal keyed
+# hashes => almost certainly equal (hasher, key) pairs, without either
+# key crossing the wire.
+_KEY_PROBE_DATA = b"repro.service key probe v1"
+
+
+def shard_of(hash64: Callable[[bytes], int], item: bytes, num_shards: int) -> int:
+    """The shard ``item`` belongs to (identical for peers sharing the hash)."""
+    return mix64(hash64(item) ^ _SHARD_SALT) % num_shards
+
+
+def key_probe(hash64: Callable[[bytes], int]) -> int:
+    """64-bit handshake probe identifying the (hasher, key) pair."""
+    return hash64(_KEY_PROBE_DATA)
+
+
+class ShardedSet:
+    """A set of fixed-width items, hash-partitioned into ``num_shards``.
+
+    Tracks a per-shard ``version`` that bumps on every mutation; stream
+    cursors snapshot it to detect (and refuse to serve) a stream whose
+    underlying set changed mid-flight.
+    """
+
+    def __init__(
+        self,
+        hash64: Callable[[bytes], int],
+        num_shards: int,
+        items: Iterable[bytes] = (),
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.hash64 = hash64
+        self.num_shards = num_shards
+        self.shards: list[set[bytes]] = [set() for _ in range(num_shards)]
+        self.versions: list[int] = [0] * num_shards
+        for item in items:
+            self.add(item)
+
+    def shard_of(self, item: bytes) -> int:
+        return shard_of(self.hash64, item, self.num_shards)
+
+    def add(self, item: bytes) -> int:
+        """Place ``item``; returns its shard.  Raises ``KeyError`` on dup."""
+        shard = self.shard_of(item)
+        members = self.shards[shard]
+        if item in members:
+            raise KeyError(f"duplicate item: {item.hex()}")
+        members.add(item)
+        self.versions[shard] += 1
+        return shard
+
+    def remove(self, item: bytes) -> int:
+        """Remove ``item``; returns its shard.  Raises ``KeyError`` if absent."""
+        shard = self.shard_of(item)
+        members = self.shards[shard]
+        if item not in members:
+            raise KeyError(f"item not in set: {item.hex()}")
+        members.remove(item)
+        self.versions[shard] += 1
+        return shard
+
+    def __contains__(self, item: bytes) -> bool:
+        return item in self.shards[self.shard_of(item)]
+
+    def __len__(self) -> int:
+        return sum(len(members) for members in self.shards)
+
+    def __iter__(self) -> Iterator[bytes]:
+        for members in self.shards:
+            yield from members
+
+
+def partition_items(
+    hash64: Callable[[bytes], int], items: Iterable[bytes], num_shards: int
+) -> list[list[bytes]]:
+    """One-shot partition (the client side, which needs no versioning).
+
+    Within each shard the items keep their input order, so deterministic
+    inputs give deterministic per-shard reconciler construction.
+    """
+    shards: list[list[bytes]] = [[] for _ in range(num_shards)]
+    for item in items:
+        shards[shard_of(hash64, item, num_shards)].append(item)
+    return shards

@@ -7,7 +7,6 @@ truncated checksums, mid-stream add/remove patching of a bank-backed
 prefix, block wire framing, and session-level block stepping.
 """
 
-import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings

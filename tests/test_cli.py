@@ -114,7 +114,9 @@ def test_binary_partial_record_rejected(tmp_path, capsys):
 
 
 def test_missing_file(tmp_path, capsys):
-    code = main(["--item-size", "8", "reconcile", str(tmp_path / "no"), str(tmp_path / "no")])
+    code = main(
+        ["--item-size", "8", "reconcile", str(tmp_path / "no"), str(tmp_path / "no")]
+    )
     assert code == 2
     assert "no such file" in capsys.readouterr().err
 

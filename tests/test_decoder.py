@@ -135,7 +135,9 @@ def test_large_difference(codec8, rng):
 def test_values_and_items_agree(codec8, rng):
     a, b = split_sets(rng, shared=40, only_a=4, only_b=0)
     decoder = stream_reconcile(codec8, a, b)
-    assert [codec8.to_bytes(v) for v in decoder.remote_values()] == decoder.remote_items()
+    assert [
+        codec8.to_bytes(v) for v in decoder.remote_values()
+    ] == decoder.remote_items()
 
 
 def test_32_byte_items(rng):

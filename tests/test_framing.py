@@ -1,0 +1,105 @@
+"""Framing-layer robustness: corrupted, truncated, and hostile inputs
+must surface as typed errors — never as garbage frames or unbounded
+buffering."""
+
+import pytest
+
+from repro.service.framing import (
+    BodyReader,
+    FrameDecoder,
+    FrameError,
+    FrameTooLarge,
+    FrameType,
+    TruncatedFrame,
+    encode_frame,
+    pack_lp_str,
+    pack_uvarints,
+)
+
+
+def test_roundtrip_single_and_coalesced():
+    decoder = FrameDecoder()
+    blob = encode_frame(FrameType.SYMBOLS, b"abc") + encode_frame(FrameType.BYE)
+    frames = decoder.feed(blob)
+    assert frames == [(FrameType.SYMBOLS, b"abc"), (FrameType.BYE, b"")]
+    decoder.finish()  # boundary-clean
+
+
+def test_byte_by_byte_reassembly():
+    blob = encode_frame(FrameType.PUSH, bytes(range(100)))
+    decoder = FrameDecoder()
+    collected = []
+    for i in range(len(blob)):
+        collected.extend(decoder.feed(blob[i : i + 1]))
+    assert collected == [(FrameType.PUSH, bytes(range(100)))]
+    assert decoder.pending_bytes == 0
+
+
+def test_truncated_frame_detected_at_eof():
+    blob = encode_frame(FrameType.SYMBOLS, b"x" * 50)
+    decoder = FrameDecoder()
+    assert decoder.feed(blob[:-1]) == []
+    assert decoder.pending_bytes == len(blob) - 1
+    with pytest.raises(TruncatedFrame):
+        decoder.finish()
+
+
+def test_oversized_frame_rejected_before_buffering():
+    decoder = FrameDecoder(max_frame=1024)
+    huge = encode_frame(FrameType.SYMBOLS, b"y" * 2000)
+    with pytest.raises(FrameTooLarge):
+        decoder.feed(huge[:4])  # the length prefix alone must trip it
+
+
+def test_malformed_length_prefix_rejected():
+    decoder = FrameDecoder()
+    with pytest.raises(FrameError):
+        decoder.feed(b"\xff" * 12)  # varint that never terminates
+
+
+def test_zero_length_frame_rejected():
+    decoder = FrameDecoder()
+    with pytest.raises(FrameError):
+        decoder.feed(b"\x00")  # no room for a type byte
+
+
+def test_encode_respects_cap():
+    with pytest.raises(FrameTooLarge):
+        encode_frame(FrameType.PUSH, b"z" * (5 << 20))
+
+
+def test_body_reader_bounds_checked():
+    body = pack_uvarints(3, 7) + pack_lp_str("riblt")
+    reader = BodyReader(body)
+    assert reader.uvarint() == 3
+    assert reader.uvarint() == 7
+    assert reader.lp_str() == "riblt"
+    reader.expect_end()
+
+    reader = BodyReader(pack_uvarints(3))
+    reader.uvarint()
+    with pytest.raises(FrameError):
+        reader.raw(4)  # past the end
+
+    with pytest.raises(FrameError):
+        BodyReader(b"\xff\xff").uvarint()  # truncated varint
+
+    reader = BodyReader(pack_uvarints(1, 2))
+    reader.uvarint()
+    with pytest.raises(FrameError):
+        reader.expect_end()  # trailing bytes
+
+
+def test_body_reader_rejects_bad_utf8():
+    with pytest.raises(FrameError):
+        BodyReader(pack_uvarints(2) + b"\xff\xfe").lp_str()
+
+
+def test_split_across_many_frames_with_garbage_tail():
+    """Valid frames parse; the corrupt tail raises instead of looping."""
+    decoder = FrameDecoder()
+    good = encode_frame(FrameType.SHARD_DONE, pack_uvarints(2))
+    frames = decoder.feed(good)
+    assert frames == [(FrameType.SHARD_DONE, pack_uvarints(2))]
+    with pytest.raises(FrameError):
+        decoder.feed(b"\x81" * 32)  # endless continuation bits

@@ -33,7 +33,7 @@ def test_float_spread():
     """All sixteenths of [0,1) are hit — no gross bias."""
     rng = Splitmix64(1234)
     buckets = [0] * 16
-    for _ in range(16_000)	:
+    for _ in range(16_000):
         buckets[int(rng.next_float() * 16)] += 1
     assert min(buckets) > 700  # expectation 1000
 

@@ -123,5 +123,7 @@ def test_riblt_beats_heal_on_latency_small_diff():
     """Fig 13: half a round of interactivity vs ≥11 lock-step rounds."""
     plan = make_plan(symbols=200, bytes_per_symbol=100.0)
     riblt = simulate_riblt_sync(plan, 20e6, 0.05)
-    heal = simulate_state_heal(make_heal_report(rounds=11, response_bytes=2_000), 20e6, 0.05)
+    heal = simulate_state_heal(
+        make_heal_report(rounds=11, response_bytes=2_000), 20e6, 0.05
+    )
     assert riblt.completion_time < heal.completion_time / 3

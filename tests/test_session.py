@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core.session import ReconciliationSession, reconcile
+from repro.core.session import (
+    ReconciliationSession,
+    SymbolBudgetExceeded,
+    reconcile,
+)
 from repro.core.symbols import SymbolCodec
 from repro.hashing.keyed import SipHasher
 
@@ -75,3 +79,43 @@ def test_overhead_close_to_paper_at_moderate_d(rng):
     a, b = split_sets(rng, shared=1000, only_a=50, only_b=50)
     out = reconcile(a, b, symbol_size=8)
     assert out.overhead < 2.0
+
+
+def test_budget_exhaustion_is_typed(rng):
+    """max_symbols overrun raises SymbolBudgetExceeded (a RuntimeError
+    subclass, so pre-existing handlers still catch it) with spend data."""
+    a, b = split_sets(rng, shared=10, only_a=30, only_b=30)
+    session = ReconciliationSession(a, b, SymbolCodec(8))
+    with pytest.raises(SymbolBudgetExceeded) as excinfo:
+        session.run(max_symbols=3)
+    assert excinfo.value.max_symbols == 3
+    assert excinfo.value.symbols_sent >= 3
+    assert isinstance(excinfo.value, RuntimeError)
+
+
+def test_api_budget_exception_is_one_family(rng):
+    """The api-layer exception is catchable as the core type AND as
+    ReconcileError — one except clause covers every layer."""
+    from repro.api import ReconcileError
+    from repro.api import SymbolBudgetExceeded as ApiBudget
+    from repro.api import reconcile as api_reconcile
+
+    a, b = split_sets(rng, shared=10, only_a=20, only_b=20)
+    with pytest.raises(SymbolBudgetExceeded):
+        api_reconcile(a, b, scheme="riblt", symbol_size=8, max_symbols=2)
+    with pytest.raises(ReconcileError):
+        api_reconcile(a, b, scheme="riblt", symbol_size=8, max_symbols=2)
+    assert issubclass(ApiBudget, SymbolBudgetExceeded)
+    assert issubclass(ApiBudget, ReconcileError)
+
+
+def test_run_bounded_bool_wrapper(rng):
+    """The bool API survives as a wrapper over the typed exception."""
+    a, b = split_sets(rng, shared=10, only_a=30, only_b=30)
+    session = ReconciliationSession(a, b, SymbolCodec(8))
+    assert session.run_bounded(max_symbols=3) is False
+    # The same session may keep going with a bigger budget.
+    assert session.run_bounded(max_symbols=5000) is True
+    outcome = session.outcome()
+    assert outcome.only_in_a == a - b
+    assert outcome.only_in_b == b - a

@@ -138,3 +138,79 @@ def test_end_to_end_over_wire(codec8, rng):
     assert decoder.decoded
     assert set(decoder.remote_items()) == a - b
     assert set(decoder.local_items()) == b - a
+
+
+# -- robustness: truncation, corruption, disconnects ------------------------
+
+
+def test_reader_finish_clean_boundary(codec8, rng):
+    items = make_items(rng, 20)
+    enc = RatelessEncoder(codec8, items)
+    blob = encode_stream(codec8, 20, [c.copy() for c in enc.produce(6)])
+    reader = SymbolStreamReader(codec8)
+    cells = reader.feed(blob)
+    assert len(cells) == 6
+    reader.finish()  # exact boundary: no error
+    assert reader.pending_bytes == 0
+
+
+def test_reader_finish_mid_cell_raises(codec8, rng):
+    """A disconnect mid-cell is a typed truncation, not silent loss."""
+    items = make_items(rng, 20)
+    enc = RatelessEncoder(codec8, items)
+    blob = encode_stream(codec8, 20, [c.copy() for c in enc.produce(6)])
+    reader = SymbolStreamReader(codec8)
+    reader.feed(blob[:-3])
+    assert reader.pending_bytes > 0
+    with pytest.raises(ValueError):
+        reader.finish()
+
+
+def test_reader_finish_mid_header_raises(codec8):
+    reader = SymbolStreamReader(codec8)
+    reader.feed(b"RIB1\x08")  # header cut short
+    with pytest.raises(ValueError):
+        reader.finish()
+
+
+def test_corrupt_count_varint_raises_not_stalls(codec8, rng):
+    """A count varint of endless continuation bytes must raise; before
+    the guard it parked the reader waiting for bytes that never come."""
+    from repro.core.cellbank import CodedSymbolBank
+
+    items = make_items(rng, 30)
+    enc = RatelessEncoder(codec8, items)
+    blob = encode_stream(codec8, 30, [c.copy() for c in enc.produce(2)])
+    reader = SymbolStreamReader(codec8)
+    reader.feed(blob)
+    bank = CodedSymbolBank()
+    with pytest.raises(ValueError):
+        # fixed part of one cell, then a hostile varint
+        reader.feed_into(bank, b"\x00" * 16 + b"\xff" * 16)
+
+
+def test_header_size_mismatch_raises(codec8, rng):
+    items = make_items(rng, 10)
+    enc = RatelessEncoder(codec8, items)
+    blob = encode_stream(codec8, 10, [c.copy() for c in enc.produce(2)])
+    wrong = SymbolCodec(4)
+    with pytest.raises(ValueError):
+        SymbolStreamReader(wrong).feed(blob)
+
+
+def test_feed_into_byte_by_byte_matches_bulk(codec8, rng):
+    """Chunking must never change what parses (mid-stream reconnects)."""
+    from repro.core.cellbank import CodedSymbolBank
+
+    items = make_items(rng, 50)
+    enc = RatelessEncoder(codec8, items)
+    blob = encode_stream(codec8, 50, [c.copy() for c in enc.produce(20)])
+    bulk = SymbolStreamReader(codec8)
+    bank_bulk = CodedSymbolBank()
+    bulk.feed_into(bank_bulk, blob)
+    trickle = SymbolStreamReader(codec8)
+    bank_trickle = CodedSymbolBank()
+    for i in range(len(blob)):
+        trickle.feed_into(bank_trickle, blob[i : i + 1])
+    assert bank_bulk == bank_trickle
+    trickle.finish()

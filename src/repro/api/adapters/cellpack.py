@@ -15,10 +15,12 @@ benchmarks stays the paper's §7.1 ℓ+16 figure, see the adapters.)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.api.base import SchemeParams
+from repro.api.base import ReconcileError, SchemeParams
 from repro.core.cellbank import CodedSymbolBank
 from repro.core.coded import CodedSymbol
+from repro.core.decoder import DecodeResult
 from repro.core.params import CHECKSUM_BYTES
 from repro.core.symbols import SymbolCodec
 from repro.hashing.keyed import DEFAULT_KEY, make_hasher
@@ -57,3 +59,107 @@ def pack_cells(codec: SymbolCodec, cells: list[CodedSymbol]) -> bytes:
 def unpack_cells(codec: SymbolCodec, blob: bytes) -> list[CodedSymbol]:
     """Parse a flat cell blob (delegates to the bank codec)."""
     return CodedSymbolBank.unpack(blob, codec).cells()
+
+
+class CellStreamFace:
+    """Streaming face over a table of coded cells, for table adapters.
+
+    Mixed into :class:`~repro.api.base.StreamingReconciler` subclasses
+    whose sketch is a flat cell list (regular IBLT, MET-IBLT): the
+    sender streams the table's cells in index order; the receiver
+    subtracts its own cell at the same index lane-wise and asks the
+    adapter (``_try_stream_decode``) whether the diff prefix decodes —
+    at the full table for a fixed-capacity scheme, at every preset
+    block boundary for a rate-compatible one.
+
+    Both hot-path overrides the base class warns about are provided:
+    ``produce_block`` packs the whole cell slice in one pass instead of
+    joining per-symbol ``produce_next`` results, and
+    ``symbols_absorbed`` is a plain O(1) counter instead of
+    materialising ``stream_result()`` per frame.
+
+    Arbitrary payload fragmentation is fine: partial cells are buffered
+    until a whole cell is available.  These streams are *finite* —
+    producing past the table's last cell raises ``ReconcileError``
+    (an undersized table cannot be extended; pick a bigger one).
+    """
+
+    # Class-level defaults double as lazy instance state: the first
+    # mutation creates the instance attribute.
+    _stream_produced = 0
+    _stream_absorbed = 0
+    _stream_decoded = False
+
+    # -- adapter contract --------------------------------------------------
+
+    def _stream_codec(self) -> SymbolCodec:
+        raise NotImplementedError
+
+    def _own_cells(self) -> list[CodedSymbol]:
+        raise NotImplementedError
+
+    def _try_stream_decode(
+        self, diff_cells: list[CodedSymbol], absorbed: int
+    ) -> Optional[DecodeResult]:
+        """Attempt a decode of the ``absorbed``-cell diff prefix."""
+        raise NotImplementedError
+
+    # -- streaming face ----------------------------------------------------
+
+    def produce_next(self) -> bytes:
+        return self.produce_block(1)
+
+    def produce_block(self, block_size: int) -> bytes:
+        cells = self._own_cells()
+        lo = self._stream_produced
+        if lo >= len(cells):
+            raise ReconcileError(
+                f"{type(self).__name__}: cell stream exhausted after "
+                f"{len(cells)} cells (fixed tables cannot be extended)"
+            )
+        hi = min(lo + block_size, len(cells))
+        self._stream_produced = hi
+        return pack_cells(self._stream_codec(), cells[lo:hi])
+
+    def absorb(self, payload: bytes) -> bool:
+        if self._stream_decoded:
+            return True
+        buf = self.__dict__.setdefault("_stream_buf", bytearray())
+        diff = self.__dict__.setdefault("_stream_diff", [])
+        buf.extend(payload)
+        codec = self._stream_codec()
+        stride = codec.symbol_size + codec.checksum_size + COUNT_BYTES
+        usable = len(buf) - len(buf) % stride
+        if not usable:
+            return False
+        incoming = unpack_cells(codec, bytes(buf[:usable]))
+        del buf[:usable]
+        own = self._own_cells()
+        base = self._stream_absorbed
+        if base + len(incoming) > len(own):
+            raise ReconcileError(
+                f"{type(self).__name__}: peer streamed more cells than the "
+                f"table holds ({len(own)})"
+            )
+        for offset, cell in enumerate(incoming):
+            diff.append(cell.subtract(own[base + offset]))
+        self._stream_absorbed = base + len(incoming)
+        result = self._try_stream_decode(diff, self._stream_absorbed)
+        if result is not None and result.success:
+            self._stream_decoded = True
+            self._stream_result = result
+        return self._stream_decoded
+
+    @property
+    def symbols_absorbed(self) -> int:
+        return self._stream_absorbed
+
+    @property
+    def decoded(self) -> bool:
+        return self._stream_decoded
+
+    def stream_result(self) -> DecodeResult:
+        result = self.__dict__.get("_stream_result")
+        if result is not None:
+            return result
+        return DecodeResult(success=False)

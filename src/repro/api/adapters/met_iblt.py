@@ -13,8 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.api.adapters.cellpack import CodecParams, codec_for, pack_cells, unpack_cells
-from repro.api.base import SetReconciler
+from repro.api.adapters.cellpack import (
+    CellStreamFace,
+    CodecParams,
+    codec_for,
+    pack_cells,
+    unpack_cells,
+)
+from repro.api.base import StreamingReconciler
 from repro.api.registry import Capabilities, register_scheme
 from repro.baselines.met_iblt import (
     CELL_OVERHEAD_BYTES,
@@ -22,7 +28,9 @@ from repro.baselines.met_iblt import (
     MetConfig,
     MetIBLT,
 )
+from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult
+from repro.core.symbols import SymbolCodec
 
 
 @dataclass(frozen=True)
@@ -32,13 +40,22 @@ class MetIbltParams(CodecParams):
     config: MetConfig = DEFAULT_MET_CONFIG
 
 
-class MetIbltReconciler(SetReconciler):
-    """One MET-IBLT of one set, decoded at the cheapest block prefix."""
+class MetIbltReconciler(CellStreamFace, StreamingReconciler):
+    """One MET-IBLT of one set, decoded at the cheapest block prefix.
+
+    The :class:`CellStreamFace` streaming face ships cells in index
+    order and attempts a decode at every preset block boundary — the
+    rate-compatible prefix growth of Lázaro & Matuz as an actual
+    stream, usable by the protocol engine.  The registry capability
+    stays ``streaming=False``: extension points are the coarse preset
+    boundaries and the stream is finite, not rateless.
+    """
 
     def __init__(self, params: MetIbltParams, table: MetIBLT) -> None:
         self.params = params
         self._table = table
         self._consumed_cells: Optional[int] = None
+        self._stream_levels_tried = 0
 
     @classmethod
     def from_items(
@@ -88,6 +105,32 @@ class MetIbltReconciler(SetReconciler):
         if cells is None:
             return self.wire_size()
         return cells * (self._table.codec.symbol_size + CELL_OVERHEAD_BYTES)
+
+    # -- streaming face (CellStreamFace contract) --------------------------
+
+    def _stream_codec(self) -> SymbolCodec:
+        return self._table.codec
+
+    def _own_cells(self) -> list[CodedSymbol]:
+        return self._table.cells
+
+    def _try_stream_decode(
+        self, diff_cells: list[CodedSymbol], absorbed: int
+    ) -> Optional[DecodeResult]:
+        config = self._table.config
+        result: Optional[DecodeResult] = None
+        for level in range(self._stream_levels_tried + 1, config.levels + 1):
+            limit = config.cumulative_cells(level)
+            if limit > absorbed:
+                break
+            self._stream_levels_tried = level
+            table = MetIBLT(self._table.codec, config)
+            table.cells[:absorbed] = [cell.copy() for cell in diff_cells]
+            result = table.decode(level)
+            if result.success:
+                self._consumed_cells = limit
+                return result
+        return result
 
 
 register_scheme(

@@ -18,11 +18,19 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
-from repro.api.adapters.cellpack import CodecParams, codec_for, pack_cells, unpack_cells
-from repro.api.base import SetReconciler
+from repro.api.adapters.cellpack import (
+    CellStreamFace,
+    CodecParams,
+    codec_for,
+    pack_cells,
+    unpack_cells,
+)
+from repro.api.base import StreamingReconciler
 from repro.api.registry import Capabilities, register_scheme
 from repro.baselines.regular_iblt import RegularIBLT, recommended_cells
+from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult
+from repro.core.symbols import SymbolCodec
 
 
 @dataclass(frozen=True)
@@ -33,8 +41,16 @@ class RegularIbltParams(CodecParams):
     hash_count: int = 3
 
 
-class RegularIbltReconciler(SetReconciler):
-    """One fixed-geometry IBLT of one set."""
+class RegularIbltReconciler(CellStreamFace, StreamingReconciler):
+    """One fixed-geometry IBLT of one set.
+
+    Also exposes the :class:`CellStreamFace` streaming face (cells
+    streamed in index order, decode attempted once the full table
+    arrived) so the protocol engine can move a fixed table as a stream;
+    the registry capability stays ``streaming=False`` because a prefix
+    of a fixed table is *not* decodable — the face is finite, not
+    rateless.
+    """
 
     def __init__(self, params: RegularIbltParams, table: RegularIBLT) -> None:
         self.params = params
@@ -103,6 +119,25 @@ class RegularIbltReconciler(SetReconciler):
 
     def decode(self) -> DecodeResult:
         return self._table.decode()
+
+    # -- streaming face (CellStreamFace contract) --------------------------
+
+    def _stream_codec(self) -> SymbolCodec:
+        return self._table.codec
+
+    def _own_cells(self) -> list[CodedSymbol]:
+        return self._table.cells
+
+    def _try_stream_decode(
+        self, diff_cells: list[CodedSymbol], absorbed: int
+    ) -> Optional[DecodeResult]:
+        if absorbed < self._table.num_cells:
+            return None  # a fixed table only decodes once complete
+        table = RegularIBLT(
+            self._table.num_cells, self._table.codec, self._table.hash_count
+        )
+        table.cells = [cell.copy() for cell in diff_cells]
+        return table.decode()
 
 
 register_scheme(

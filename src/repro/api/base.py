@@ -104,6 +104,15 @@ class ReconcileResult:
     symbols_used: int
     scheme: str
     rounds: int = 1
+    symbol_size: Optional[int] = None
+    """The scheme's configured item width ℓ (``params.symbol_size``).
+
+    Carried so :attr:`byte_overhead` normalises by the *configured*
+    width, not by whatever item happens to come out of the recovered
+    sets first — probing an arbitrary item would silently misreport the
+    Fig 7 metric under mixed-width accounting.
+    """
+
     difference_size: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -121,7 +130,9 @@ class ReconcileResult:
         """Wire bytes per difference byte — the Fig 7 metric (0.0 when d = 0)."""
         if self.difference_size == 0:
             return 0.0
-        item = len(next(iter(self.only_in_a | self.only_in_b)))
+        item = self.symbol_size
+        if item is None:  # legacy fallback: probe one recovered item
+            item = len(next(iter(self.only_in_a | self.only_in_b)))
         return self.bytes_on_wire / (self.difference_size * item)
 
 

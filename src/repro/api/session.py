@@ -6,50 +6,89 @@ One call, any scheme::
 
     result = reconcile(alice_items, bob_items, scheme="pinsketch")
 
-The driver dispatches on the scheme's capability flags:
+Since the sans-io engine landed, this module is a *thin wrapper*: both
+entry points build a matched :class:`~repro.protocol.InitiatorMachine`
+(Bob) / :class:`~repro.protocol.ResponderMachine` (Alice) pair and pump
+them entirely in memory (:mod:`repro.protocol.pump`) — the exact same
+state machine the simulated-link and TCP transports drive.  Capability
+dispatch is unchanged:
 
-* **streaming** — a :class:`Session` streams Alice's coded units to Bob
-  until he signals decoded (subsumes
-  :class:`repro.core.session.ReconciliationSession`, which remains as
-  the scheme-specific fast path).
-* **fixed_capacity** — sketches must be provisioned: an explicit
-  ``difference_bound`` sizes them directly; otherwise a strata-estimator
-  exchange is run first (and charged to the wire), exactly the
-  estimator-then-sized-sketch composition deployments use.  Undershoot
-  is survived by retrying with a doubled bound, each retry charged.
-* otherwise — one-shot protocol schemes (MET's rate-compatible prefix
-  decode, Merkle's interactive heal): build both sides, subtract,
-  decode, and let the adapter account the bytes.
+* **streaming** — the engine's STREAM mode, lock-step so accounting is
+  cell-exact (:class:`Session` exposes the legacy ``step()``/``run()``
+  surface over it, byte-identical on the wire to the pre-engine driver);
+* **fixed_capacity** — the engine's SKETCH mode: an explicit
+  ``difference_bound`` sizes the sketch directly; otherwise the
+  strata-estimator exchange (ESTIMATE frame) runs first and is charged
+  to the wire.  Undershoot is survived by doubling RETRYs, each charged;
+* **one-shot serializable** (MET's rate-compatible prefix) — SKETCH
+  mode without retries; the adapter accounts the consumed prefix;
+* **unserializable** (Merkle's interactive heal) — stays in-process:
+  build both sides, subtract, decode, let the adapter account the bytes.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.api.base import (
     ReconcileError,
     ReconcileResult,
-    StreamingReconciler,
     SymbolBudgetExceeded,
+    as_item_list,
 )
 from repro.api.registry import Scheme, get_scheme
-from repro.baselines.strata import StrataEstimator
 
 # Sketches sized from a (noisy) strata estimate get this headroom; the
 # retry loop doubles from there if the estimate still undershot.
+# Deliberately an independent literal (importing the engine's canonical
+# repro.protocol.machine.ESTIMATE_MARGIN at module scope would recreate
+# the import cycle this module's lazy _engine() exists to avoid);
+# reconcile() reads it at call time, so patching it here still works.
 ESTIMATE_MARGIN = 1.25
 
-# Give-up bound for fixed-capacity retries.
+# Give-up bound for fixed-capacity retries (the engine's
+# repro.protocol.machine.DEFAULT_MAX_ROUNDS holds the same value).
 DEFAULT_MAX_ROUNDS = 4
+
+
+def _engine():
+    """The protocol engine, imported lazily to keep import cycles at bay."""
+    from repro.protocol import InitiatorMachine, memory_responder, pump
+
+    return InitiatorMachine, memory_responder, pump
+
+
+def _resolve_symbol_size(
+    handle: Scheme, a: Sequence[bytes], b: Sequence[bytes]
+) -> Scheme:
+    if handle.params.symbol_size is not None:
+        return handle
+    probe = a[0] if a else (b[0] if b else None)
+    if probe is None:
+        raise ValueError(
+            f"scheme {handle.name!r}: symbol_size must be given explicitly "
+            "when building from an empty set"
+        )
+    return handle.with_params(symbol_size=len(probe))
+
+
+def _resolve_handle(scheme, params: dict) -> Scheme:
+    if isinstance(scheme, str):
+        return get_scheme(scheme, **params)
+    if params:
+        raise TypeError(
+            "pass parameters either in the Scheme handle or as kwargs, not both"
+        )
+    return scheme
 
 
 class Session:
     """One live streaming reconciliation between two in-memory sets.
 
-    Generalises :class:`repro.core.session.ReconciliationSession` to any
-    registered streaming scheme: ``step()`` moves one payload from Alice
-    to Bob, ``run()`` iterates until Bob has the whole difference.
+    A lock-step pump over the engine: ``step()`` moves one coded payload
+    Alice → Bob (one ``tick`` of the responder, absorbed immediately),
+    ``run()`` iterates until Bob has the whole difference.  Wire bytes
+    and symbol counts match the pre-engine driver exactly.
     """
 
     def __init__(
@@ -59,36 +98,54 @@ class Session:
         scheme: str | Scheme = "riblt",
         **params: object,
     ) -> None:
-        if isinstance(scheme, str):
-            handle = get_scheme(scheme, **params)
-        else:
-            if params:
-                raise TypeError(
-                    "pass parameters either in the Scheme handle or as kwargs, not both"
-                )
-            handle = scheme
+        handle = _resolve_handle(scheme, params)
         if not handle.capabilities.streaming:
             raise ValueError(
                 f"scheme {handle.name!r} is not streaming; use repro.api.reconcile"
             )
+        a = as_item_list(alice_items, handle.params.symbol_size)
+        b = as_item_list(bob_items, handle.params.symbol_size)
+        handle = _resolve_symbol_size(handle, a, b)
+        initiator_cls, memory_responder, _ = _engine()
         self.scheme = handle.name
-        self.alice = handle.new(alice_items)
-        self.bob = handle.new(bob_items)
-        assert isinstance(self.alice, StreamingReconciler)
-        assert isinstance(self.bob, StreamingReconciler)
-        self.bytes_sent = 0
+        self.handle = handle
+        self._initiator = initiator_cls(handle, b)
+        self._responder = memory_responder(handle, a)
         self.steps = 0
+        # Handshake now (HELLO/WELCOME), so bad parameters surface in the
+        # constructor like they always did, and step() is pure data flow.
+        self._initiator.start()
+        self._responder.start()
+        self._shuttle()
+
+    def _shuttle(self) -> None:
+        """Move every pending frame between the two machines."""
+        moved = True
+        while moved and not self._initiator.finished:
+            moved = False
+            out = self._initiator.take_output()
+            if out and not self._responder.finished:
+                self._responder.bytes_received(out)
+                moved = True
+            back = self._responder.take_output()
+            if back:
+                self._initiator.bytes_received(back)
+                moved = True
+        if self._initiator.failed is not None:
+            raise self._initiator.failed
 
     @property
     def decoded(self) -> bool:
-        return self.bob.decoded
+        return self._initiator.decoded
+
+    @property
+    def bytes_sent(self) -> int:
+        """Coded payload bytes Alice has emitted so far (§6 accounting)."""
+        return self._initiator.payload_bytes
 
     def step(self) -> bool:
         """Move one coded payload Alice → Bob; True once decoded."""
-        payload = self.alice.produce_next()
-        self.bytes_sent += len(payload)
-        self.steps += 1
-        return self.bob.absorb(payload)
+        return self._step(1)
 
     def step_block(self, block_size: int) -> bool:
         """Move ``block_size`` coded units in one payload; True once decoded.
@@ -96,10 +153,25 @@ class Session:
         Identical bytes on the wire to ``block_size`` single steps;
         termination is detected at block granularity.
         """
-        payload = self.alice.produce_block(block_size)
-        self.bytes_sent += len(payload)
-        self.steps += block_size
-        return self.bob.absorb(payload)
+        return self._step(block_size)
+
+    def _step(self, block_size: int) -> bool:
+        if not self.decoded:
+            self._responder.block_size = block_size
+            before = self._initiator.payload_bytes
+            self._responder.tick()
+            self.steps += block_size
+            self._shuttle()
+            if not self.decoded and self._initiator.payload_bytes == before:
+                # The tick moved no payload: the responder died silently
+                # (e.g. an internal error with no ERROR frame).  Surface
+                # the root cause instead of spinning forever.
+                self._initiator.peer_closed()
+                if self._responder.failed is not None:
+                    raise self._responder.failed
+                assert self._initiator.failed is not None
+                raise self._initiator.failed
+        return self.decoded
 
     def run(
         self, max_symbols: Optional[int] = None, block_size: int = 1
@@ -117,75 +189,26 @@ class Session:
                     symbols_sent=self.steps,
                     max_symbols=max_symbols,
                 )
-            if block_size > 1:
-                self.step_block(block_size)
-            else:
-                self.step()
-        result = self.bob.stream_result()
+            self._step(block_size if block_size > 1 else 1)
+        report = self._initiator.report
+        if report is None:  # the closing frames are still in flight
+            self._shuttle()
+            report = self._initiator.report
+        assert report is not None
         return ReconcileResult(
-            only_in_a=set(result.remote),
-            only_in_b=set(result.local),
-            bytes_on_wire=self.bytes_sent,
-            symbols_used=result.symbols_used,
+            only_in_a=set(report.only_in_remote),
+            only_in_b=set(report.only_in_local),
+            bytes_on_wire=report.payload_bytes,
+            symbols_used=report.symbols,
             scheme=self.scheme,
+            symbol_size=report.symbol_size,
         )
 
 
-def _estimate_difference(
-    alice_items: list[bytes], bob_items: list[bytes]
-) -> tuple[int, int]:
-    """Strata-estimator exchange: (estimated d, wire bytes charged)."""
-    est_a = StrataEstimator.from_items(alice_items)
-    est_b = StrataEstimator.from_items(bob_items)
-    # Bob estimates from Alice's shipped summary; only hers crosses the wire.
-    return est_b.estimate(est_a), est_a.wire_size()
-
-
-def _fixed_reconcile(
-    handle: Scheme,
-    alice_items: list[bytes],
-    bob_items: list[bytes],
-    difference_bound: Optional[int],
-    max_rounds: int,
-) -> ReconcileResult:
-    bytes_total = 0
-    rounds = 0
-    if handle.capabilities.needs_estimator or difference_bound is None:
-        estimate, estimator_bytes = _estimate_difference(alice_items, bob_items)
-        bytes_total += estimator_bytes
-        rounds += 1
-        bound = max(1, math.ceil(estimate * ESTIMATE_MARGIN))
-        if difference_bound is not None:
-            bound = max(bound, difference_bound)
-    else:
-        bound = max(1, difference_bound)
-    for _ in range(max_rounds):
-        sized = handle.sized_for(bound)
-        alice = sized.new(alice_items)
-        bob = sized.new(bob_items)
-        diff = alice.subtract(bob)
-        result = diff.decode()
-        rounds += 1
-        bytes_total += diff.decode_wire_bytes(result)
-        if result.success:
-            return ReconcileResult(
-                only_in_a=set(result.remote),
-                only_in_b=set(result.local),
-                bytes_on_wire=bytes_total,
-                symbols_used=result.symbols_used,
-                scheme=handle.name,
-                rounds=rounds,
-            )
-        bound *= 2
-    raise ReconcileError(
-        f"{handle.name}: difference exceeded capacity for {max_rounds} "
-        f"doublings (last bound {bound // 2})"
-    )
-
-
 def _one_shot_reconcile(
-    handle: Scheme, alice_items: list[bytes], bob_items: list[bytes]
+    handle: Scheme, alice_items: list, bob_items: list
 ) -> ReconcileResult:
+    """In-process path for schemes that cannot be framed (Merkle heal)."""
     alice = handle.new(alice_items)
     bob = handle.new(bob_items)
     diff = alice.subtract(bob)
@@ -198,6 +221,7 @@ def _one_shot_reconcile(
         bytes_on_wire=diff.decode_wire_bytes(result),
         symbols_used=result.symbols_used,
         scheme=handle.name,
+        symbol_size=handle.params.symbol_size,
     )
 
 
@@ -239,7 +263,39 @@ def reconcile(
     a = list(dict.fromkeys(alice_items))
     b = list(dict.fromkeys(bob_items))
     if handle.capabilities.streaming:
-        return Session(a, b, handle).run(max_symbols=max_symbols, block_size=block_size)
-    if handle.capabilities.fixed_capacity:
-        return _fixed_reconcile(handle, a, b, difference_bound, max_rounds)
-    return _one_shot_reconcile(handle, a, b)
+        return Session(a, b, handle).run(
+            max_symbols=max_symbols, block_size=block_size
+        )
+    if not handle.capabilities.serializable:
+        return _one_shot_reconcile(handle, a, b)
+    a = as_item_list(a, handle.params.symbol_size)
+    b = as_item_list(b, handle.params.symbol_size)
+    handle = _resolve_symbol_size(handle, a, b)
+    initiator_cls, memory_responder, pump = _engine()
+    fixed = handle.capabilities.fixed_capacity
+    use_estimator = fixed and (
+        handle.capabilities.needs_estimator or difference_bound is None
+    )
+    bound = 0
+    if fixed and difference_bound is not None:
+        bound = max(1, difference_bound)
+    initiator = initiator_cls(
+        handle,
+        b,
+        difference_bound=bound,
+        max_rounds=max_rounds if fixed else 1,
+        use_estimator=use_estimator,
+        estimate_margin=ESTIMATE_MARGIN,
+    )
+    responder = memory_responder(handle, a, use_estimator=use_estimator)
+    report = pump(initiator, responder)
+    assert report is not None
+    return ReconcileResult(
+        only_in_a=set(report.only_in_remote),
+        only_in_b=set(report.only_in_local),
+        bytes_on_wire=report.accounted_bytes,
+        symbols_used=report.symbols,
+        scheme=handle.name,
+        rounds=report.rounds,
+        symbol_size=report.symbol_size,
+    )

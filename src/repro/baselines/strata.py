@@ -18,6 +18,8 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.baselines.regular_iblt import RegularIBLT
+from repro.core import varint
+from repro.core.cellbank import CodedSymbolBank
 from repro.core.symbols import SymbolCodec
 from repro.hashing.keyed import KeyedHasher, make_hasher
 
@@ -105,3 +107,60 @@ class StrataEstimator:
     def wire_size(self) -> int:
         """Serialised size in bytes (the Fig 7 "+ Estimator" surcharge)."""
         return self.strata * self.cells_per_stratum * STRATUM_CELL_BYTES
+
+    # -- wire -----------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """The summary as bytes, for the protocol engine's ESTIMATE frame.
+
+        Geometry header (strata, cells per stratum, hash count) followed
+        by each stratum's flat cell blob.  The keyed hash itself never
+        crosses the wire — like the codec key, both peers must hold it
+        already (the engine constructs both estimators with the shared
+        default).  Accounting (:meth:`wire_size`) intentionally stays
+        the paper's 12 B/cell figure, not this faithful encoding.
+        """
+        parts = [
+            varint.encode_uvarint(self.strata),
+            varint.encode_uvarint(self.cells_per_stratum),
+            varint.encode_uvarint(self.hash_count),
+        ]
+        parts.extend(
+            CodedSymbolBank.from_cells(table.cells).pack(self._codec)
+            for table in self.tables
+        )
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(
+        cls, blob: bytes, hasher: KeyedHasher | None = None
+    ) -> "StrataEstimator":
+        """Rebuild a received summary (``hasher`` must match the sender's)."""
+        strata, pos = varint.decode_uvarint(blob, 0)
+        cells_per_stratum, pos = varint.decode_uvarint(blob, pos)
+        hash_count, pos = varint.decode_uvarint(blob, pos)
+        if strata < 2 or hash_count < 2 or cells_per_stratum < hash_count:
+            raise ValueError(
+                f"strata summary: implausible geometry (strata={strata}, "
+                f"cells={cells_per_stratum}, hashes={hash_count})"
+            )
+        # Validate the declared geometry against the actual byte count
+        # BEFORE allocating strata × cells tables: a hostile header must
+        # fail in O(1), not after gigabytes of allocation.  Cell stride
+        # is fixed by the estimator codec (8 B hash + 3 B checksum +
+        # count); tables round their cell count down to a hash_count
+        # multiple.
+        stride = 8 + 3 + CodedSymbolBank.COUNT_BYTES
+        stratum_bytes = (cells_per_stratum // hash_count) * hash_count * stride
+        if len(blob) - pos != strata * stratum_bytes:
+            raise ValueError(
+                f"strata summary: expected {strata * stratum_bytes} cell bytes, "
+                f"got {len(blob) - pos}"
+            )
+        est = cls(strata, cells_per_stratum, hasher, hash_count)
+        codec = est._codec
+        for table in est.tables:
+            chunk = blob[pos : pos + stratum_bytes]
+            table.cells = CodedSymbolBank.unpack(chunk, codec).cells()
+            pos += stratum_bytes
+        return est

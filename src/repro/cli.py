@@ -23,6 +23,14 @@ Commands
 ``repro sync INPUT --port P [--push] [-o OUT]``
     Reconcile INPUT's items against a running ``serve`` instance; with
     ``--push`` the server also learns this side's exclusive items.
+``repro sync INPUT --transport {tcp,sim,memory} [--peer FILE]``
+    Same reconciliation, any transport: ``tcp`` (the default) talks to a
+    ``serve`` instance, while ``sim`` and ``memory`` run the peer from
+    ``--peer FILE`` in-process — ``sim`` through the discrete-event link
+    model (``--bandwidth/--delay/--loss``), ``memory`` through the
+    lock-step pump.  All three drive the same sans-io protocol engine
+    (``repro.protocol``), so scheme behaviour and wire framing are
+    identical across transports.
 
 Item files are either raw binary (fixed-width records, ``--item-size``)
 or newline-delimited hex (``--format hex``).
@@ -261,9 +269,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_sync(args: argparse.Namespace) -> int:
+    if args.transport != "tcp":
+        return _sync_local_transport(args)
     from repro.api import SymbolBudgetExceeded
     from repro.service import ServiceError, sync_once
 
+    if args.port is None:
+        raise CliError("--port is required for --transport tcp")
     items = read_items(Path(args.input), args.item_size, args.format)
     unique = check_unique(items, args.input)
     try:
@@ -293,14 +305,104 @@ def cmd_sync(args: argparse.Namespace) -> int:
         for item in sorted(result.only_in_client):
             print(f"  - {item.hex()}")
     if args.output:
-        merged = sorted(unique | result.only_in_server)
-        if args.format == "hex":
-            Path(args.output).write_text(
-                "".join(f"{item.hex()}\n" for item in merged)
+        _write_merged(args, unique | result.only_in_server)
+    return 0
+
+
+def _write_merged(args: argparse.Namespace, merged_items) -> None:
+    merged = sorted(merged_items)
+    if args.format == "hex":
+        Path(args.output).write_text(
+            "".join(f"{item.hex()}\n" for item in merged)
+        )
+    else:
+        Path(args.output).write_bytes(b"".join(merged))
+    print(f"wrote {len(merged)} reconciled items to {args.output}")
+
+
+def _sync_local_transport(args: argparse.Namespace) -> int:
+    """``repro sync --transport {sim,memory}``: the peer is a local file."""
+    from repro.api import ReconcileError
+
+    if not args.peer:
+        raise CliError(f"--transport {args.transport} needs --peer FILE")
+    if args.push:
+        raise CliError(
+            f"--push is not supported on --transport {args.transport}: the "
+            "in-process peer is read-only (use -o to merge locally)"
+        )
+    local = read_items(Path(args.input), args.item_size, args.format)
+    peer = read_items(Path(args.peer), args.item_size, args.format)
+    if len(local[0]) != len(peer[0]):
+        raise CliError("the two files hold items of different sizes")
+    local_set = check_unique(local, args.input)
+    peer_set = check_unique(peer, args.peer)
+    params = scheme_params_from_args(args, len(local[0]))
+    outcome = None
+    try:
+        if args.transport == "sim":
+            if args.scheme == "merkle":
+                # The interactive heal cannot be framed; replay its
+                # transcript through the same link model instead.
+                from repro.net.protocols.scheme_sync import simulate_scheme_sync
+
+                outcome = simulate_scheme_sync(
+                    sorted(peer_set),
+                    sorted(local_set),
+                    args.scheme,
+                    bandwidth_bps=args.bandwidth,
+                    delay_s=args.delay,
+                    **params,
+                )
+            else:
+                from repro.net.protocols.machine_sync import simulate_machine_sync
+
+                outcome = simulate_machine_sync(
+                    sorted(peer_set),
+                    sorted(local_set),
+                    args.scheme,
+                    bandwidth_bps=args.bandwidth,
+                    delay_s=args.delay,
+                    loss_rate=args.loss,
+                    seed=args.seed,
+                    difference_bound=args.difference_bound or 0,
+                    max_symbols=args.max_symbols,
+                    **params,
+                )
+            result = outcome.result
+        else:  # memory: the in-process pump behind repro.api.reconcile
+            result = api_reconcile(
+                sorted(peer_set),
+                sorted(local_set),
+                scheme=args.scheme,
+                difference_bound=args.difference_bound,
+                max_symbols=args.max_symbols,
+                **params,
             )
-        else:
-            Path(args.output).write_bytes(b"".join(merged))
-        print(f"wrote {len(merged)} reconciled items to {args.output}")
+    except (ReconcileError, ValueError) as exc:
+        raise CliError(str(exc)) from exc
+    print(f"scheme          : {result.scheme} ({args.transport} transport)")
+    print(f"missing locally : {len(result.only_in_a)}")
+    print(f"extra locally   : {len(result.only_in_b)}")
+    print(f"coded symbols   : {result.symbols_used}")
+    print(f"bytes on wire   : {result.bytes_on_wire}")
+    if result.rounds > 1:
+        print(f"rounds          : {result.rounds}")
+    if outcome is not None:
+        # The merkle fallback replays a heal transcript: its link model
+        # has no loss, so never claim one was simulated.
+        loss = f"loss {args.loss:g}" if args.scheme != "merkle" else "loss n/a"
+        print(f"completion time : {outcome.completion_time * 1e3:.1f} ms "
+              f"(bw {args.bandwidth / 1e6:g} Mbps, delay {args.delay * 1e3:g} ms, "
+              f"{loss})")
+        print(f"bytes down/up   : {outcome.bytes_down} / {outcome.bytes_up}")
+    if args.show_items:
+        for item in sorted(result.only_in_a):
+            print(f"  + {item.hex()}")
+        for item in sorted(result.only_in_b):
+            print(f"  - {item.hex()}")
+    if args.output:
+        _write_merged(args, local_set | result.only_in_a)
     return 0
 
 
@@ -399,10 +501,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.set_defaults(func=cmd_serve)
 
-    p_sync = sub.add_parser("sync", help="reconcile a local file against a server")
+    p_sync = sub.add_parser(
+        "sync", help="reconcile a local file against a peer, over any transport"
+    )
     p_sync.add_argument("input")
+    p_sync.add_argument(
+        "--transport", choices=("tcp", "sim", "memory"), default="tcp",
+        help="tcp: a running `repro serve`; sim: an in-process peer over a "
+             "simulated link; memory: the in-process lock-step pump "
+             "(default: tcp)",
+    )
     p_sync.add_argument("--host", default="127.0.0.1")
-    p_sync.add_argument("--port", type=int, required=True)
+    p_sync.add_argument("--port", type=int, default=None,
+                        help="server TCP port (required for --transport tcp)")
+    p_sync.add_argument(
+        "--peer", default=None,
+        help="peer item file (required for --transport sim/memory)",
+    )
     p_sync.add_argument(
         "--scheme", default="riblt", choices=available_schemes(),
         help="must match the server's scheme (default: riblt)",
@@ -411,6 +526,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="send the server the items it is missing")
     p_sync.add_argument("--max-symbols", type=int, default=None,
                         help="client-side per-shard symbol budget")
+    p_sync.add_argument(
+        "--difference-bound", type=int, default=None,
+        help="pre-size fixed-capacity schemes (sim/memory transports)",
+    )
+    p_sync.add_argument("--bandwidth", type=float, default=20e6,
+                        help="simulated link bandwidth, bps (default 20e6)")
+    p_sync.add_argument("--delay", type=float, default=0.05,
+                        help="simulated one-way delay, seconds (default 0.05)")
+    p_sync.add_argument("--loss", type=float, default=0.0,
+                        help="simulated frame loss rate in [0,1) (default 0)")
+    p_sync.add_argument("--seed", type=int, default=0,
+                        help="loss-model RNG seed (default 0)")
     p_sync.add_argument("--show-items", action="store_true")
     p_sync.add_argument("-o", "--output", default=None,
                         help="write the reconciled (merged) item file here")

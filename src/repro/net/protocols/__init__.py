@@ -10,9 +10,14 @@
                   scheme=...)`` dispatches any registered scheme onto the
                   right protocol shape (streaming, heal, or lock-step
                   sketch exchange).
+``machine_sync``— the protocol-engine face: the same sans-io
+                  ``ReconcilerMachine`` pair every other transport
+                  drives, frame by frame through a bandwidth/latency/
+                  loss link — any registered scheme over a lossy link.
 """
 
 from repro.net.protocols.heal_sync import HealSyncOutcome, simulate_state_heal
+from repro.net.protocols.machine_sync import simulate_machine_sync
 from repro.net.protocols.riblt_sync import RatelessSyncOutcome, simulate_riblt_sync
 from repro.net.protocols.scheme_sync import (
     SchemeSyncOutcome,
@@ -25,6 +30,7 @@ __all__ = [
     "RatelessSyncOutcome",
     "SchemeSyncOutcome",
     "measure_sync_plan",
+    "simulate_machine_sync",
     "simulate_riblt_sync",
     "simulate_scheme_sync",
     "simulate_state_heal",

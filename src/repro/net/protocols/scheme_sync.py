@@ -19,6 +19,13 @@ Dispatch by capability:
 * fixed-capacity / rate-compatible schemes exchange sketch blobs in
   lock-step rounds: one half round trip to request, then each round's
   bytes at line rate plus a full round trip between rounds.
+
+The measured plans themselves now come out of the sans-io protocol
+engine (:mod:`repro.api.session` is an engine pump), and
+:func:`~repro.net.protocols.machine_sync.simulate_machine_sync` goes
+further: it drives the engine's actual frames through the link model,
+including loss — prefer it when you want the wire protocol, not just
+its timing envelope.
 """
 
 from __future__ import annotations

@@ -1,0 +1,976 @@
+"""The sans-io reconciliation engine: one state machine, every transport.
+
+The paper's protocol (§3–§4) is a single loop — stream coded symbols
+until the peer's peeling decoder reports done — but before this module
+the repo drove that loop separately per transport (in-memory sessions,
+the simulated link, the asyncio TCP service).  :class:`ReconcilerMachine`
+is that loop exactly once, written sans-io: it never touches a socket,
+never sleeps, never blocks.
+
+Event/effect contract
+---------------------
+
+A transport adapter feeds a machine **events** and drains **effects**
+(:mod:`repro.protocol.events`):
+
+* events — ``start()``, ``bytes_received(data)``, ``tick(now)``,
+  ``peer_closed()``.  ``tick`` drives time-based behaviour: stream
+  production on the responder and budget-grace expiry; ``now`` is any
+  monotonic clock the transport likes (the in-memory pump uses a
+  virtual one, asyncio uses ``loop.time()``, the network simulator its
+  event-heap clock).
+* effects — :class:`~repro.protocol.events.SendBytes` (framed bytes to
+  deliver, in order), :class:`~repro.protocol.events.Delivered` (the
+  terminal :class:`~repro.protocol.events.MachineReport`), and
+  :class:`~repro.protocol.events.Failed` (the terminal typed error).
+  ``take_output()`` is the byte-stream convenience; ``poll_effects()``
+  the full-fidelity one.
+
+Events never raise protocol errors: every failure — malformed frames,
+budget exhaustion, a peer vanishing mid-stream — surfaces as a
+``Failed`` effect carrying the same typed exception family the legacy
+drivers raised (``ReconcileError`` / ``SymbolBudgetExceeded`` /
+``ServiceError``...), so an adapter can blindly re-raise.  After a
+terminal effect the machine is ``finished`` and ignores further events;
+it can never hang a transport.
+
+Direction convention (Alice/Bob)
+--------------------------------
+
+As everywhere in the repo, *Alice* is the remote sender and *Bob* the
+local receiver who recovers the difference.  The
+:class:`ResponderMachine` plays Alice (it owns a
+:class:`~repro.service.backends.ShardBackend` and produces coded bytes);
+the :class:`InitiatorMachine` plays Bob (it opens the session, absorbs,
+and finally emits ``Delivered`` with ``only_in_remote`` = A \\ B and
+``only_in_local`` = B \\ A).  A full-duplex peer simply runs one of
+each over the same connection.
+
+Wire format and modes
+---------------------
+
+Both machines speak the :mod:`repro.service.framing` catalogue — the
+same frames the TCP service has always used, so the engine is
+wire-compatible with pre-engine peers.  Capability dispatch:
+
+* **streaming** schemes run STREAM mode: the responder ships §6-framed
+  coded symbols in ``SYMBOLS`` frames until the initiator's peeler
+  reports done (``SHARD_DONE`` per shard, then ``BYE``/``STATS``);
+* **fixed-capacity / one-shot serializable** schemes run SKETCH mode:
+  sized sketches in ``SKETCH`` frames with client-driven doubling
+  ``RETRY``s — and, when both sides were constructed with
+  ``use_estimator=True``, the strata-estimator exchange (``ESTIMATE``
+  frame) sizes the first sketch, the composition deployments use;
+* schemes that can neither stream nor serialize (Merkle's interactive
+  heal) cannot be framed; callers keep the in-process path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.api.base import (
+    ReconcileError,
+    StreamingReconciler,
+    SymbolBudgetExceeded,
+)
+from repro.api.registry import Scheme
+from repro.baselines.strata import StrataEstimator
+from repro.core.symbols import SymbolCodec
+from repro.protocol.events import (
+    Delivered,
+    Effect,
+    Failed,
+    MachineReport,
+    SendBytes,
+    ShardTally,
+)
+from repro.service.backends import ShardBackend, StaleStream
+from repro.service.errors import PeerError, ProtocolError, SchemeMismatch
+from repro.service.framing import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    BodyReader,
+    ErrorCode,
+    FrameDecoder,
+    FrameType,
+    SyncMode,
+    TruncatedFrame,
+    encode_frame,
+    pack_lp_str,
+    pack_uvarints,
+)
+from repro.service.shard import key_probe, partition_items
+
+# Sketches sized from a (noisy) strata estimate get this headroom; the
+# retry loop doubles from there if the estimate still undershot.
+ESTIMATE_MARGIN = 1.25
+
+# Give-up bound for sketch-mode doubling retries.
+DEFAULT_MAX_ROUNDS = 4
+
+# Sketch bound when the initiator's HELLO leaves sizing to the responder
+# (mirrors repro.service.server.DEFAULT_SKETCH_BOUND).
+DEFAULT_SKETCH_BOUND = 16
+
+
+def codec_of(handle: Scheme) -> Optional[SymbolCodec]:
+    """The scheme's SymbolCodec when its params describe one."""
+    params = handle.params
+    if hasattr(params, "checksum_size") and hasattr(params, "hasher"):
+        from repro.api.adapters.cellpack import codec_for
+
+        return codec_for(params)  # type: ignore[arg-type]
+    return None
+
+
+def hash64_of(handle: Scheme, codec: Optional[SymbolCodec]):
+    """The keyed 64-bit hash both peers share, for shard placement."""
+    if codec is not None:
+        return codec.hasher.hash64
+    from repro.hashing.keyed import Blake2bHasher
+
+    return Blake2bHasher().hash64
+
+
+def _raise_peer_error(body: bytes) -> None:
+    """Map an ERROR frame to the typed exception the peer meant."""
+    parser = BodyReader(body)
+    code = parser.uvarint()
+    message = parser.rest().decode("utf-8", errors="replace")
+    if code == ErrorCode.BUDGET:
+        raise SymbolBudgetExceeded(
+            f"server: {message}", symbols_sent=0, max_symbols=0
+        )
+    if code == ErrorCode.STALE:
+        raise StaleStream(f"server: {message}")
+    if code == ErrorCode.MISMATCH:
+        raise SchemeMismatch(f"server: {message}")
+    if code in (ErrorCode.PROTOCOL, ErrorCode.UNSUPPORTED):
+        raise ProtocolError(f"server: {message}")
+    raise PeerError(code, message)
+
+
+class ReconcilerMachine:
+    """Shared sans-io plumbing: frame parsing, effects, terminal states.
+
+    Subclasses implement ``_on_start`` / ``_on_frame`` / ``_on_tick`` /
+    ``_on_peer_closed``; any exception they raise becomes a ``Failed``
+    effect (optionally preceded by an ``ERROR`` frame — see
+    ``_handle_failure``), never an exception out of an event method.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self._frames = FrameDecoder(max_frame)
+        self._effects: List[Effect] = []
+        self._started = False
+        self.finished = False
+        self.failed: Optional[Exception] = None
+        self.report: Optional[MachineReport] = None
+
+    # -- events -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the session (the initiator emits its HELLO here)."""
+        if self._started or self.finished:
+            return
+        self._started = True
+        self._guard(self._on_start)
+
+    def bytes_received(self, data: bytes) -> None:
+        """Feed raw transport bytes; any chunking/coalescing is fine."""
+        if self.finished:
+            return
+        self._guard(lambda: self._feed(data))
+
+    def tick(self, now: float = 0.0) -> None:
+        """Advance time-based behaviour (production, grace deadlines)."""
+        if self._started and not self.finished:
+            self._guard(lambda: self._on_tick(now))
+
+    def peer_closed(self) -> None:
+        """The transport saw EOF; mid-frame or mid-sync closes fail."""
+        if self.finished:
+            return
+
+        def handle() -> None:
+            if self._frames.pending_bytes:
+                raise TruncatedFrame(
+                    f"peer closed with {self._frames.pending_bytes} bytes "
+                    "of a partial frame"
+                )
+            self._on_peer_closed()
+
+        self._guard(handle)
+
+    # -- effects ----------------------------------------------------------
+
+    def poll_effects(self) -> List[Effect]:
+        """Drain and return every pending effect, in order."""
+        out = self._effects
+        self._effects = []
+        return out
+
+    def take_output(self) -> bytes:
+        """Drain effects, returning the pending bytes-to-send.
+
+        Terminal effects are mirrored on :attr:`report` / :attr:`failed`
+        at emit time, so byte-stream adapters may use only this method.
+        """
+        return b"".join(
+            effect.data
+            for effect in self.poll_effects()
+            if isinstance(effect, SendBytes)
+        )
+
+    # -- scheduling hints --------------------------------------------------
+
+    @property
+    def wants_tick(self) -> bool:
+        """True when an immediate ``tick`` would make progress."""
+        return False
+
+    def next_tick_delay(self, now: float) -> Optional[float]:
+        """Seconds until a ``tick`` is due (None: only input can help)."""
+        return None
+
+    # -- internals ---------------------------------------------------------
+
+    def _feed(self, data: bytes) -> None:
+        for ftype, body in self._frames.feed(data):
+            if self.finished:
+                break
+            self._on_frame(ftype, body)
+
+    def _guard(self, fn) -> None:
+        try:
+            fn()
+        except Exception as exc:  # typed protocol failures AND bugs: never hang
+            self._handle_failure(exc)
+
+    def _handle_failure(self, exc: Exception) -> None:
+        self._fail(exc)
+
+    def _fail(self, exc: Exception) -> None:
+        if self.finished:
+            return
+        self.failed = exc
+        self.finished = True
+        self._effects.append(Failed(exc))
+
+    def _deliver(self, report: MachineReport) -> None:
+        if self.finished:
+            return
+        self.report = report
+        self.finished = True
+        self._effects.append(Delivered(report))
+
+    def _send_frame(self, ftype: int, body: bytes = b"") -> int:
+        frame = encode_frame(ftype, body)
+        self._effects.append(SendBytes(frame))
+        return len(frame)
+
+    # -- subclass responsibilities ----------------------------------------
+
+    def _on_start(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    def _on_frame(self, ftype: int, body: bytes) -> None:
+        raise ProtocolError(f"unexpected frame type {ftype:#x}")
+
+    def _on_tick(self, now: float) -> None:
+        pass
+
+    def _on_peer_closed(self) -> None:
+        raise ProtocolError("peer closed the connection mid-session")
+
+
+class _InitiatorShard:
+    """Initiator-side decoding state for one shard."""
+
+    __slots__ = ("items", "reconciler", "tally", "done", "result")
+
+    def __init__(self, shard: int, items: list) -> None:
+        self.items = items
+        self.reconciler: Optional[StreamingReconciler] = None
+        self.tally = ShardTally(shard)
+        self.done = False
+        self.result = None
+
+
+class InitiatorMachine(ReconcilerMachine):
+    """Bob's side: opens the session, absorbs, delivers the difference.
+
+    ``difference_bound`` (> 0) pre-sizes sketch mode exactly like the
+    legacy drivers; ``use_estimator=True`` (agreed out of band with the
+    responder, not negotiated) runs the strata exchange first and sizes
+    the initial sketch as ``ceil(estimate × estimate_margin)``.
+    """
+
+    def __init__(
+        self,
+        handle: Scheme,
+        items: Sequence[bytes],
+        *,
+        num_shards: int = 0,
+        push: bool = False,
+        max_symbols: Optional[int] = None,
+        difference_bound: int = 0,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        use_estimator: bool = False,
+        estimate_margin: float = ESTIMATE_MARGIN,
+        capture_payloads: bool = False,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        super().__init__(max_frame)
+        if handle.params.symbol_size is None:
+            raise ValueError(
+                f"scheme {handle.name!r}: the initiator needs an explicit symbol_size"
+            )
+        self.handle = handle
+        self.items = list(items)
+        self.num_shards_wish = num_shards
+        self.push = push
+        self.max_symbols = max_symbols
+        self.difference_bound = int(difference_bound or 0)
+        self.max_rounds = max_rounds
+        self.use_estimator = use_estimator
+        self.estimate_margin = estimate_margin
+        self.codec = codec_of(handle)
+        self._hash64 = hash64_of(handle, self.codec)
+        self._state = "welcome"
+        self._mode: Optional[SyncMode] = None
+        self._shards: List[_InitiatorShard] = []
+        self._remaining = -1
+        self._estimator_rounds = 0
+        self._estimator_bytes = 0
+        self._estimator_payload = 0
+        self._pushed = 0
+        self._push_bytes = 0
+        self._only_remote: set = set()
+        self._only_local: set = set()
+        self._payloads: Optional[dict] = {} if capture_payloads else None
+
+    # -- progress introspection (used by the in-memory Session wrapper) ---
+
+    @property
+    def decoded(self) -> bool:
+        """True once every shard recovered its difference."""
+        return self._remaining == 0
+
+    @property
+    def payload_bytes(self) -> int:
+        """Coded payload bytes received so far (frame headers excluded)."""
+        return self._estimator_payload + sum(
+            st.tally.payload_bytes for st in self._shards
+        )
+
+    @property
+    def symbols_absorbed(self) -> int:
+        return sum(st.tally.symbols for st in self._shards)
+
+    # -- machine events ----------------------------------------------------
+
+    def _on_start(self) -> None:
+        symbol_size = self.handle.params.symbol_size
+        assert symbol_size is not None
+        self._send_frame(
+            FrameType.HELLO,
+            pack_uvarints(PROTOCOL_VERSION)
+            + pack_lp_str(self.handle.name)
+            + pack_uvarints(
+                symbol_size,
+                self.codec.checksum_size if self.codec is not None else 0,
+            )
+            + pack_lp_str(str(getattr(self.handle.params, "hasher", "")))
+            + pack_uvarints(
+                key_probe(self._hash64),
+                self.num_shards_wish,
+                0,  # block size: responder's choice
+                self.difference_bound,
+            ),
+        )
+
+    def _on_frame(self, ftype: int, body: bytes) -> None:
+        if ftype == FrameType.ERROR:
+            _raise_peer_error(body)
+        if self._state == "welcome":
+            self._on_welcome(ftype, body)
+        elif self._state == "stream":
+            self._on_symbols(ftype, body)
+        elif self._state == "estimate":
+            self._on_estimate(ftype, body)
+        elif self._state == "sketch":
+            self._on_sketch(ftype, body)
+        else:  # "stats": drain frames racing the BYE
+            if ftype == FrameType.STATS:
+                self._deliver(self._build_report())
+
+    def _on_welcome(self, ftype: int, body: bytes) -> None:
+        if ftype != FrameType.WELCOME:
+            raise ProtocolError(f"expected WELCOME, got frame type {ftype:#x}")
+        welcome = BodyReader(body)
+        version = welcome.uvarint()
+        try:
+            mode = SyncMode(welcome.uvarint())
+        except ValueError as exc:
+            raise ProtocolError(f"unknown sync mode in WELCOME: {exc}") from None
+        granted = welcome.uvarint()
+        welcome.uvarint()  # responder block size: informational
+        welcome.expect_end()
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"server speaks protocol {version}, client {PROTOCOL_VERSION}"
+            )
+        if self.num_shards_wish and granted != self.num_shards_wish:
+            raise SchemeMismatch(
+                f"server runs {granted} shards, caller demanded "
+                f"{self.num_shards_wish}"
+            )
+        self._mode = mode
+        self._shards = [
+            _InitiatorShard(i, part)
+            for i, part in enumerate(
+                partition_items(self._hash64, self.items, granted)
+            )
+        ]
+        self._remaining = granted
+        if self._payloads is not None:
+            self._payloads = {i: bytearray() for i in range(granted)}
+        if mode == SyncMode.STREAM:
+            for st in self._shards:
+                reconciler = self.handle.new(st.items)
+                if not isinstance(reconciler, StreamingReconciler):
+                    raise ProtocolError(
+                        f"scheme {self.handle.name!r} announced stream mode "
+                        "but is not streaming"
+                    )
+                st.reconciler = reconciler
+            self._state = "stream"
+        else:
+            if self.use_estimator and granted != 1:
+                raise ProtocolError(
+                    "the estimator composition requires a single shard"
+                )
+            self._state = "estimate" if self.use_estimator else "sketch"
+
+    def _on_symbols(self, ftype: int, body: bytes) -> None:
+        if ftype != FrameType.SYMBOLS:
+            raise ProtocolError(f"expected SYMBOLS, got frame type {ftype:#x}")
+        parser = BodyReader(body)
+        shard_id = parser.uvarint()
+        payload = parser.rest()
+        if shard_id >= len(self._shards):
+            raise ProtocolError(f"server sent unknown shard {shard_id}")
+        st = self._shards[shard_id]
+        if st.done:
+            return  # frames already in flight when SHARD_DONE crossed them
+        if self._payloads is not None:
+            self._payloads[shard_id].extend(payload)
+        st.tally.payload_bytes += len(payload)
+        reconciler = st.reconciler
+        assert reconciler is not None
+        decoded = reconciler.absorb(payload)
+        st.tally.symbols = reconciler.symbols_absorbed
+        if decoded:
+            st.done = True
+            st.result = reconciler.stream_result()
+            self._remaining -= 1
+            self._send_frame(FrameType.SHARD_DONE, pack_uvarints(shard_id))
+            if not self._remaining:
+                self._finish_up()
+        elif (
+            self.max_symbols is not None
+            and st.tally.symbols >= self.max_symbols
+        ):
+            raise SymbolBudgetExceeded(
+                f"shard {shard_id}: no decode within {self.max_symbols} "
+                "coded symbols",
+                symbols_sent=st.tally.symbols,
+                max_symbols=self.max_symbols,
+            )
+
+    def _on_estimate(self, ftype: int, body: bytes) -> None:
+        if ftype != FrameType.ESTIMATE:
+            raise ProtocolError(f"expected ESTIMATE, got frame type {ftype:#x}")
+        remote = StrataEstimator.deserialize(body)
+        local = StrataEstimator.from_items(self.items)
+        estimate = local.estimate(remote)
+        self._estimator_rounds = 1
+        self._estimator_bytes = remote.wire_size()
+        self._estimator_payload = len(body)
+        bound = max(1, math.ceil(estimate * self.estimate_margin))
+        if self.difference_bound:
+            bound = max(bound, self.difference_bound)
+        for st in self._shards:
+            self._send_frame(
+                FrameType.RETRY, pack_uvarints(st.tally.shard, bound)
+            )
+        self._state = "sketch"
+
+    def _on_sketch(self, ftype: int, body: bytes) -> None:
+        if ftype != FrameType.SKETCH:
+            raise ProtocolError(f"expected SKETCH, got frame type {ftype:#x}")
+        parser = BodyReader(body)
+        shard_id = parser.uvarint()
+        bound = parser.uvarint()
+        blob = parser.rest()
+        if shard_id >= len(self._shards):
+            raise ProtocolError(f"server sent unknown shard {shard_id}")
+        st = self._shards[shard_id]
+        if st.done:
+            return
+        if self._payloads is not None:
+            self._payloads[shard_id].extend(blob)
+        st.tally.payload_bytes += len(blob)
+        sized = self.handle.sized_for(max(1, bound))
+        remote = sized.deserialize(blob)
+        local = sized.new(st.items)
+        diff = remote.subtract(local)
+        decode = diff.decode()
+        st.tally.accounted_bytes += diff.decode_wire_bytes(decode)
+        if decode.success:
+            st.done = True
+            st.result = decode
+            st.tally.symbols = decode.symbols_used
+            self._remaining -= 1
+            self._send_frame(FrameType.SHARD_DONE, pack_uvarints(shard_id))
+            if not self._remaining:
+                self._finish_up()
+            return
+        if not self.handle.capabilities.fixed_capacity:
+            raise ReconcileError(f"{self.handle.name}: sketch did not decode")
+        st.tally.rounds += 1
+        if st.tally.rounds > self.max_rounds:
+            raise ReconcileError(
+                f"shard {shard_id}: sketch did not decode within "
+                f"{self.max_rounds} doublings (last bound {bound})"
+            )
+        self._send_frame(
+            FrameType.RETRY, pack_uvarints(shard_id, max(1, bound) * 2)
+        )
+
+    def _finish_up(self) -> None:
+        for st in self._shards:
+            decode = st.result
+            assert decode is not None
+            st.tally.only_in_remote = len(decode.remote)
+            st.tally.only_in_local = len(decode.local)
+            self._only_remote.update(decode.remote)
+            self._only_local.update(decode.local)
+        if self.push and self._only_local:
+            symbol_size = self.handle.params.symbol_size
+            assert symbol_size is not None
+            by_shard = partition_items(
+                self._hash64, sorted(self._only_local), len(self._shards)
+            )
+            for shard_id, members in enumerate(by_shard):
+                if not members:
+                    continue
+                body = pack_uvarints(shard_id, len(members)) + b"".join(members)
+                self._push_bytes += len(body)
+                self._pushed += len(members)
+                self._send_frame(FrameType.PUSH, body)
+        self._send_frame(FrameType.BYE)
+        self._state = "stats"
+
+    def _on_peer_closed(self) -> None:
+        if self._state == "stats":
+            # Peer closed without STATS; the reconciliation itself is done.
+            self._deliver(self._build_report())
+            return
+        if self._state == "welcome":
+            raise ProtocolError("server closed the connection before WELCOME")
+        raise ProtocolError("server closed mid-sync (missing shards undecoded)")
+
+    def _build_report(self) -> MachineReport:
+        assert self._mode is not None
+        payload = self.payload_bytes
+        if self._mode == SyncMode.STREAM:
+            accounted = payload - self._estimator_payload
+        else:
+            accounted = self._estimator_bytes + sum(
+                st.tally.accounted_bytes for st in self._shards
+            )
+        rounds = self._estimator_rounds + (
+            max((st.tally.rounds for st in self._shards), default=1)
+        )
+        return MachineReport(
+            scheme=self.handle.name,
+            mode=self._mode,
+            num_shards=len(self._shards),
+            symbol_size=self.handle.params.symbol_size,
+            only_in_remote=self._only_remote,
+            only_in_local=self._only_local,
+            symbols=sum(st.tally.symbols for st in self._shards),
+            payload_bytes=payload,
+            accounted_bytes=accounted,
+            rounds=rounds,
+            pushed=self._pushed,
+            push_bytes=self._push_bytes,
+            per_shard=[st.tally for st in self._shards],
+            payloads=self._payloads,
+        )
+
+
+class _ResponderShard:
+    """Responder-side production state for one stream-mode shard."""
+
+    __slots__ = ("shard", "cursor", "done", "ramp", "grace_deadline")
+
+    def __init__(self, shard: int, cursor, ramp: int) -> None:
+        self.shard = shard
+        self.cursor = cursor
+        self.done = False
+        self.ramp = ramp
+        self.grace_deadline: Optional[float] = None
+
+
+class ResponderMachine(ReconcilerMachine):
+    """Alice's side: validates the HELLO, then serves the backend.
+
+    Stream-mode production happens on ``tick`` — one block per
+    not-yet-done shard per tick, ramping from 8 cells up to
+    ``block_size`` (``slow_start=False`` pins every block to
+    ``block_size``, which the lock-step transports use for cell-exact
+    termination).  Budget exhaustion arms a ``budget_grace`` deadline
+    (symbols already in flight may still decode); ``tick``-ing past it
+    fails the session with the typed ``SymbolBudgetExceeded`` and an
+    ``ERROR`` frame, exactly like the asyncio server always did.
+    """
+
+    def __init__(
+        self,
+        backend: ShardBackend,
+        handle: Scheme,
+        *,
+        block_size: int = 64,
+        slow_start: bool = True,
+        max_symbols_per_shard: Optional[int] = None,
+        budget_grace: float = 1.0,
+        max_sketch_bound: int = 1 << 16,
+        use_estimator: bool = False,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        super().__init__(max_frame)
+        self.backend = backend
+        self.handle = handle
+        self.codec = codec_of(handle)
+        self._hash64 = hash64_of(handle, self.codec)
+        self.key_probe = key_probe(self._hash64)
+        self.block_size = block_size
+        self.slow_start = slow_start
+        self.max_symbols_per_shard = max_symbols_per_shard
+        self.budget_grace = budget_grace
+        self.max_sketch_bound = max_sketch_bound
+        self.use_estimator = use_estimator
+        self.symbols_sent = 0
+        self.bytes_sent = 0
+        self.pushes_applied = 0
+        self.complete = False
+        self.error_codes: List[int] = []
+        self._mode: Optional[SyncMode] = None
+        self._streams: List[_ResponderShard] = []
+        self._sketch_bound = DEFAULT_SKETCH_BOUND
+        self._state = "hello"
+
+    # -- failure plumbing --------------------------------------------------
+
+    def _handle_failure(self, exc: Exception) -> None:
+        if isinstance(exc, SymbolBudgetExceeded):
+            self._send_error(ErrorCode.BUDGET, str(exc))
+        elif isinstance(exc, StaleStream):
+            self._send_error(ErrorCode.STALE, str(exc))
+        # FrameError and internal failures drop the session silently,
+        # matching the asyncio server (no ERROR reply to garbage).
+        self._fail(exc)
+
+    def _send_error(self, code: ErrorCode, message: str) -> None:
+        self.error_codes.append(int(code))
+        size = self._send_frame(
+            FrameType.ERROR,
+            pack_uvarints(int(code)) + message.encode("utf-8"),
+        )
+        if self._mode == SyncMode.STREAM:
+            self.bytes_sent += size
+
+    def _protocol_fail(self, code: ErrorCode, message: str) -> None:
+        self._send_error(code, message)
+        self._fail(ProtocolError(message))
+
+    # -- machine events ----------------------------------------------------
+
+    def _on_frame(self, ftype: int, body: bytes) -> None:
+        if self._state == "hello":
+            self._on_hello(ftype, body)
+        elif self._state == "stream":
+            self._on_stream_frame(ftype, body)
+        else:
+            self._on_sketch_frame(ftype, body)
+
+    def _on_hello(self, ftype: int, body: bytes) -> None:
+        if ftype != FrameType.HELLO:
+            self._protocol_fail(
+                ErrorCode.PROTOCOL, f"expected HELLO, got frame type {ftype:#x}"
+            )
+            return
+        if not self._check_hello(BodyReader(body)):
+            return
+        mode = self.backend.mode
+        self._send_frame(
+            FrameType.WELCOME,
+            pack_uvarints(
+                PROTOCOL_VERSION,
+                int(mode),
+                self.backend.num_shards,
+                self.block_size,
+            ),
+        )
+        self._mode = mode
+        if mode == SyncMode.STREAM:
+            ramp = min(8, self.block_size) if self.slow_start else self.block_size
+            self._streams = [
+                _ResponderShard(shard, self.backend.open_stream(shard), ramp)
+                for shard in range(self.backend.num_shards)
+            ]
+            self._state = "stream"
+            return
+        self._state = "sketch"
+        if self.use_estimator:
+            estimator = StrataEstimator.from_items(self._all_items())
+            blob = estimator.serialize()
+            self.bytes_sent += len(blob)
+            self._send_frame(FrameType.ESTIMATE, blob)
+        else:
+            for shard in range(self.backend.num_shards):
+                self._send_sketch(shard, self._sketch_bound)
+
+    def _check_hello(self, body: BodyReader) -> bool:
+        version = body.uvarint()
+        scheme = body.lp_str()
+        symbol_size = body.uvarint()
+        checksum_size = body.uvarint()
+        hasher = body.lp_str()
+        probe = body.uvarint()
+        num_shards = body.uvarint()
+        body.uvarint()  # block_size wish: informational, responder decides
+        self._sketch_bound = body.uvarint() or DEFAULT_SKETCH_BOUND
+        body.expect_end()
+        if version != PROTOCOL_VERSION:
+            return self._reject(
+                ErrorCode.PROTOCOL,
+                f"protocol version {version} unsupported "
+                f"(server: {PROTOCOL_VERSION})",
+            )
+        if scheme != self.handle.name:
+            return self._reject(
+                ErrorCode.MISMATCH,
+                f"scheme mismatch: client {scheme!r}, server {self.handle.name!r}",
+            )
+        expected_symbol = self.handle.params.symbol_size
+        if symbol_size != expected_symbol:
+            return self._reject(
+                ErrorCode.MISMATCH,
+                f"symbol_size mismatch: client {symbol_size}, "
+                f"server {expected_symbol}",
+            )
+        if self.codec is not None and checksum_size != self.codec.checksum_size:
+            return self._reject(
+                ErrorCode.MISMATCH,
+                f"checksum_size mismatch: client {checksum_size}, "
+                f"server {self.codec.checksum_size}",
+            )
+        expected_hasher = getattr(self.handle.params, "hasher", "")
+        if hasher and expected_hasher and hasher != expected_hasher:
+            return self._reject(
+                ErrorCode.MISMATCH,
+                f"hasher mismatch: client {hasher!r}, server {expected_hasher!r}",
+            )
+        if probe != self.key_probe:
+            return self._reject(
+                ErrorCode.MISMATCH,
+                "hash key probe mismatch: peers hold different keys",
+            )
+        if num_shards and num_shards != self.backend.num_shards:
+            return self._reject(
+                ErrorCode.MISMATCH,
+                f"shard count mismatch: client expects {num_shards}, "
+                f"server runs {self.backend.num_shards}",
+            )
+        return True
+
+    def _reject(self, code: ErrorCode, message: str) -> bool:
+        self._send_error(code, message)
+        self._fail(SchemeMismatch(message) if code == ErrorCode.MISMATCH
+                   else ProtocolError(message))
+        return False
+
+    def _all_items(self) -> list:
+        out: list = []
+        for shard in range(self.backend.num_shards):
+            out.extend(self.backend.sharded.shards[shard])
+        return out
+
+    # -- stream mode -------------------------------------------------------
+
+    def _on_stream_frame(self, ftype: int, body: bytes) -> None:
+        reader = BodyReader(body)
+        if ftype == FrameType.SHARD_DONE:
+            shard = reader.uvarint()
+            reader.expect_end()
+            if shard >= len(self._streams):
+                self._protocol_fail(ErrorCode.PROTOCOL, f"no such shard {shard}")
+                return
+            self._streams[shard].done = True
+            return
+        if ftype == FrameType.PUSH:
+            self._apply_push(reader)
+            return
+        if ftype == FrameType.RETRY:
+            # RETRY is a sketch-mode frame; in stream mode the backend
+            # has no sketches to rebuild, so it is a protocol violation.
+            self._protocol_fail(
+                ErrorCode.PROTOCOL, "RETRY is invalid in stream mode"
+            )
+            return
+        if ftype == FrameType.BYE:
+            self._send_stats()
+            return
+        self._protocol_fail(
+            ErrorCode.PROTOCOL, f"unexpected frame type {ftype:#x} from client"
+        )
+
+    def _on_tick(self, now: float) -> None:
+        if self._state != "stream":
+            return
+        budget = self.max_symbols_per_shard
+        for st in self._streams:
+            if st.done:
+                continue
+            sent = st.cursor.symbols_sent
+            if budget is not None and sent >= budget:
+                if st.grace_deadline is None:
+                    # Budget spent; symbols are still in flight, so give
+                    # the client one grace period to report decode
+                    # before declaring the session runaway.
+                    st.grace_deadline = now + self.budget_grace
+                    continue
+                if now >= st.grace_deadline:
+                    raise SymbolBudgetExceeded(
+                        f"shard {st.shard}: {sent} symbols served without "
+                        f"decode (budget {budget})",
+                        symbols_sent=sent,
+                        max_symbols=budget,
+                    )
+                continue
+            if self.slow_start:
+                cells = st.ramp
+                st.ramp = min(st.ramp * 2, self.block_size)
+            else:
+                cells = self.block_size
+            if budget is not None:
+                cells = min(cells, budget - sent)
+            payload = st.cursor.next_block(cells)
+            self.symbols_sent += cells
+            self.bytes_sent += self._send_frame(
+                FrameType.SYMBOLS, pack_uvarints(st.shard) + payload
+            )
+
+    @property
+    def wants_tick(self) -> bool:
+        if self.finished or self._state != "stream":
+            return False
+        budget = self.max_symbols_per_shard
+        for st in self._streams:
+            if st.done:
+                continue
+            if budget is None or st.cursor.symbols_sent < budget:
+                return True
+            if st.grace_deadline is None:
+                return True  # a tick is needed to arm the grace deadline
+        return False
+
+    def next_tick_delay(self, now: float) -> Optional[float]:
+        if self.finished or self._state != "stream":
+            return None
+        deadlines = [
+            st.grace_deadline
+            for st in self._streams
+            if not st.done and st.grace_deadline is not None
+        ]
+        if self.wants_tick:
+            return 0.0
+        if deadlines:
+            return max(0.0, min(deadlines) - now)
+        return None
+
+    # -- sketch mode -------------------------------------------------------
+
+    def _on_sketch_frame(self, ftype: int, body: bytes) -> None:
+        reader = BodyReader(body)
+        if ftype == FrameType.RETRY:
+            shard = reader.uvarint()
+            bound = reader.uvarint()
+            reader.expect_end()
+            if shard >= self.backend.num_shards:
+                self._protocol_fail(ErrorCode.PROTOCOL, f"no such shard {shard}")
+                return
+            if bound > self.max_sketch_bound:
+                message = (
+                    f"shard {shard}: sketch bound {bound} exceeds server cap "
+                    f"{self.max_sketch_bound}"
+                )
+                self._send_error(ErrorCode.BUDGET, message)
+                self._fail(ReconcileError(message))
+                return
+            self._send_sketch(shard, bound)
+            return
+        if ftype == FrameType.SHARD_DONE:
+            return  # bookkeeping only; nothing streams in sketch mode
+        if ftype == FrameType.PUSH:
+            self._apply_push(reader)
+            return
+        if ftype == FrameType.BYE:
+            self._send_stats()
+            return
+        self._protocol_fail(
+            ErrorCode.PROTOCOL, f"unexpected frame type {ftype:#x}"
+        )
+
+    def _send_sketch(self, shard: int, bound: int) -> None:
+        blob = self.backend.build_sketch(shard, bound)
+        self.bytes_sent += len(blob)
+        self._send_frame(FrameType.SKETCH, pack_uvarints(shard, bound) + blob)
+
+    # -- shared ------------------------------------------------------------
+
+    def _send_stats(self) -> None:
+        body = pack_uvarints(
+            self.symbols_sent, self.bytes_sent, self.pushes_applied
+        )
+        size = self._send_frame(FrameType.STATS, body)
+        if self._mode == SyncMode.STREAM:
+            self.bytes_sent += size
+        self.complete = True
+        self.finished = True
+
+    def _apply_push(self, reader: BodyReader) -> None:
+        reader.uvarint()  # shard hint; placement is re-derived locally
+        count = reader.uvarint()
+        symbol_size = self.handle.params.symbol_size
+        assert symbol_size is not None
+        for _ in range(count):
+            item = reader.raw(symbol_size)
+            try:
+                self.backend.add(item)
+            except KeyError:
+                continue  # another session already pushed it
+            self.pushes_applied += 1
+        reader.expect_end()
+
+    def _on_peer_closed(self) -> None:
+        # The client left without BYE: the session simply ends
+        # incomplete (the adapter counts it as dropped), like the
+        # asyncio server's read loop returning on EOF.
+        self.finished = True

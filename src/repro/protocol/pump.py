@@ -1,0 +1,135 @@
+"""The in-memory transport: pump two machines against each other.
+
+This is the "transport" behind ``repro.api.reconcile`` and
+``repro.api.Session``: every frame a machine emits is handed straight to
+its peer, lock-step.  Lock-step matters — the responder only produces a
+new block (``tick``) once the initiator has nothing left to say, so the
+coded-symbol stream stops at exactly the cell that decodes, and byte
+accounting matches the pre-engine in-memory drivers cell for cell.
+
+Virtual time: the pump keeps a float clock that jumps straight to the
+responder's next deadline when neither side has bytes to move, so
+budget-grace expiry (a wall-clock second on a real transport) costs
+nothing in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.api.registry import Scheme
+from repro.protocol.events import MachineReport
+from repro.protocol.machine import (
+    InitiatorMachine,
+    ReconcilerMachine,
+    ResponderMachine,
+    codec_of,
+    hash64_of,
+)
+from repro.service.backends import make_backend
+from repro.service.errors import ProtocolError
+from repro.service.shard import ShardedSet
+
+
+def memory_responder(
+    handle: Scheme,
+    items: Sequence[bytes],
+    *,
+    num_shards: int = 1,
+    block_size: int = 1,
+    slow_start: bool = False,
+    max_symbols_per_shard: Optional[int] = None,
+    budget_grace: float = 0.0,
+    use_estimator: bool = False,
+) -> ResponderMachine:
+    """A responder over a fresh in-memory backend for ``items``.
+
+    Defaults differ from the service profile on purpose: one shard,
+    block size 1, no slow-start ramp and no budget — the lock-step,
+    cell-exact configuration whose wire bytes are identical to the
+    legacy ``repro.core.session`` fast path.
+    """
+    codec = codec_of(handle)
+    sharded = ShardedSet(hash64_of(handle, codec), num_shards, list(items))
+    backend = make_backend(handle, sharded, codec)
+    return ResponderMachine(
+        backend,
+        handle,
+        block_size=block_size,
+        slow_start=slow_start,
+        max_symbols_per_shard=max_symbols_per_shard,
+        budget_grace=budget_grace,
+        use_estimator=use_estimator,
+    )
+
+
+def pump(
+    initiator: InitiatorMachine,
+    responder: ReconcilerMachine,
+    *,
+    raise_on_failure: bool = True,
+) -> Optional[MachineReport]:
+    """Drive both machines to completion entirely in memory.
+
+    Returns the initiator's :class:`MachineReport`; a ``Failed``
+    initiator re-raises its typed error (``raise_on_failure=False``
+    returns ``None`` instead, with the error left on
+    ``initiator.failed``).
+    """
+    initiator.start()
+    responder.start()
+    now = 0.0
+    while not initiator.finished:
+        out = initiator.take_output()
+        if out and not responder.finished:
+            responder.bytes_received(out)
+            continue
+        back = responder.take_output()
+        if back:
+            initiator.bytes_received(back)
+            continue
+        if responder.wants_tick:
+            responder.tick(now)
+            continue
+        delay = responder.next_tick_delay(now)
+        if delay is not None and not responder.finished:
+            now += delay
+            responder.tick(now)
+            continue
+        # Neither bytes nor ticks can move: the responder is finished or
+        # wedged.  Surface it as the peer vanishing, never a hang.
+        initiator.peer_closed()
+    if initiator.failed is not None and raise_on_failure:
+        error = initiator.failed
+        responder_error = getattr(responder, "failed", None)
+        if responder_error is not None and type(error) is ProtocolError:
+            # In memory both sides are one process: when the initiator
+            # only knows "the peer vanished", the responder's root cause
+            # (e.g. a scheme's representation-limit ValueError) is the
+            # error the caller actually needs.
+            error = responder_error
+        raise error
+    return initiator.report
+
+
+def run_memory(
+    handle: Scheme,
+    alice_items: Sequence[bytes],
+    bob_items: Sequence[bytes],
+    **initiator_options,
+) -> MachineReport:
+    """One-call in-memory reconciliation through the engine.
+
+    Convenience for tests and the CLI's ``--transport memory``: builds
+    the matched initiator (Bob, ``bob_items``) / responder (Alice,
+    ``alice_items``) pair and pumps to completion.
+    """
+    use_estimator = bool(initiator_options.get("use_estimator", False))
+    initiator = InitiatorMachine(handle, bob_items, **initiator_options)
+    responder = memory_responder(
+        handle, alice_items, use_estimator=use_estimator
+    )
+    report = pump(initiator, responder)
+    if report is None:  # pragma: no cover - pump() raised already
+        raise ProtocolError("reconciliation did not complete")
+    return report

@@ -17,12 +17,15 @@ churns.  This package is that story over real sockets:
     re-encodes for a new client) or any registered scheme from
     :mod:`repro.api`.
 :mod:`repro.service.server`
-    The asyncio server: session manager, bounded-queue backpressure,
-    typed symbol budgets that drop runaway sessions.
+    The asyncio session manager: each connection pumps a
+    :class:`~repro.protocol.ResponderMachine` (the sans-io engine),
+    with socket backpressure and typed symbol budgets that drop
+    runaway sessions.
 :mod:`repro.service.client`
-    The asyncio client: :func:`~repro.service.client.sync` reconciles a
-    local set against a server, optionally pushing back what the server
-    is missing.
+    The asyncio client: :func:`~repro.service.client.sync` shuttles
+    bytes between the socket and an
+    :class:`~repro.protocol.InitiatorMachine`, optionally pushing back
+    what the server is missing.
 :mod:`repro.service.node`
     :class:`~repro.service.node.ServiceNode`, the high-level peer API
     combining a local set with both roles.

@@ -1,12 +1,12 @@
 """The asyncio reconciliation client: :func:`sync` a local set with a server.
 
-The client is the receiving side of §4.1: per shard it builds a local
-:class:`~repro.api.base.StreamingReconciler` (any registered streaming
-scheme — the scheme's ``absorb`` does the pairwise subtraction and
-peeling) and consumes the server's multiplexed frames until every shard
-reports decoded.  Fixed-capacity schemes arrive as sized sketches
-instead, with client-driven doubling retries — same wire connection,
-different frame type.
+Since the sans-io engine landed, the client is a ~30-line asyncio
+adapter: it opens the socket, then shuttles raw bytes between the
+stream pair and an :class:`~repro.protocol.InitiatorMachine` — the same
+machine the in-memory pump and the simulated-link transport drive, so
+the wire behaviour (HELLO handshake, per-shard absorb/SHARD_DONE,
+sketch RETRY doubling, PUSH/BYE/STATS) is defined exactly once, in
+:mod:`repro.protocol.machine`.
 
 ``push=True`` closes the loop: once everything decoded, the items the
 server is missing (this side's exclusives) are pushed back, so both
@@ -20,29 +20,15 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.api.base import ReconcileError, StreamingReconciler, SymbolBudgetExceeded
+import repro.protocol.machine as protocol_machine
 from repro.api.registry import Scheme, get_scheme
-from repro.core.decoder import DecodeResult
-from repro.service.backends import StaleStream
-from repro.service.errors import PeerError, ProtocolError, SchemeMismatch
-from repro.service.framing import (
-    MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
-    BodyReader,
-    ErrorCode,
-    FrameType,
-    SyncMode,
-    pack_lp_str,
-    pack_uvarints,
-    read_frame,
-    write_frame,
-)
-from repro.service.server import _codec_of, _hash64_of
-from repro.service.shard import key_probe, partition_items
+from repro.service.framing import MAX_FRAME_BYTES, SyncMode
 
 # Give up on a sketch-mode shard after this many doublings (mirrors
-# repro.api.session.DEFAULT_MAX_ROUNDS).
+# repro.protocol.machine.DEFAULT_MAX_ROUNDS).
 DEFAULT_MAX_ROUNDS = 4
+
+_READ_CHUNK = 1 << 16
 
 
 @dataclass
@@ -79,17 +65,31 @@ class SyncResult:
         return len(self.only_in_server) + len(self.only_in_client)
 
 
-class _ShardState:
-    """Client-side decoding state for one shard."""
-
-    def __init__(self, shard: int, items: list) -> None:
-        self.shard = shard
-        self.items = items
-        self.reconciler: Optional[StreamingReconciler] = None
-        self.report = ShardReport(shard)
-        self.done = False
-        self.result: Optional[DecodeResult] = None
-        self.bound = 0  # sketch mode only
+def _to_sync_result(report) -> SyncResult:
+    result = SyncResult(
+        scheme=report.scheme,
+        mode=report.mode,
+        num_shards=report.num_shards,
+        symbols=report.symbols,
+        bytes_received=report.payload_bytes,
+        bytes_sent=report.push_bytes,
+        pushed=report.pushed,
+        payloads=report.payloads,
+        only_in_server=set(report.only_in_remote),
+        only_in_client=set(report.only_in_local),
+    )
+    for tally in report.per_shard:
+        result.per_shard.append(
+            ShardReport(
+                shard=tally.shard,
+                symbols=tally.symbols,
+                bytes_received=tally.payload_bytes,
+                rounds=tally.rounds,
+                only_in_server=tally.only_in_remote,
+                only_in_client=tally.only_in_local,
+            )
+        )
+    return result
 
 
 async def sync(
@@ -167,247 +167,39 @@ async def _sync_over(
     capture_payloads: bool,
     max_frame: int,
 ) -> SyncResult:
-    codec = _codec_of(handle)
-    hash64 = _hash64_of(handle, codec)
-    symbol_size = handle.params.symbol_size
-    assert symbol_size is not None
-    await write_frame(
-        writer,
-        FrameType.HELLO,
-        pack_uvarints(PROTOCOL_VERSION)
-        + pack_lp_str(handle.name)
-        + pack_uvarints(
-            symbol_size,
-            codec.checksum_size if codec is not None else 0,
-        )
-        + pack_lp_str(str(getattr(handle.params, "hasher", "")))
-        + pack_uvarints(
-            key_probe(hash64),
-            num_shards,
-            0,  # block size: server's choice
-            difference_bound,
-        ),
+    """Shuttle bytes between the stream pair and an initiator machine."""
+    machine = protocol_machine.InitiatorMachine(
+        handle,
+        items,
+        num_shards=num_shards,
+        push=push,
+        max_symbols=max_symbols,
+        difference_bound=difference_bound,
+        max_rounds=max_rounds,
+        capture_payloads=capture_payloads,
+        max_frame=max_frame,
     )
-    frame = await read_frame(reader, max_frame)
-    if frame is None:
-        raise ProtocolError("server closed the connection before WELCOME")
-    ftype, body = frame
-    if ftype == FrameType.ERROR:
-        _raise_peer_error(body)
-    if ftype != FrameType.WELCOME:
-        raise ProtocolError(f"expected WELCOME, got frame type {ftype:#x}")
-    welcome = BodyReader(body)
-    version = welcome.uvarint()
-    try:
-        mode = SyncMode(welcome.uvarint())
-    except ValueError as exc:
-        raise ProtocolError(f"unknown sync mode in WELCOME: {exc}") from None
-    granted_shards = welcome.uvarint()
-    welcome.uvarint()  # server block size: informational
-    welcome.expect_end()
-    if version != PROTOCOL_VERSION:
-        raise ProtocolError(
-            f"server speaks protocol {version}, client {PROTOCOL_VERSION}"
-        )
-    if num_shards and granted_shards != num_shards:
-        raise SchemeMismatch(
-            f"server runs {granted_shards} shards, caller demanded {num_shards}"
-        )
-
-    shards = [
-        _ShardState(i, part)
-        for i, part in enumerate(partition_items(hash64, items, granted_shards))
-    ]
-    result = SyncResult(
-        scheme=handle.name,
-        mode=mode,
-        num_shards=granted_shards,
-        payloads={i: bytearray() for i in range(granted_shards)}
-        if capture_payloads
-        else None,
-    )
-    if mode == SyncMode.STREAM:
-        for state in shards:
-            state.reconciler = _streaming_reconciler(handle, state.items)
-        await _stream_rounds(reader, writer, shards, result, max_symbols, max_frame)
-    else:
-        await _sketch_rounds(
-            reader, writer, handle, shards, result,
-            initial_bound=difference_bound, max_rounds=max_rounds, max_frame=max_frame,
-        )
-
-    for state in shards:
-        decode = state.result
-        assert decode is not None
-        state.report.only_in_server = len(decode.remote)
-        state.report.only_in_client = len(decode.local)
-        result.only_in_server.update(decode.remote)
-        result.only_in_client.update(decode.local)
-        result.per_shard.append(state.report)
-        result.symbols += state.report.symbols
-        result.bytes_received += state.report.bytes_received
-
-    if push and result.only_in_client:
-        await _push_items(writer, hash64, result, symbol_size)
-    await write_frame(writer, FrameType.BYE)
-    await _await_stats(reader, max_frame)
-    return result
-
-
-def _streaming_reconciler(handle: Scheme, items: list) -> StreamingReconciler:
-    reconciler = handle.new(items)
-    if not isinstance(reconciler, StreamingReconciler):
-        raise ProtocolError(
-            f"scheme {handle.name!r} announced stream mode but is not streaming"
-        )
-    return reconciler
-
-
-async def _stream_rounds(
-    reader: asyncio.StreamReader,
-    writer: asyncio.StreamWriter,
-    shards: list,
-    result: SyncResult,
-    max_symbols: Optional[int],
-    max_frame: int,
-) -> None:
-    remaining = len(shards)
-    while remaining:
-        frame = await read_frame(reader, max_frame)
-        if frame is None:
-            raise ProtocolError("server closed mid-sync (missing shards undecoded)")
-        ftype, body = frame
-        if ftype == FrameType.ERROR:
-            _raise_peer_error(body)
-        if ftype != FrameType.SYMBOLS:
-            raise ProtocolError(f"expected SYMBOLS, got frame type {ftype:#x}")
-        parser = BodyReader(body)
-        shard_id = parser.uvarint()
-        payload = parser.rest()
-        if shard_id >= len(shards):
-            raise ProtocolError(f"server sent unknown shard {shard_id}")
-        state = shards[shard_id]
-        if state.done:
-            continue  # frames already in flight when SHARD_DONE crossed them
-        if result.payloads is not None:
-            result.payloads[shard_id].extend(payload)
-        state.report.bytes_received += len(payload)
-        reconciler = state.reconciler
-        assert reconciler is not None
-        decoded = reconciler.absorb(payload)
-        state.report.symbols = reconciler.symbols_absorbed
-        if decoded:
-            state.done = True
-            state.result = reconciler.stream_result()
-            remaining -= 1
-            await write_frame(writer, FrameType.SHARD_DONE, pack_uvarints(shard_id))
-        elif max_symbols is not None and state.report.symbols >= max_symbols:
-            raise SymbolBudgetExceeded(
-                f"shard {shard_id}: no decode within {max_symbols} coded symbols",
-                symbols_sent=state.report.symbols,
-                max_symbols=max_symbols,
-            )
-
-
-async def _sketch_rounds(
-    reader: asyncio.StreamReader,
-    writer: asyncio.StreamWriter,
-    handle: Scheme,
-    shards: list,
-    result: SyncResult,
-    *,
-    initial_bound: int,
-    max_rounds: int,
-    max_frame: int,
-) -> None:
-    from repro.service.server import DEFAULT_SKETCH_BOUND
-
-    for state in shards:
-        state.bound = initial_bound or DEFAULT_SKETCH_BOUND
-    remaining = len(shards)
-    while remaining:
-        frame = await read_frame(reader, max_frame)
-        if frame is None:
-            raise ProtocolError("server closed mid-sync (missing shards undecoded)")
-        ftype, body = frame
-        if ftype == FrameType.ERROR:
-            _raise_peer_error(body)
-        if ftype != FrameType.SKETCH:
-            raise ProtocolError(f"expected SKETCH, got frame type {ftype:#x}")
-        parser = BodyReader(body)
-        shard_id = parser.uvarint()
-        bound = parser.uvarint()
-        blob = parser.rest()
-        if shard_id >= len(shards):
-            raise ProtocolError(f"server sent unknown shard {shard_id}")
-        state = shards[shard_id]
-        if state.done:
-            continue
-        if result.payloads is not None:
-            result.payloads[shard_id].extend(blob)
-        state.report.bytes_received += len(blob)
-        sized = handle.sized_for(max(1, bound))
-        remote = sized.deserialize(blob)
-        local = sized.new(state.items)
-        decode = remote.subtract(local).decode()
-        if decode.success:
-            state.done = True
-            state.result = decode
-            state.report.symbols = decode.symbols_used
-            remaining -= 1
-            await write_frame(writer, FrameType.SHARD_DONE, pack_uvarints(shard_id))
-            continue
-        state.report.rounds += 1
-        if state.report.rounds > max_rounds:
-            raise ReconcileError(
-                f"shard {shard_id}: sketch did not decode within "
-                f"{max_rounds} doublings (last bound {bound})"
-            )
-        state.bound = max(1, bound) * 2
-        await write_frame(
-            writer, FrameType.RETRY, pack_uvarints(shard_id, state.bound)
-        )
-
-
-async def _push_items(
-    writer: asyncio.StreamWriter, hash64, result: SyncResult, symbol_size: int
-) -> None:
-    by_shard = partition_items(
-        hash64, sorted(result.only_in_client), result.num_shards
-    )
-    for shard_id, members in enumerate(by_shard):
-        if not members:
-            continue
-        body = pack_uvarints(shard_id, len(members)) + b"".join(members)
-        result.bytes_sent += len(body)
-        await write_frame(writer, FrameType.PUSH, body)
-        result.pushed += len(members)
-
-
-async def _await_stats(reader: asyncio.StreamReader, max_frame: int) -> None:
-    """Drain frames until the server acknowledges BYE with STATS."""
-    while True:
-        frame = await read_frame(reader, max_frame)
-        if frame is None:
-            return  # server closed without STATS; the sync itself succeeded
-        ftype, body = frame
-        if ftype == FrameType.STATS:
-            return
-        if ftype == FrameType.ERROR:
-            _raise_peer_error(body)
-        # late SYMBOLS/SKETCH frames racing the BYE: ignore
-
-
-def _raise_peer_error(body: bytes) -> None:
-    parser = BodyReader(body)
-    code = parser.uvarint()
-    message = parser.rest().decode("utf-8", errors="replace")
-    if code == ErrorCode.BUDGET:
-        raise SymbolBudgetExceeded(f"server: {message}", symbols_sent=0, max_symbols=0)
-    if code == ErrorCode.STALE:
-        raise StaleStream(f"server: {message}")
-    if code == ErrorCode.MISMATCH:
-        raise SchemeMismatch(f"server: {message}")
-    if code in (ErrorCode.PROTOCOL, ErrorCode.UNSUPPORTED):
-        raise ProtocolError(f"server: {message}")
-    raise PeerError(code, message)
+    machine.start()
+    while not machine.finished:
+        out = machine.take_output()
+        if out:
+            writer.write(out)
+            await writer.drain()
+        if machine.finished:
+            break
+        data = await reader.read(_READ_CHUNK)
+        if not data:
+            machine.peer_closed()
+        else:
+            machine.bytes_received(data)
+    out = machine.take_output()
+    if out:
+        writer.write(out)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # the sync outcome is already decided
+    if machine.failed is not None:
+        raise machine.failed
+    assert machine.report is not None
+    return _to_sync_result(machine.report)

@@ -23,6 +23,14 @@ Frame catalogue (bodies are varint-packed, see the pack helpers)::
     BYE         c->s  (empty)
     STATS       s->c  symbols_sent, bytes_sent, pushes_applied
     ERROR       both  code, utf-8 message
+    ESTIMATE    s->c  <serialized strata estimator summary>
+
+``ESTIMATE`` carries the responder's strata-estimator summary when both
+peers agreed (at machine construction — it is not negotiated in HELLO)
+to run the estimator-then-sized-sketch composition; the initiator
+answers with ``RETRY`` frames that request the first sized sketches.
+Legacy sessions never emit it, so the frame catalogue stays
+backward-compatible.
 """
 
 from __future__ import annotations
@@ -58,6 +66,7 @@ class FrameType(IntEnum):
     BYE = 0x08
     STATS = 0x09
     ERROR = 0x0A
+    ESTIMATE = 0x0B
 
 
 class ErrorCode(IntEnum):

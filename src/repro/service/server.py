@@ -1,22 +1,24 @@
 """The asyncio reconciliation server: many peers, one warm stream each.
 
 One :class:`ReconciliationServer` owns a sharded set and serves any
-number of concurrent sessions over TCP.  Per session and shard the
-server runs a *producer* task that pulls §6-framed blocks from the shard
-backend and a single *writer* task that multiplexes every shard's frames
-onto the socket through a bounded :class:`asyncio.Queue` — the queue is
-the backpressure: a slow client blocks its own producers at
-``queue_frames × block_size`` symbols of lookahead and costs the server
-nothing beyond that.
+number of concurrent sessions over TCP.  Protocol logic — handshake
+validation, stream production with slow-start ramping, sketch RETRY
+doubling, symbol budgets with their grace window, PUSH/BYE/STATS — is
+*not* implemented here: each session is a
+:class:`~repro.protocol.ResponderMachine` (the same sans-io machine the
+in-memory pump and the simulated link drive), and this module is only
+the asyncio shell that shuttles socket bytes in, machine frames out,
+and ``tick``s production while the writer drains — backpressure is the
+socket itself: a slow client suspends ``drain()`` and with it that
+session's production, costing the server nothing beyond the OS buffer.
 
 Runaway sessions are dropped, not tolerated: a shard that exceeds
-``max_symbols_per_shard`` without the client reporting decode raises the
-typed :class:`~repro.api.SymbolBudgetExceeded` inside the producer; the
-session manager converts it into an ``ERROR`` frame (so the client fails
-with the same typed exception) and tears the session down.  Mutating the
-served set mid-session similarly surfaces as a typed
-:class:`~repro.service.backends.StaleStream` / ``ERROR`` rather than a
-stream that silently stopped making sense.
+``max_symbols_per_shard`` without the client reporting decode fails the
+machine with the typed :class:`~repro.api.SymbolBudgetExceeded`, which
+reaches the client as an ``ERROR`` frame (so it fails with the same
+typed exception).  Mutating the served set mid-session similarly
+surfaces as a typed :class:`~repro.service.backends.StaleStream` /
+``ERROR`` rather than a stream that silently stopped making sense.
 """
 
 from __future__ import annotations
@@ -25,27 +27,22 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.api.base import SymbolBudgetExceeded
+import repro.protocol.machine as protocol_machine
 from repro.api.registry import Scheme, get_scheme
 from repro.core.symbols import SymbolCodec
-from repro.service.backends import ShardBackend, StaleStream, make_backend
+from repro.service.backends import ShardBackend, make_backend
 from repro.service.framing import (
     MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
-    BodyReader,
     ErrorCode,
     FrameError,
-    FrameType,
-    SyncMode,
-    encode_frame,
-    pack_uvarints,
-    read_frame,
-    write_frame,
 )
 from repro.service.shard import ShardedSet, key_probe
 
-# Sketch-mode bound when the client's HELLO leaves it to the server.
+# Sketch-mode bound when the client's HELLO leaves it to the server
+# (canonically repro.protocol.machine.DEFAULT_SKETCH_BOUND).
 DEFAULT_SKETCH_BOUND = 16
+
+_READ_CHUNK = 1 << 16
 
 
 @dataclass
@@ -56,7 +53,9 @@ class ServerConfig:
     """Coded symbols per SYMBOLS frame (stream mode)."""
 
     queue_frames: int = 8
-    """Outbound frames buffered per session before producers block."""
+    """Retained for compatibility: the engine adapter paces production
+    with the socket's own backpressure, so no frame queue exists any
+    more and this knob is ignored."""
 
     max_symbols_per_shard: Optional[int] = 1 << 17
     """Per-session, per-shard symbol budget; ``None`` disables the cap."""
@@ -214,11 +213,11 @@ class ReconciliationServer:
         except asyncio.CancelledError:
             # Server shutdown.  Absorb the cancellation: a handler task
             # that *ends* cancelled trips asyncio.streams' internal
-            # done-callback into logging a spurious traceback.
+            # done-callback into logging a spurious traceback.  The
+            # session's own finally already accounted it as dropped.
             cancelled = True
-            self.stats.sessions_dropped += 1
         except (FrameError, ConnectionError, OSError):
-            self.stats.sessions_dropped += 1
+            pass  # accounted (as dropped) by the session's finally
         finally:
             self._session_tasks.discard(task)
             writer.close()
@@ -236,7 +235,7 @@ class ReconciliationServer:
 
 
 class _Session:
-    """One client connection: handshake, then stream or sketch mode."""
+    """One client connection: an asyncio pump around a responder machine."""
 
     def __init__(
         self,
@@ -247,392 +246,104 @@ class _Session:
         self.server = server
         self.reader = reader
         self.writer = writer
-        self.config = server.config
-        self.backend = server.backend
-        self.symbols_sent = 0
-        self.bytes_sent = 0
-        self.pushes_applied = 0
-        self._outq: asyncio.Queue = asyncio.Queue(maxsize=self.config.queue_frames)
-        self._done_events = [asyncio.Event() for _ in range(server.num_shards)]
-        self._abort = asyncio.Event()
-        self._failed = False
-
-    # -- handshake --------------------------------------------------------
+        self._accounted = False
+        config = server.config
+        self.machine = protocol_machine.ResponderMachine(
+            server.backend,
+            server.handle,
+            block_size=config.block_size,
+            max_symbols_per_shard=config.max_symbols_per_shard,
+            budget_grace=config.budget_grace,
+            max_sketch_bound=config.max_sketch_bound,
+            max_frame=config.max_frame,
+        )
 
     async def run(self) -> None:
-        frame = await read_frame(self.reader, self.config.max_frame)
-        if frame is None:
-            self.server.stats.sessions_dropped += 1
-            return
-        ftype, body = frame
-        if ftype != FrameType.HELLO:
-            await self._send_error(
-                ErrorCode.PROTOCOL, f"expected HELLO, got frame type {ftype:#x}"
-            )
-            self.server.stats.sessions_dropped += 1
-            return
-        if not await self._check_hello(BodyReader(body)):
-            self.server.stats.sessions_dropped += 1
-            return
-        mode = self.backend.mode
-        await write_frame(
-            self.writer,
-            FrameType.WELCOME,
-            pack_uvarints(
-                PROTOCOL_VERSION,
-                int(mode),
-                self.server.num_shards,
-                self.config.block_size,
-            ),
+        machine = self.machine
+        machine.start()
+        loop = asyncio.get_running_loop()
+        read_task: asyncio.Task = asyncio.ensure_future(
+            self.reader.read(_READ_CHUNK)
         )
-        if mode == SyncMode.STREAM:
-            completed = await self._run_stream()
-        else:
-            completed = await self._run_sketch()
+        try:
+            while not machine.finished:
+                out = machine.take_output()
+                if out:
+                    self.writer.write(out)
+                    await self.writer.drain()
+                if machine.finished:
+                    break
+                if read_task.done():
+                    data = read_task.result()  # re-raises connection errors
+                    if not data:
+                        machine.peer_closed()
+                        continue
+                    machine.bytes_received(data)
+                    read_task = asyncio.ensure_future(
+                        self.reader.read(_READ_CHUNK)
+                    )
+                    continue
+                if machine.wants_tick:
+                    machine.tick(loop.time())
+                    # Production is synchronous CPU work; yield so
+                    # concurrent sessions interleave even when the
+                    # socket buffer never fills.
+                    await asyncio.sleep(0)
+                    continue
+                delay = machine.next_tick_delay(loop.time())
+                await asyncio.wait(
+                    {read_task},
+                    timeout=delay,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not read_task.done() and delay is not None:
+                    machine.tick(loop.time())
+            out = machine.take_output()
+            if out:
+                self.writer.write(out)
+                # Bounded: a client that stopped reading must not pin
+                # the session in teardown forever.
+                try:
+                    await asyncio.wait_for(self.writer.drain(), timeout=5.0)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            self._account()
+            if not read_task.done():
+                read_task.cancel()
+            try:
+                await read_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    def _account(self) -> None:
+        """Fold this session into the server stats (exactly once).
+
+        Runs in ``run``'s ``finally`` so sessions torn down by
+        connection errors or server shutdown still report their
+        symbols/bytes/error codes, like the legacy server did.
+        """
+        if self._accounted:
+            return
+        self._accounted = True
+        machine = self.machine
         stats = self.server.stats
-        if completed:
+        if machine.complete:
             stats.sessions_completed += 1
         else:
             stats.sessions_dropped += 1
-        stats.symbols_sent += self.symbols_sent
-        stats.bytes_sent += self.bytes_sent
-        stats.items_pushed += self.pushes_applied
-
-    async def _check_hello(self, body: BodyReader) -> bool:
-        version = body.uvarint()
-        scheme = body.lp_str()
-        symbol_size = body.uvarint()
-        checksum_size = body.uvarint()
-        hasher = body.lp_str()
-        probe = body.uvarint()
-        num_shards = body.uvarint()
-        body.uvarint()  # block_size wish: informational, server decides
-        self.sketch_bound = body.uvarint() or DEFAULT_SKETCH_BOUND
-        body.expect_end()
-        server = self.server
-        if version != PROTOCOL_VERSION:
-            return await self._reject(
-                ErrorCode.PROTOCOL,
-                f"protocol version {version} unsupported (server: {PROTOCOL_VERSION})",
-            )
-        if scheme != server.handle.name:
-            return await self._reject(
-                ErrorCode.MISMATCH,
-                f"scheme mismatch: client {scheme!r}, server {server.handle.name!r}",
-            )
-        expected_symbol = server.handle.params.symbol_size
-        if symbol_size != expected_symbol:
-            return await self._reject(
-                ErrorCode.MISMATCH,
-                f"symbol_size mismatch: client {symbol_size}, server {expected_symbol}",
-            )
-        codec = server.codec
-        if codec is not None and checksum_size != codec.checksum_size:
-            return await self._reject(
-                ErrorCode.MISMATCH,
-                f"checksum_size mismatch: client {checksum_size}, "
-                f"server {codec.checksum_size}",
-            )
-        expected_hasher = getattr(server.handle.params, "hasher", "")
-        if hasher and expected_hasher and hasher != expected_hasher:
-            return await self._reject(
-                ErrorCode.MISMATCH,
-                f"hasher mismatch: client {hasher!r}, server {expected_hasher!r}",
-            )
-        if probe != server.key_probe:
-            return await self._reject(
-                ErrorCode.MISMATCH,
-                "hash key probe mismatch: peers hold different keys",
-            )
-        if num_shards and num_shards != server.num_shards:
-            return await self._reject(
-                ErrorCode.MISMATCH,
-                f"shard count mismatch: client expects {num_shards}, "
-                f"server runs {server.num_shards}",
-            )
-        return True
-
-    async def _reject(self, code: ErrorCode, message: str) -> bool:
-        await self._send_error(code, message)
-        return False
-
-    async def _send_error(self, code: ErrorCode, message: str) -> None:
-        self.server.stats.count_error(code)
-        try:
-            await write_frame(
-                self.writer,
-                FrameType.ERROR,
-                pack_uvarints(int(code)) + message.encode("utf-8"),
-            )
-        except (ConnectionError, OSError):
-            pass
-
-    # -- stream mode ------------------------------------------------------
-
-    async def _run_stream(self) -> bool:
-        tasks = [
-            asyncio.create_task(self._produce(shard))
-            for shard in range(self.server.num_shards)
-        ]
-        writer_task = asyncio.create_task(self._write_loop())
-        completed = False
-        try:
-            completed = await self._read_loop()
-        finally:
-            for task in tasks:
-                task.cancel()
-            for task in tasks:
-                try:
-                    await task
-                except asyncio.CancelledError:
-                    pass
-            # Flush what was queued (STATS / ERROR included).  Both waits
-            # are bounded: a client that stopped reading must not pin the
-            # session in teardown forever.
-            try:
-                await asyncio.wait_for(self._outq.put(None), timeout=5.0)
-            except asyncio.TimeoutError:
-                pass
-            try:
-                await asyncio.wait_for(writer_task, timeout=5.0)
-            except (asyncio.TimeoutError, ConnectionError, OSError):
-                completed = False
-                writer_task.cancel()
-                try:
-                    await writer_task
-                except (asyncio.CancelledError, ConnectionError, OSError):
-                    pass
-        return completed and not self._failed
-
-    async def _produce(self, shard: int) -> None:
-        config = self.config
-        budget = config.max_symbols_per_shard
-        done = self._done_events[shard]
-        # Slow start: small differences decode within a handful of cells,
-        # so early blocks are small and double up to block_size — the
-        # bounded look-ahead (queue_frames × block_size) then costs little
-        # on easy syncs without hurting bulk throughput.
-        ramp = min(8, config.block_size)
-        try:
-            cursor = self.backend.open_stream(shard)
-            while not done.is_set():
-                cells = ramp
-                ramp = min(ramp * 2, config.block_size)
-                if budget is not None:
-                    cells = min(cells, budget - cursor.symbols_sent)
-                    if cells <= 0:
-                        # Budget spent; symbols are still in flight, so
-                        # give the client one grace period to report
-                        # decode before declaring the session runaway.
-                        try:
-                            await asyncio.wait_for(
-                                done.wait(), timeout=config.budget_grace
-                            )
-                        except asyncio.TimeoutError:
-                            raise SymbolBudgetExceeded(
-                                f"shard {shard}: {cursor.symbols_sent} symbols "
-                                f"served without decode (budget {budget})",
-                                symbols_sent=cursor.symbols_sent,
-                                max_symbols=budget,
-                            ) from None
-                        return
-                payload = cursor.next_block(cells)
-                self.symbols_sent += cells
-                await self._outq.put(
-                    encode_frame(FrameType.SYMBOLS, pack_uvarints(shard) + payload)
-                )
-                # Production is synchronous CPU work; yield so concurrent
-                # sessions interleave even when the queue never fills.
-                await asyncio.sleep(0)
-        except SymbolBudgetExceeded as exc:
-            await self._fail(ErrorCode.BUDGET, str(exc))
-        except StaleStream as exc:
-            await self._fail(ErrorCode.STALE, str(exc))
-
-    async def _fail(self, code: ErrorCode, message: str) -> None:
-        if self._failed:
-            return
-        self._failed = True
-        self.server.stats.count_error(code)
-        await self._outq.put(
-            encode_frame(
-                FrameType.ERROR, pack_uvarints(int(code)) + message.encode("utf-8")
-            )
-        )
-        self._abort.set()
-
-    async def _write_loop(self) -> None:
-        while True:
-            frame = await self._outq.get()
-            if frame is None:
-                return
-            self.bytes_sent += len(frame)
-            self.writer.write(frame)
-            await self.writer.drain()
-
-    async def _read_loop(self) -> bool:
-        """Handle client frames until BYE/abort; True on graceful BYE."""
-        while True:
-            read_task = asyncio.create_task(
-                read_frame(self.reader, self.config.max_frame)
-            )
-            abort_task = asyncio.create_task(self._abort.wait())
-            try:
-                await asyncio.wait(
-                    {read_task, abort_task}, return_when=asyncio.FIRST_COMPLETED
-                )
-            except BaseException:
-                # Session task cancelled (server shutdown): reap both
-                # helpers so neither leaks an unretrieved exception.
-                for task in (read_task, abort_task):
-                    task.cancel()
-                    try:
-                        await task
-                    except (
-                        asyncio.CancelledError,
-                        FrameError,
-                        ConnectionError,
-                        OSError,
-                    ):
-                        pass
-                raise
-            abort_task.cancel()
-            if not read_task.done():
-                read_task.cancel()  # a producer aborted the session
-            try:
-                frame = await read_task
-            except asyncio.CancelledError:
-                return False
-            except (FrameError, ConnectionError, OSError):
-                return False  # client vanished mid-frame
-            if frame is None:
-                return False  # client left without BYE
-            if not await self._handle_client_frame(*frame):
-                return not self._failed
-
-    async def _handle_client_frame(self, ftype: int, body: bytes) -> bool:
-        """Dispatch one client frame; False ends the read loop."""
-        reader = BodyReader(body)
-        if ftype == FrameType.SHARD_DONE:
-            shard = reader.uvarint()
-            reader.expect_end()
-            if shard >= self.server.num_shards:
-                await self._fail(ErrorCode.PROTOCOL, f"no such shard {shard}")
-                return False
-            self._done_events[shard].set()
-            return True
-        if ftype == FrameType.PUSH:
-            self._apply_push(reader)
-            return True
-        if ftype == FrameType.RETRY:
-            # RETRY is a sketch-mode frame; in stream mode the backend
-            # has no sketches to rebuild, so it is a protocol violation.
-            await self._fail(ErrorCode.PROTOCOL, "RETRY is invalid in stream mode")
-            return False
-        if ftype == FrameType.BYE:
-            await self._outq.put(
-                encode_frame(
-                    FrameType.STATS,
-                    pack_uvarints(
-                        self.symbols_sent, self.bytes_sent, self.pushes_applied
-                    ),
-                )
-            )
-            return False
-        await self._fail(
-            ErrorCode.PROTOCOL, f"unexpected frame type {ftype:#x} from client"
-        )
-        return False
-
-    def _apply_push(self, reader: BodyReader) -> None:
-        reader.uvarint()  # shard hint; placement is re-derived server-side
-        count = reader.uvarint()
-        symbol_size = self.server.handle.params.symbol_size
-        assert symbol_size is not None
-        for _ in range(count):
-            item = reader.raw(symbol_size)
-            try:
-                self.backend.add(item)
-            except KeyError:
-                continue  # another session already pushed it
-            self.pushes_applied += 1
-        reader.expect_end()
-
-    # -- sketch mode ------------------------------------------------------
-
-    async def _run_sketch(self) -> bool:
-        for shard in range(self.server.num_shards):
-            await self._send_sketch(shard, self.sketch_bound)
-        while True:
-            try:
-                frame = await read_frame(self.reader, self.config.max_frame)
-            except (FrameError, ConnectionError, OSError):
-                return False
-            if frame is None:
-                return False
-            ftype, body = frame
-            reader = BodyReader(body)
-            if ftype == FrameType.RETRY:
-                if not await self._handle_retry(reader):
-                    return False
-            elif ftype == FrameType.SHARD_DONE:
-                continue  # bookkeeping only; nothing streams in sketch mode
-            elif ftype == FrameType.PUSH:
-                self._apply_push(reader)
-            elif ftype == FrameType.BYE:
-                await write_frame(
-                    self.writer,
-                    FrameType.STATS,
-                    pack_uvarints(
-                        self.symbols_sent, self.bytes_sent, self.pushes_applied
-                    ),
-                )
-                return True
-            else:
-                await self._send_error(
-                    ErrorCode.PROTOCOL, f"unexpected frame type {ftype:#x}"
-                )
-                return False
-
-    async def _handle_retry(self, reader: BodyReader) -> bool:
-        shard = reader.uvarint()
-        bound = reader.uvarint()
-        reader.expect_end()
-        if shard >= self.server.num_shards:
-            await self._send_error(ErrorCode.PROTOCOL, f"no such shard {shard}")
-            return False
-        if bound > self.config.max_sketch_bound:
-            self._failed = True
-            await self._send_error(
-                ErrorCode.BUDGET,
-                f"shard {shard}: sketch bound {bound} exceeds server cap "
-                f"{self.config.max_sketch_bound}",
-            )
-            return False
-        await self._send_sketch(shard, bound)
-        return True
-
-    async def _send_sketch(self, shard: int, bound: int) -> None:
-        blob = self.backend.build_sketch(shard, bound)
-        frame_body = pack_uvarints(shard, bound) + blob
-        self.bytes_sent += len(blob)
-        await write_frame(self.writer, FrameType.SKETCH, frame_body)
+        stats.symbols_sent += machine.symbols_sent
+        stats.bytes_sent += machine.bytes_sent
+        stats.items_pushed += machine.pushes_applied
+        for code in machine.error_codes:
+            stats.count_error(code)
 
 
 def _codec_of(handle: Scheme) -> Optional[SymbolCodec]:
     """The scheme's SymbolCodec when its params describe one."""
-    params = handle.params
-    if hasattr(params, "checksum_size") and hasattr(params, "hasher"):
-        from repro.api.adapters.cellpack import codec_for
-
-        return codec_for(params)  # type: ignore[arg-type]
-    return None
+    return protocol_machine.codec_of(handle)
 
 
 def _hash64_of(handle: Scheme, codec: Optional[SymbolCodec]):
     """The keyed 64-bit hash both peers share, for shard placement."""
-    if codec is not None:
-        return codec.hasher.hash64
-    from repro.hashing.keyed import Blake2bHasher
-
-    return Blake2bHasher().hash64
+    return protocol_machine.hash64_of(handle, codec)

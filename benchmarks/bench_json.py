@@ -17,16 +17,18 @@ Record layout::
       "python": "3.11.7",
       "rows": [...],                 # bench-specific series
       "meta": {...}                  # bench-specific scalars (speedups &c.)
+                                     # + "env": numpy/cpu_count/platform
     }
 
 Rows and meta are intentionally free-form per bench; the stable keys
-are the envelope above.  No thresholds are enforced here — trend
-tracking only.
+are the envelope above plus ``meta.env`` (:func:`environment_meta`).
+No thresholds are enforced here — trend tracking only.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -35,6 +37,29 @@ from typing import Any, Optional
 from bench_util import SCALE
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def environment_meta() -> dict[str, Any]:
+    """Hardware/software context for a perf record.
+
+    Folded into every record's ``meta`` block so numbers written on
+    different machines (laptop vs CI runner vs a future box) are
+    comparable at a glance: NumPy version (or ``None`` for the scalar
+    engine), CPU count, and platform triple.
+    """
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - the no-numpy CI leg
+        numpy_version = None
+    if os.environ.get("REPRO_NO_NUMPY", "") == "1":
+        numpy_version = None  # installed but disabled: records scalar-engine
+    return {
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    }
 
 
 def bench_json_path(name: str) -> Path:
@@ -61,7 +86,7 @@ def write_bench_json(
         "unix_time": time.time(),
         "python": platform.python_version(),
         "rows": rows,
-        "meta": meta or {},
+        "meta": {**(meta or {}), "env": environment_meta()},
     }
     path = bench_json_path(name)
     path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.core.cellbank import NUMPY_MIN_JOBS, numpy_lane_eligible
 from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult
 from repro.core.symbols import SymbolCodec
@@ -157,10 +158,81 @@ class MetIBLT:
         codec: SymbolCodec,
         config: MetConfig = DEFAULT_MET_CONFIG,
     ) -> "MetIBLT":
+        """Build a table from a batch of items.
+
+        Large batches of narrow symbols ride the vectorised ingestion
+        pipeline: one batch keyed-hash call, then per block the first
+        ``edges`` candidate positions as ``mix64`` lane arithmetic.  The
+        few items whose candidates collide inside a block (rejection
+        resampling is data-dependent) drop back to the per-item walk, so
+        the table is bit-identical to the reference loop.
+        """
         table = cls(codec, config)
-        for item in items:
+        datas = items if isinstance(items, list) else list(items)
+        if (
+            len(datas) >= NUMPY_MIN_JOBS
+            and numpy_lane_eligible(codec)
+            and all(
+                e < s for e, s in zip(config.edges_per_block, config.block_sizes)
+            )
+        ):
+            table._fill_batch(datas)
+            return table
+        for item in datas:
             table.insert(item)
         return table
+
+    def _fill_batch(self, datas: list[bytes]) -> None:
+        """NumPy engine behind :meth:`from_items`."""
+        import numpy as np
+
+        from repro.hashing.prng import mix64_lanes
+
+        codec = self.codec
+        config = self.config
+        values = np.array(codec.to_int_batch(datas), dtype=np.uint64)
+        checksums = np.array(codec.checksum_batch(datas), dtype=np.uint64)
+        sums = np.zeros(self.num_cells, dtype=np.uint64)
+        cell_checksums = np.zeros(self.num_cells, dtype=np.uint64)
+        counts = np.zeros(self.num_cells, dtype=np.int64)
+        with np.errstate(over="ignore"):
+            for block in range(config.levels):
+                size = np.uint64(config.block_sizes[block])
+                base = np.int64(config.cumulative_cells(block))
+                edges = config.edges_per_block[block]
+                cols = []
+                for attempt in range(edges):
+                    salt = np.uint64(
+                        ((block * 131 + attempt) * _BLOCK_SALT) & _MASK
+                    )
+                    cols.append(
+                        base
+                        + (mix64_lanes(checksums + salt) % size).astype(np.int64)
+                    )
+                # Rows whose first `edges` candidates are all distinct took
+                # no resampling detour and scatter as lanes; the rest
+                # replay this block's scalar walk on the same lanes.
+                clean = np.ones(len(datas), dtype=bool)
+                for a in range(edges):
+                    for b in range(a + 1, edges):
+                        clean &= cols[a] != cols[b]
+                for pos in cols:
+                    np.bitwise_xor.at(sums, pos[clean], values[clean])
+                    np.bitwise_xor.at(cell_checksums, pos[clean], checksums[clean])
+                    np.add.at(counts, pos[clean], 1)
+                for row in np.nonzero(~clean)[0].tolist():
+                    checksum = int(checksums[row])
+                    value = np.uint64(values[row])
+                    for pos in self._positions_in_block(checksum, block):
+                        sums[pos] ^= value
+                        cell_checksums[pos] ^= np.uint64(checksum)
+                        counts[pos] += 1
+        self.cells = [
+            CodedSymbol(s, k, c)
+            for s, k, c in zip(
+                sums.tolist(), cell_checksums.tolist(), counts.tolist()
+            )
+        ]
 
     # -- linearity ---------------------------------------------------------------
 

@@ -29,16 +29,24 @@ Two interchangeable engines exist:
 * :func:`scatter_walk_scalar` — the splitmix64 step and the α = 0.5
   inverse CDF inlined as local-variable arithmetic (no function calls on
   the per-edge path); handles any symbol width and per-symbol α (§8).
-* :func:`scatter_walk_numpy` — vectorised across symbols.  Splitmix64's
-  state is an additive counter, so a whole batch advances in lock-step
-  rounds of uint64 vector arithmetic plus ``np.bitwise_xor.at``
-  scatters.  Guarded: requires NumPy, sums/checksums that fit in 64
-  bits, and the regular α = 0.5 mapping.
+* :func:`scatter_walk_arrays` — vectorised across symbols, arrays in and
+  out (the set-ingestion pipeline's mapping + scatter stage: "map these
+  n source items below this frontier").  Splitmix64's state is an
+  additive counter, so a whole batch advances in lock-step rounds of
+  uint64 vector arithmetic plus ``np.bitwise_xor.at`` scatters, with the
+  working set compacted as symbols retire.  Guarded: requires NumPy,
+  sums/checksums that fit in 64 bits, and the regular α = 0.5 mapping.
+  :func:`scatter_walk_numpy` is its list-in/list-out face for callers
+  (decoder replay, heap check-in) holding Python-int state.
 
 Both engines are bit-identical to the reference per-cell path (IEEE-754
 double arithmetic is performed in the same order), which the
-golden-equivalence suite asserts; ``REPRO_NO_NUMPY=1`` (or setting
-``NUMPY_LANE = False``) forces the scalar engine everywhere.
+golden-equivalence suite asserts.  ``REPRO_NO_NUMPY=1`` forces the
+scalar engine everywhere at import time; at runtime this module's
+``NUMPY_LANE`` governs only the scatter/walk engines here — the batch
+hashing stage has its own ``repro.hashing.siphash.NUMPY_LANE`` (same
+env default), so a full-pipeline engine flip must set both (see
+``scalar_engine`` in ``benchmarks/bench_ingest.py``).
 """
 
 from __future__ import annotations
@@ -381,54 +389,60 @@ def scatter_walk_scalar(
         states[j] = state
 
 
-def scatter_walk_numpy(
+def scatter_walk_arrays(
     sums,  # np.ndarray[uint64]
     checksums,  # np.ndarray[uint64]
     counts,  # np.ndarray[int64]
-    indices: list[int],
-    states: list[int],
-    values: Sequence[int],
-    symbol_checksums: Sequence[int],
-    directions: Sequence[int],
+    idx,  # np.ndarray[int64], consumed
+    state,  # np.ndarray[uint64], consumed
+    vals,  # np.ndarray[uint64]
+    csums,  # np.ndarray[uint64]
+    dirs,  # np.ndarray[int64]
     hi: int,
     base: int = 0,
     touched: Optional[list] = None,
-) -> None:
-    """Vectorised :func:`scatter_walk_scalar` (α = 0.5, ≤64-bit lanes).
+):
+    """Array-native scatter walk (α = 0.5, ≤64-bit lanes).
 
-    The lane arrays cover absolute indices ``[base, base + len)``.  Each
-    lock-step round scatters one edge per still-active symbol with
+    The kernel under :func:`scatter_walk_numpy`, and the batch mapping
+    stage of the set-ingestion pipeline: walk every symbol ``j`` from
+    ``idx[j]`` to its first index ≥ ``hi``, XOR-ing it into the lane
+    arrays (which cover absolute indices ``[base, base + len)``), and
+    return the final ``(idx, state)`` arrays.
+
+    Each lock-step round scatters one edge per still-active symbol with
     ``np.bitwise_xor.at`` / ``np.add.at`` (unbuffered, so colliding
     indices accumulate correctly), then advances every active state with
-    uint64 vector arithmetic.  Bit-identical to the scalar engine: the
-    float64 expression tree is evaluated in the same order, and IEEE-754
-    makes each elementwise op exactly reproducible.
+    uint64 vector arithmetic.  Rounds operate on *compacted* copies —
+    retired symbols are dropped from the working arrays instead of being
+    re-gathered through an index mask every round.  Bit-identical to the
+    scalar engine: the float64 expression tree is evaluated in the same
+    order, and IEEE-754 makes each elementwise op exactly reproducible.
 
     ``touched``, when given, collects per-round absolute-index arrays.
     """
     np = _np
-    n = len(indices)
-    idx = np.array(indices, dtype=np.int64)
-    state = np.array(states, dtype=np.uint64)
-    vals = np.array(values, dtype=np.uint64)
-    csums = np.array(symbol_checksums, dtype=np.uint64)
-    dirs = np.array(directions, dtype=np.int64)
+    out_idx = idx
+    out_state = state
     u30, u27, u31, u11 = (np.uint64(b) for b in (30, 27, 31, 11))
     gamma = np.uint64(GAMMA)
     mix1 = np.uint64(MIX1)
     mix2 = np.uint64(MIX2)
-    active = np.where(idx < hi)[0]
     with np.errstate(over="ignore"):
-        while active.size:
-            ia = idx[active]
+        rows = np.nonzero(idx < hi)[0]
+        ia = idx[rows]
+        st = state[rows]
+        va = vals[rows]
+        ca = csums[rows]
+        da = dirs[rows]
+        while rows.size:
             slot = ia - base
-            np.bitwise_xor.at(sums, slot, vals[active])
-            np.bitwise_xor.at(checksums, slot, csums[active])
-            np.add.at(counts, slot, dirs[active])
+            np.bitwise_xor.at(sums, slot, va)
+            np.bitwise_xor.at(checksums, slot, ca)
+            np.add.at(counts, slot, da)
             if touched is not None:
                 touched.append(ia)
-            st = state[active] + gamma
-            state[active] = st
+            st = st + gamma
             z = (st ^ (st >> u30)) * mix1
             z = (z ^ (z >> u27)) * mix2
             z = z ^ (z >> u31)
@@ -449,8 +463,51 @@ def scatter_walk_numpy(
             np.maximum(stepi, 1, out=stepi)
             nxt = ia + stepi
             nxt = np.where(nxt > MAX_INDEX, ia + 1, nxt)
-            idx[active] = nxt
-            active = active[nxt < hi]
-    for j in range(n):
-        indices[j] = int(idx[j])
-        states[j] = int(state[j])
+            live = nxt < hi
+            if live.all():
+                ia = nxt
+                continue
+            done = ~live
+            retired = rows[done]
+            out_idx[retired] = nxt[done]
+            out_state[retired] = st[done]
+            rows = rows[live]
+            ia = nxt[live]
+            st = st[live]
+            va = va[live]
+            ca = ca[live]
+            da = da[live]
+    return out_idx, out_state
+
+
+def scatter_walk_numpy(
+    sums,  # np.ndarray[uint64]
+    checksums,  # np.ndarray[uint64]
+    counts,  # np.ndarray[int64]
+    indices: list[int],
+    states: list[int],
+    values: Sequence[int],
+    symbol_checksums: Sequence[int],
+    directions: Sequence[int],
+    hi: int,
+    base: int = 0,
+    touched: Optional[list] = None,
+) -> None:
+    """Vectorised :func:`scatter_walk_scalar`: list-in/list-out face of
+    :func:`scatter_walk_arrays` for callers holding Python-int state."""
+    np = _np
+    idx, state = scatter_walk_arrays(
+        sums,
+        checksums,
+        counts,
+        np.array(indices, dtype=np.int64),
+        np.array(states, dtype=np.uint64),
+        np.array(values, dtype=np.uint64),
+        np.array(symbol_checksums, dtype=np.uint64),
+        np.array(directions, dtype=np.int64),
+        hi,
+        base=base,
+        touched=touched,
+    )
+    indices[:] = idx.tolist()
+    states[:] = state.tolist()

@@ -18,11 +18,28 @@ paths exist:
   bit-identical to ``m`` reference calls — the golden-equivalence suite
   asserts it.
 
+Set ingestion (the §7 workloads: 10^5–10^6 items per shard) is batched
+end to end.  :meth:`RatelessEncoder.add_items` hashes the whole batch
+through the codec's keyed batch face (lane-parallel SipHash under
+NumPy), then *stages* the symbols in a column pool — parallel
+``values/checksums/state/current`` arrays — instead of building one
+``_SourceEntry`` + heap tuple per item.  ``produce_block`` feeds staged
+rows straight into the vectorised scatter kernel (their walk states park
+in the pool's arrays, never touching Python objects), and the pool is
+materialised into heap entries only when a per-cell path needs them
+(``produce_next``, or the NumPy lane going away).  Under
+``REPRO_NO_NUMPY=1`` the pool never forms and the per-item reference
+engine runs instead; both produce bit-identical banks.
+
 Linearity (§4.1) makes the produced prefix *updatable*: adding or
 removing a source symbol after ``m`` cells were produced simply XORs
 that symbol into the affected cells of the cached bank, which is how a
 node maintains one universal stream while its set churns (§7.3: 11 ms to
-patch 50M cached symbols per Ethereum block, amortised).
+patch 50M cached symbols per Ethereum block, amortised).  Churn is
+batched too: :meth:`add_items` / :meth:`remove_items` patch the cached
+prefix with one fused scatter per batch (removals replay each symbol's
+mapping from its seed — the checksum — reusing the parked α instead of
+re-deriving the mapping per call).
 
 Produced cells are returned as value snapshots; the live, continuously
 patched state is the internal bank (read it through :meth:`cached` /
@@ -40,10 +57,12 @@ from repro.core.cellbank import (
     NUMPY_MIN_SPAN,
     CodedSymbolBank,
     numpy_lane_eligible,
-    scatter_walk_numpy,
+    scatter_walk_arrays,
     scatter_walk_scalar,
 )
 from repro.core.coded import CodedSymbol
+from repro.core.mapping import IndexGenerator
+from repro.core.params import DEFAULT_ALPHA
 from repro.core.symbols import SymbolCodec
 
 # Below this block size the per-call sweep/heapify overhead of the batch
@@ -52,6 +71,12 @@ from repro.core.symbols import SymbolCodec
 # call whenever the head of the heap is dense — which it is for any
 # young prefix — so the crossover sits low.)
 _MIN_BATCH_BLOCK = 4
+
+# Patching a produced prefix through the NumPy lane costs one list→array
+# →list round trip of the whole bank; below ~1 batch item per 64 cached
+# cells the scalar per-edge patch is cheaper (measured crossover sits
+# near 1/90 at both 10^4 and 10^5 cells).
+_PATCH_CELLS_PER_ITEM = 64
 
 
 class _SourceEntry:
@@ -64,6 +89,28 @@ class _SourceEntry:
         self.checksum = checksum
         self.gen = gen
         self.alive = True
+
+
+class _StagedPool:
+    """Bulk-ingested source symbols as a column store (NumPy engine).
+
+    Parallel arrays instead of per-item objects: ``values``/``checksums``
+    are the symbols, ``idx``/``state`` the parked ``(current, splitmix64
+    state)`` walk positions the batch samplers check out and back in.
+    ``rows`` maps a symbol's integer value to its row; removal kills the
+    row in place (``alive`` mask) so array offsets stay stable.
+    """
+
+    __slots__ = ("values", "checksums", "idx", "state", "alive", "rows", "live")
+
+    def __init__(self, values, checksums, idx, state, alive) -> None:
+        self.values = values
+        self.checksums = checksums
+        self.idx = idx
+        self.state = state
+        self.alive = alive
+        self.rows: dict[int, int] = {}
+        self.live = 0
 
 
 class RatelessEncoder:
@@ -85,18 +132,20 @@ class RatelessEncoder:
         self._heap: list[tuple[int, int, _SourceEntry]] = []
         self._seq = _counter()
         self._bank = CodedSymbolBank()
+        self._pool: Optional[_StagedPool] = None
         if items is not None:
             self.add_items(items)
 
     # -- set mutation ----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        pool = self._pool
+        return len(self._entries) + (pool.live if pool is not None else 0)
 
     @property
     def set_size(self) -> int:
         """Number of source symbols currently encoded."""
-        return len(self._entries)
+        return len(self)
 
     @property
     def produced_count(self) -> int:
@@ -104,46 +153,191 @@ class RatelessEncoder:
         return len(self._bank)
 
     def __contains__(self, data: bytes) -> bool:
-        return self.codec.to_int(data) in self._entries
+        value = self.codec.to_int(data)
+        pool = self._pool
+        return value in self._entries or (
+            pool is not None and value in pool.rows
+        )
 
     def add_item(self, data: bytes) -> None:
         """Add an ℓ-byte item to the set being encoded."""
         self.add_value(self.codec.to_int(data))
 
     def add_items(self, items: Iterable[bytes]) -> None:
-        """Add many items at once.
+        """Add many items at once (the batch ingestion pipeline).
 
-        Before anything has been produced this skips the per-item heap
-        push entirely: every new entry's next index is 0 (ρ(0) = 1), and
-        a run of equal keys appended with increasing sequence numbers is
-        already a valid min-heap.  Checksum hashing is batched through
-        local bindings (one C-level hash call per item, no attribute
-        walks).  With a produced prefix the items fall back to
-        :meth:`add_value`, which patches the cached bank per item.
+        The whole batch is hashed through the codec's keyed batch face,
+        then staged in the column pool (NumPy lane) or inserted through
+        the per-item reference engine (``REPRO_NO_NUMPY``, wide symbols,
+        irregular mappings, tiny batches).  With a produced prefix the
+        batch patches the cached bank in one fused scatter.  Duplicates
+        anywhere — the set, the pool, or the batch itself — raise
+        ``KeyError`` before anything is inserted.
         """
-        if len(self._bank):
-            for data in items:
-                self.add_value(self.codec.to_int(data))
+        datas = items if isinstance(items, list) else list(items)
+        if not datas:
             return
         codec = self.codec
-        to_int = codec.to_int
-        checksum_data = codec.checksum_data
+        values = codec.to_int_batch(datas)
+        checksums = codec.checksum_batch(datas)
+        entries = self._entries
+        pool = self._pool
+        pool_rows = pool.rows if pool is not None else ()
+        seen: set[int] = set()
+        for value in values:
+            if value in entries or value in pool_rows or value in seen:
+                raise KeyError(f"duplicate item: {value:#x}")
+            seen.add(value)
+        if len(values) >= NUMPY_MIN_JOBS and numpy_lane_eligible(codec):
+            self._ingest_pooled(values, checksums)
+            return
+        frontier = len(self._bank)
         new_mapping = codec.new_mapping
+        heap = self._heap
+        seq = self._seq
+        if frontier == 0:
+            # Nothing produced yet: every new entry's next index is 0
+            # (ρ(0) = 1), and a run of equal keys appended with increasing
+            # sequence numbers is already a valid min-heap.
+            for value, checksum in zip(values, checksums):
+                entry = _SourceEntry(value, checksum, new_mapping(checksum))
+                entries[value] = entry
+                heap.append((0, next(seq), entry))
+            return
+        bank = self._bank
+        for value, checksum in zip(values, checksums):
+            # Patch the already-produced prefix (linearity, §4.1): XOR the
+            # symbol into every cached cell it maps to.
+            gen = new_mapping(checksum)
+            entry = _SourceEntry(value, checksum, gen)
+            entries[value] = entry
+            bank.apply_batch(value, checksum, 1, gen.indices_below(frontier))
+            heapq.heappush(heap, (gen.current, next(seq), entry))
+
+    def _patch_prefix_batch(
+        self,
+        values: list[int],
+        checksums: list[int],
+        direction: int,
+        alphas: list[float],
+        frontier: int,
+    ):
+        """Replay a batch of symbols from their seeds across the produced
+        prefix ``[0, frontier)`` — direction +1 folds them in, −1 peels
+        them out.  Picks the fused NumPy scatter when the batch amortises
+        the lane round trip (the ``_PATCH_CELLS_PER_ITEM`` crossover),
+        the in-place scalar walk otherwise.  Returns the parked
+        ``(current, state)`` pair per symbol as NumPy arrays when the
+        NumPy lane ran, as lists otherwise.
+        """
+        n = len(values)
+        bank = self._bank
+        if (
+            n >= NUMPY_MIN_JOBS
+            and n * _PATCH_CELLS_PER_ITEM >= frontier
+            and numpy_lane_eligible(self.codec)
+        ):
+            import numpy as np
+
+            sums = np.array(bank.sums, dtype=np.uint64)
+            bank_checksums = np.array(bank.checksums, dtype=np.uint64)
+            counts = np.array(bank.counts, dtype=np.int64)
+            idx, state = scatter_walk_arrays(
+                sums,
+                bank_checksums,
+                counts,
+                np.zeros(n, dtype=np.int64),
+                np.array(checksums, dtype=np.uint64),
+                np.array(values, dtype=np.uint64),
+                np.array(checksums, dtype=np.uint64),
+                np.full(n, direction, dtype=np.int64),
+                frontier,
+            )
+            bank.sums[:] = sums.tolist()
+            bank.checksums[:] = bank_checksums.tolist()
+            bank.counts[:] = counts.tolist()
+            return idx, state
+        indices = [0] * n
+        states = list(checksums)
+        scatter_walk_scalar(
+            bank.sums,
+            bank.checksums,
+            bank.counts,
+            indices,
+            states,
+            values,
+            checksums,
+            [direction] * n,
+            alphas,
+            frontier,
+        )
+        return indices, states
+
+    def _ingest_pooled(self, values: list[int], checksums: list[int]) -> None:
+        """Stage a validated batch in the column pool, patching any
+        produced prefix with one fused scatter."""
+        import numpy as np
+
+        n = len(values)
+        vals = np.array(values, dtype=np.uint64)
+        csums = np.array(checksums, dtype=np.uint64)
+        # The §4.2 mapping walk starts at index 0 (ρ(0) = 1) with the
+        # splitmix64 stream seeded by the keyed checksum.
+        idx = np.zeros(n, dtype=np.int64)
+        state = csums.copy()
+        frontier = len(self._bank)
+        if frontier:
+            idx, state = self._patch_prefix_batch(
+                values, checksums, 1, [DEFAULT_ALPHA] * n, frontier
+            )
+            idx = np.asarray(idx, dtype=np.int64)
+            state = np.asarray(state, dtype=np.uint64)
+        pool = self._pool
+        if pool is None:
+            pool = self._pool = _StagedPool(
+                vals, csums, idx, state, np.ones(n, dtype=bool)
+            )
+            base = 0
+        else:
+            base = pool.values.shape[0]
+            pool.values = np.concatenate([pool.values, vals])
+            pool.checksums = np.concatenate([pool.checksums, csums])
+            pool.idx = np.concatenate([pool.idx, idx])
+            pool.state = np.concatenate([pool.state, state])
+            pool.alive = np.concatenate([pool.alive, np.ones(n, dtype=bool)])
+        rows = pool.rows
+        for offset, value in enumerate(values):
+            rows[value] = base + offset
+        pool.live += n
+
+    def _materialize_pool(self) -> None:
+        """Turn staged pool rows into heap entries (the per-cell paths
+        need per-symbol generators; the arrays already hold their parked
+        walk states, so this is pure bookkeeping)."""
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        if not pool.live:
+            return
         entries = self._entries
         heap = self._heap
         seq = self._seq
-        for data in items:
-            value = to_int(data)
-            if value in entries:
-                raise KeyError(f"duplicate item: {value:#x}")
-            checksum = checksum_data(data)
-            entry = _SourceEntry(value, checksum, new_mapping(checksum))
+        idx_list = pool.idx.tolist()
+        state_list = pool.state.tolist()
+        checksum_list = pool.checksums.tolist()
+        restore = IndexGenerator.restore
+        for value, row in pool.rows.items():
+            gen = restore(state_list[row], idx_list[row], DEFAULT_ALPHA)
+            entry = _SourceEntry(value, checksum_list[row], gen)
             entries[value] = entry
-            heap.append((0, next(seq), entry))
+            heap.append((gen.current, next(seq), entry))
+        heapq.heapify(heap)
 
     def add_value(self, value: int) -> None:
         """Add an item already packed into integer form."""
-        if value in self._entries:
+        pool = self._pool
+        if value in self._entries or (pool is not None and value in pool.rows):
             raise KeyError(f"duplicate item: {value:#x}")
         checksum = self.codec.checksum_int(value)
         gen = self.codec.new_mapping(checksum)
@@ -160,19 +354,78 @@ class RatelessEncoder:
         """Remove an item; the cached prefix is patched in place."""
         self.remove_value(self.codec.to_int(data))
 
+    def remove_items(self, items: Iterable[bytes]) -> None:
+        """Remove many items at once, patching the prefix in one scatter.
+
+        XOR is self-inverse, so each removal replays the symbol's mapping
+        from its seed (the stored checksum — no re-hash, and the parked α
+        is reused instead of re-deriving the mapping per item); the whole
+        batch then lands in one fused scatter.  Items missing from the
+        set raise ``KeyError`` before anything is removed.
+        """
+        datas = items if isinstance(items, list) else list(items)
+        if not datas:
+            return
+        codec = self.codec
+        values = codec.to_int_batch(datas)
+        entries = self._entries
+        pool = self._pool
+        pool_rows = pool.rows if pool is not None else {}
+        checksums: list[int] = []
+        alphas: list[float] = []
+        seen: set[int] = set()
+        for value in values:
+            if value in seen:
+                raise KeyError(f"item not in set: {value:#x}")
+            seen.add(value)
+            entry = entries.get(value)
+            if entry is not None:
+                checksums.append(entry.checksum)
+                alphas.append(entry.gen.alpha)
+            elif value in pool_rows:
+                checksums.append(int(pool.checksums[pool_rows[value]]))
+                alphas.append(DEFAULT_ALPHA)
+            else:
+                raise KeyError(f"item not in set: {value:#x}")
+        for value in values:
+            entry = entries.pop(value, None)
+            if entry is not None:
+                entry.alive = False  # lazily dropped from the heap
+            else:
+                row = pool_rows.pop(value)
+                pool.alive[row] = False
+                pool.live -= 1
+        frontier = len(self._bank)
+        if not frontier:
+            return
+        # Parked (current, state) pairs are discarded: removed symbols
+        # have no future in the stream.
+        self._patch_prefix_batch(values, checksums, -1, alphas, frontier)
+
     def remove_value(self, value: int) -> None:
         """Remove an item given in integer form."""
         entry = self._entries.pop(value, None)
-        if entry is None:
+        pool = self._pool
+        if entry is not None:
+            entry.alive = False  # lazily dropped from the heap
+            checksum = entry.checksum
+            alpha = entry.gen.alpha
+        elif pool is not None and value in pool.rows:
+            row = pool.rows.pop(value)
+            pool.alive[row] = False
+            pool.live -= 1
+            checksum = int(pool.checksums[row])
+            alpha = DEFAULT_ALPHA
+        else:
             raise KeyError(f"item not in set: {value:#x}")
-        entry.alive = False  # lazily dropped from the heap
         frontier = len(self._bank)
         if frontier:
             # XOR is self-inverse: replay the mapping to peel the symbol
-            # back out of the cached prefix.
-            gen = self.codec.new_mapping(entry.checksum)
+            # back out of the cached prefix.  The walk restarts from the
+            # seed (= checksum) with the entry's parked α — no re-derive.
+            gen = IndexGenerator.restore(checksum, 0, alpha)
             self._bank.apply_batch(
-                value, entry.checksum, -1, gen.indices_below(frontier)
+                value, checksum, -1, gen.indices_below(frontier)
             )
 
     # -- coded symbol production -----------------------------------------
@@ -184,6 +437,8 @@ class RatelessEncoder:
         mutations patch — universal-stream semantics) lives in the
         internal bank and is re-read by :meth:`cached`.
         """
+        if self._pool is not None:
+            self._materialize_pool()
         bank = self._bank
         index = len(bank.sums)
         cell_sum = 0
@@ -207,14 +462,21 @@ class RatelessEncoder:
 
         Returns a value-copy bank of the produced region.  Bit-identical
         to ``m`` :meth:`produce_next` calls, at a fraction of the cost:
-        one heap sweep + heapify instead of per-edge heap traffic, and
-        the mapped-index walks run through the batch scatter samplers.
+        one heap sweep + heapify instead of per-edge heap traffic, the
+        mapped-index walks run through the batch scatter samplers, and
+        pool-staged symbols feed the kernel straight from their arrays.
         """
         if m <= 0:
             return CodedSymbolBank()
+        pool = self._pool
+        if pool is not None and not numpy_lane_eligible(self.codec):
+            # The NumPy lane went away (kill switch mid-life); fall back
+            # to the reference engine for everything staged.
+            self._materialize_pool()
+            pool = None
         lo = len(self._bank)
         hi = lo + m
-        if m < _MIN_BATCH_BLOCK and lo > 0:
+        if m < _MIN_BATCH_BLOCK and lo > 0 and pool is None:
             # Tiny extension of an existing prefix: the per-cell heap path
             # is cheaper than a full sweep.  (The first block always takes
             # the batch path — at frontier 0 every entry is due at once.)
@@ -245,7 +507,14 @@ class RatelessEncoder:
                 keep.append((key, seq, entry))
         bank = self._bank
         njobs = len(job_indices)
-        if (
+        pool_jobs = None
+        if pool is not None:
+            import numpy as np
+
+            pool_jobs = np.nonzero(pool.alive & (pool.idx < hi))[0]
+        if pool_jobs is not None and pool_jobs.size == 0:
+            pool_jobs = None
+        if pool_jobs is not None or (
             njobs >= NUMPY_MIN_JOBS
             and (m >= NUMPY_MIN_SPAN or njobs >= 256)
             and numpy_lane_eligible(self.codec)
@@ -255,18 +524,32 @@ class RatelessEncoder:
             sums = np.zeros(m, dtype=np.uint64)
             checksums = np.zeros(m, dtype=np.uint64)
             counts = np.zeros(m, dtype=np.int64)
-            scatter_walk_numpy(
+            idx = np.array(job_indices, dtype=np.int64)
+            state = np.array(job_states, dtype=np.uint64)
+            vals = np.array(job_values, dtype=np.uint64)
+            csums = np.array(job_checksums, dtype=np.uint64)
+            if pool_jobs is not None:
+                idx = np.concatenate([idx, pool.idx[pool_jobs]])
+                state = np.concatenate([state, pool.state[pool_jobs]])
+                vals = np.concatenate([vals, pool.values[pool_jobs]])
+                csums = np.concatenate([csums, pool.checksums[pool_jobs]])
+            idx, state = scatter_walk_arrays(
                 sums,
                 checksums,
                 counts,
-                job_indices,
-                job_states,
-                job_values,
-                job_checksums,
-                [1] * njobs,
+                idx,
+                state,
+                vals,
+                csums,
+                np.ones(idx.shape[0], dtype=np.int64),
                 hi,
                 base=lo,
             )
+            if pool_jobs is not None:
+                pool.idx[pool_jobs] = idx[njobs:]
+                pool.state[pool_jobs] = state[njobs:]
+            job_indices[:] = idx[:njobs].tolist()
+            job_states[:] = state[:njobs].tolist()
             bank.sums.extend(sums.tolist())
             bank.checksums.extend(checksums.tolist())
             bank.counts.extend(counts.tolist())

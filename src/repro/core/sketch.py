@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
-from repro.core.cellbank import CodedSymbolBank
+from repro.core.cellbank import (
+    NUMPY_MIN_JOBS,
+    CodedSymbolBank,
+    numpy_lane_eligible,
+    scatter_walk_arrays,
+)
 from repro.core.coded import CodedSymbol
 from repro.core.decoder import DecodeResult, RatelessDecoder
 from repro.core.symbols import SymbolCodec
@@ -38,11 +43,46 @@ class RatelessSketch:
         """Encode ``items`` into the first ``size`` coded symbols.
 
         One-shot builds walk each symbol's mapped indices directly — no
-        heap needed because the prefix length is known up front.
+        heap needed because the prefix length is known up front.  Big
+        batches of narrow regular symbols ride the vectorised ingestion
+        pipeline (batch keyed hashing + one fused scatter); the per-item
+        loop is the reference engine and emits a bit-identical sketch.
         """
+        datas = items if isinstance(items, list) else list(items)
+        if (
+            size > 0
+            and len(datas) >= NUMPY_MIN_JOBS
+            and numpy_lane_eligible(codec)
+        ):
+            import numpy as np
+
+            values = codec.to_int_batch(datas)
+            checksums = codec.checksum_batch(datas)
+            sums = np.zeros(size, dtype=np.uint64)
+            cell_checksums = np.zeros(size, dtype=np.uint64)
+            counts = np.zeros(size, dtype=np.int64)
+            csums = np.array(checksums, dtype=np.uint64)
+            scatter_walk_arrays(
+                sums,
+                cell_checksums,
+                counts,
+                np.zeros(len(datas), dtype=np.int64),
+                csums.copy(),
+                np.array(values, dtype=np.uint64),
+                csums,
+                np.ones(len(datas), dtype=np.int64),
+                size,
+            )
+            cells = [
+                CodedSymbol(s, k, c)
+                for s, k, c in zip(
+                    sums.tolist(), cell_checksums.tolist(), counts.tolist()
+                )
+            ]
+            return cls(codec, cells, set_size=len(datas))
         cells = [CodedSymbol() for _ in range(size)]
         count = 0
-        for data in items:
+        for data in datas:
             count += 1
             value = codec.to_int(data)
             checksum = codec.checksum_int(value)

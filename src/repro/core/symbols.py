@@ -16,7 +16,7 @@ decoder's purity test and the wire format stay consistent automatically.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.mapping import IndexGenerator
 from repro.core.params import CHECKSUM_BYTES, DEFAULT_ALPHA
@@ -82,6 +82,19 @@ class SymbolCodec:
             )
         return int.from_bytes(data, "little")
 
+    def to_int_batch(self, datas: "Sequence[bytes]") -> list[int]:
+        """Pack many ℓ-byte items into integers, in order."""
+        size = self.symbol_size
+        from_bytes = int.from_bytes
+        out = []
+        for data in datas:
+            if len(data) != size:
+                raise ValueError(
+                    f"item must be exactly {size} bytes, got {len(data)}"
+                )
+            out.append(from_bytes(data, "little"))
+        return out
+
     def to_bytes(self, value: int) -> bytes:
         """Unpack an integer sum back into ℓ bytes."""
         return value.to_bytes(self.symbol_size, "little")
@@ -96,6 +109,24 @@ class SymbolCodec:
         """Keyed checksum of an item given in integer form."""
         data = value.to_bytes(self.symbol_size, "little")
         return self._hash64(data) & self._checksum_mask
+
+    def checksum_batch(self, datas: "Sequence[bytes]") -> list[int]:
+        """Keyed checksums of many raw items at once, in order.
+
+        Element-for-element identical to :meth:`checksum_data`; routed
+        through the hasher's batch face so SipHash runs its rounds as
+        uint64 lane arithmetic (the ingestion pipeline's hashing stage).
+        """
+        batch = getattr(self.hasher, "hash64_batch", None)
+        if batch is not None:
+            hashes = batch(datas)
+        else:  # pre-batch custom hasher: same results, one call at a time
+            hash64 = self._hash64
+            hashes = [hash64(data) for data in datas]
+        mask = self._checksum_mask
+        if mask == 0xFFFFFFFFFFFFFFFF:
+            return hashes
+        return [h & mask for h in hashes]
 
     # -- mapping ----------------------------------------------------------
 

@@ -15,15 +15,25 @@ provided:
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
-from repro.hashing.siphash import siphash24
+from repro.hashing.siphash import siphash24, siphash24_batch
 
 DEFAULT_KEY = bytes(range(16))
 
 
 class KeyedHasher(Protocol):
-    """Anything that maps ``bytes`` to an unsigned 64-bit integer."""
+    """Anything that maps ``bytes`` to an unsigned 64-bit integer.
+
+    Implementations *may* additionally provide
+    ``hash64_batch(items) -> list[int]`` — keyed hashes of many
+    equal-length items, element-for-element identical to ``hash64`` per
+    item but amortising per-call overhead (SipHash runs its rounds as
+    uint64 lane arithmetic).  It is deliberately not part of this
+    protocol: consumers probe for it and fall back to a ``hash64`` loop
+    (see :meth:`repro.core.symbols.SymbolCodec.checksum_batch`), so
+    hash64-only hashers stay valid.
+    """
 
     key: bytes
 
@@ -45,6 +55,9 @@ class SipHasher:
     def hash64(self, data: bytes) -> int:
         return siphash24(self.key, data)
 
+    def hash64_batch(self, items: Sequence[bytes]) -> list[int]:
+        return siphash24_batch(self.key, items)
+
 
 class Blake2bHasher:
     """Keyed BLAKE2b truncated to 64 bits; C-speed stand-in for SipHash."""
@@ -59,6 +72,17 @@ class Blake2bHasher:
     def hash64(self, data: bytes) -> int:
         digest = hashlib.blake2b(data, digest_size=8, key=self.key).digest()
         return int.from_bytes(digest, "little")
+
+    def hash64_batch(self, items: Sequence[bytes]) -> list[int]:
+        # BLAKE2b has no lane form; one tight C-call loop, no attribute
+        # walks — the batch contract is about call shape, not engine.
+        blake2b = hashlib.blake2b
+        key = self.key
+        from_bytes = int.from_bytes
+        return [
+            from_bytes(blake2b(data, digest_size=8, key=key).digest(), "little")
+            for data in items
+        ]
 
 
 def make_hasher(kind: str = "blake2b", key: bytes = DEFAULT_KEY) -> KeyedHasher:

@@ -41,6 +41,22 @@ def mix64(z: int) -> int:
     return z ^ (z >> 31)
 
 
+def mix64_lanes(z):
+    """:func:`mix64` over a NumPy uint64 array (element-for-element equal).
+
+    The caller supplies (and therefore has) NumPy; the array form is what
+    the batched IBLT table fills hash their position lanes with.  Wrap-on-
+    overflow multiplication is exactly the ``& MASK`` of the scalar path.
+    """
+    import numpy as np
+
+    u30, u27, u31 = np.uint64(30), np.uint64(27), np.uint64(31)
+    with np.errstate(over="ignore"):
+        z = (z ^ (z >> u30)) * np.uint64(MIX1)
+        z = (z ^ (z >> u27)) * np.uint64(MIX2)
+        return z ^ (z >> u31)
+
+
 class Splitmix64:
     """A splitmix64 stream.
 

@@ -46,6 +46,16 @@ class StaleStream(ServiceError):
     """The shard's set changed while a session was mid-stream."""
 
 
+def _group_by_shard(
+    items: list[bytes], placed: list[int]
+) -> dict[int, list[bytes]]:
+    """Bucket a placed batch per shard, preserving batch order."""
+    groups: dict[int, list[bytes]] = {}
+    for item, shard in zip(items, placed):
+        groups.setdefault(shard, []).append(item)
+    return groups
+
+
 class ShardStream(ABC):
     """One session's cursor into one shard's coded-symbol stream."""
 
@@ -80,6 +90,18 @@ class ShardBackend(ABC):
     def remove(self, item: bytes) -> int:
         """Drop an item; returns the shard it left."""
         return self.sharded.remove(item)
+
+    def add_many(self, items: Iterable[bytes]) -> list[int]:
+        """Account a batch of items; returns each item's shard.
+
+        One version bump per touched shard.  Backends with warm per-shard
+        state override this to patch it batch-at-a-time.
+        """
+        return self.sharded.add_many(items)
+
+    def remove_many(self, items: Iterable[bytes]) -> list[int]:
+        """Drop a batch of items; returns each item's shard."""
+        return self.sharded.remove_many(items)
 
     def open_stream(self, shard: int) -> ShardStream:
         raise UnsupportedOperation(f"{type(self).__name__} does not stream")
@@ -142,6 +164,22 @@ class WarmRibltBackend(ShardBackend):
         shard = self.sharded.remove(item)
         self.encoders[shard].remove_item(item)
         return shard
+
+    def add_many(self, items: Iterable[bytes]) -> list[int]:
+        """Batch churn: group by shard, one fused warm-bank patch each."""
+        items = items if isinstance(items, list) else list(items)
+        placed = self.sharded.add_many(items)
+        for shard, group in _group_by_shard(items, placed).items():
+            self.encoders[shard].add_items(group)
+        return placed
+
+    def remove_many(self, items: Iterable[bytes]) -> list[int]:
+        """Batch churn: group by shard, one fused warm-bank patch each."""
+        items = items if isinstance(items, list) else list(items)
+        placed = self.sharded.remove_many(items)
+        for shard, group in _group_by_shard(items, placed).items():
+            self.encoders[shard].remove_items(group)
+        return placed
 
     def open_stream(self, shard: int) -> ShardStream:
         return _WarmStream(self, shard)

@@ -64,6 +64,30 @@ class ServiceNode:
         if self._server is not None:
             self._server.remove_item(item)
 
+    def add_items(self, items: Iterable[bytes]) -> None:
+        """Add a batch of items (one warm-bank patch per touched shard)."""
+        batch = items if isinstance(items, list) else list(items)
+        seen: set[bytes] = set()
+        for item in batch:
+            if item in self.items or item in seen:
+                raise KeyError(f"duplicate item: {item.hex()}")
+            seen.add(item)
+        self.items.update(batch)
+        if self._server is not None:
+            self._server.add_items(batch)
+
+    def remove_items(self, items: Iterable[bytes]) -> None:
+        """Remove a batch of items."""
+        batch = items if isinstance(items, list) else list(items)
+        seen: set[bytes] = set()
+        for item in batch:
+            if item not in self.items or item in seen:
+                raise KeyError(f"item not in set: {item.hex()}")
+            seen.add(item)
+        self.items.difference_update(batch)
+        if self._server is not None:
+            self._server.remove_items(batch)
+
     def __contains__(self, item: bytes) -> bool:
         return item in self.items
 

@@ -139,6 +139,15 @@ class ReconciliationServer:
         """Remove an item; warm shard encoders are patched, not rebuilt."""
         self.backend.remove(item)
 
+    def add_items(self, items: Iterable[bytes]) -> None:
+        """Add a batch: per shard, one fused warm-bank patch and one
+        stream invalidation (instead of one of each per item)."""
+        self.backend.add_many(items)
+
+    def remove_items(self, items: Iterable[bytes]) -> None:
+        """Remove a batch; the warm shard encoders are patched per shard."""
+        self.backend.remove_many(items)
+
     def __contains__(self, item: bytes) -> bool:
         return item in self.backend.sharded
 

@@ -86,6 +86,50 @@ class ShardedSet:
         self.versions[shard] += 1
         return shard
 
+    def add_many(self, items: Iterable[bytes]) -> list[int]:
+        """Place a batch of items; returns each item's shard, in order.
+
+        All-or-nothing: a duplicate (against the set or inside the batch)
+        raises ``KeyError`` before anything is placed.  Each touched
+        shard's version bumps once per batch — one stream invalidation
+        per churn event, not one per item.
+        """
+        items = items if isinstance(items, list) else list(items)
+        placed = [self.shard_of(item) for item in items]
+        seen: set[bytes] = set()
+        for item, shard in zip(items, placed):
+            if item in self.shards[shard] or item in seen:
+                raise KeyError(f"duplicate item: {item.hex()}")
+            seen.add(item)
+        touched: set[int] = set()
+        for item, shard in zip(items, placed):
+            self.shards[shard].add(item)
+            touched.add(shard)
+        for shard in touched:
+            self.versions[shard] += 1
+        return placed
+
+    def remove_many(self, items: Iterable[bytes]) -> list[int]:
+        """Drop a batch of items; returns each item's shard, in order.
+
+        All-or-nothing, mirroring :meth:`add_many` (an absent item — or
+        one named twice in the batch — raises before anything changes).
+        """
+        items = items if isinstance(items, list) else list(items)
+        placed = [self.shard_of(item) for item in items]
+        seen: set[bytes] = set()
+        for item, shard in zip(items, placed):
+            if item not in self.shards[shard] or item in seen:
+                raise KeyError(f"item not in set: {item.hex()}")
+            seen.add(item)
+        touched: set[int] = set()
+        for item, shard in zip(items, placed):
+            self.shards[shard].remove(item)
+            touched.add(shard)
+        for shard in touched:
+            self.versions[shard] += 1
+        return placed
+
     def __contains__(self, item: bytes) -> bool:
         return item in self.shards[self.shard_of(item)]
 

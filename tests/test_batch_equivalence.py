@@ -101,6 +101,126 @@ def test_add_items_batch_equals_singles(lane, rng):
     assert batch.produce_block(100).cells() == singles.produce_block(100).cells()
 
 
+# -- vectorised ingestion ---------------------------------------------------
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_bulk_ingest_bit_identical_across_engines(codec_name, rng):
+    """items → bank through the staged pool (NumPy) vs the per-item
+    reference engine: identical lanes, identical follow-on stream."""
+    if cellbank._np is None:
+        pytest.skip("NumPy not available")
+    codec_factory = CODECS[codec_name]
+    items = make_items(rng, 300, size=codec_factory().symbol_size)
+    banks = {}
+    for flag in (True, False):
+        saved = cellbank.NUMPY_LANE
+        cellbank.NUMPY_LANE = flag
+        try:
+            enc = RatelessEncoder(codec_factory(), items)
+            enc.produce_block(200)
+            # per-cell production after the bulk block (materialises the
+            # pool on the NumPy lane) must continue the same stream
+            tail = [enc.produce_next() for _ in range(20)]
+            banks[flag] = ([enc.cached(i) for i in range(220)], tail)
+        finally:
+            cellbank.NUMPY_LANE = saved
+    assert banks[True] == banks[False]
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_batch_churn_bit_identical_across_engines(codec_name, rng):
+    """add_items/remove_items against a produced prefix: the fused batch
+    patch equals the per-item reference patch equals a fresh encode."""
+    if cellbank._np is None:
+        pytest.skip("NumPy not available")
+    codec_factory = CODECS[codec_name]
+    items = make_items(rng, 260, size=codec_factory().symbol_size)
+    base, fresh = items[:200], items[200:]
+    stale = items[:40]
+    banks = {}
+    for flag in (True, False):
+        saved = cellbank.NUMPY_LANE
+        cellbank.NUMPY_LANE = flag
+        try:
+            enc = RatelessEncoder(codec_factory(), base)
+            enc.produce_block(150)
+            enc.add_items(fresh)
+            enc.remove_items(stale)
+            enc.produce_block(50)
+            banks[flag] = [enc.cached(i) for i in range(200)]
+        finally:
+            cellbank.NUMPY_LANE = saved
+    assert banks[True] == banks[False]
+    reference = RatelessEncoder(codec_factory(), items[40:])
+    assert banks[True] == reference.produce_block(200).cells()
+
+
+def test_pool_and_heap_entries_mix(lane, rng):
+    """Singles (heap entries) and bulk batches (pool rows) interleave on
+    one encoder without disturbing the stream."""
+    codec = SymbolCodec(8)
+    items = make_items(rng, 120)
+    mixed = RatelessEncoder(codec)
+    mixed.add_items(items[:50])  # pool (NumPy lane) or entries (scalar)
+    for item in items[50:60]:
+        mixed.add_item(item)  # always heap entries
+    mixed.produce_block(80)
+    mixed.add_items(items[60:110])  # staged against a produced prefix
+    for item in items[110:]:
+        mixed.add_item(item)
+    mixed.remove_items(items[:10] + items[55:65])  # spans pool and heap
+    mixed.produce_block(40)
+    reference = RatelessEncoder(codec, items[10:55] + items[65:])
+    assert reference.produce_block(120).cells() == [
+        mixed.cached(i) for i in range(120)
+    ]
+
+
+def test_sketch_from_items_bit_identical_across_engines(rng):
+    from repro.core.sketch import RatelessSketch
+
+    if cellbank._np is None:
+        pytest.skip("NumPy not available")
+    for codec_name in sorted(CODECS):
+        codec_factory = CODECS[codec_name]
+        items = make_items(rng, 150, size=codec_factory().symbol_size)
+        sketches = {}
+        for flag in (True, False):
+            saved = cellbank.NUMPY_LANE
+            cellbank.NUMPY_LANE = flag
+            try:
+                sketches[flag] = RatelessSketch.from_items(
+                    items, 120, codec_factory()
+                )
+            finally:
+                cellbank.NUMPY_LANE = saved
+        assert sketches[True].cells == sketches[False].cells
+        assert sketches[True].set_size == sketches[False].set_size
+
+
+def test_iblt_fills_bit_identical_across_engines(rng):
+    from repro.baselines.met_iblt import MetIBLT
+    from repro.baselines.regular_iblt import RegularIBLT
+
+    if cellbank._np is None:
+        pytest.skip("NumPy not available")
+    codec = SymbolCodec(8)
+    items = make_items(rng, 400)
+    tables = {}
+    for flag in (True, False):
+        saved = cellbank.NUMPY_LANE
+        cellbank.NUMPY_LANE = flag
+        try:
+            tables[flag] = (
+                RegularIBLT.from_items(items, 300, codec).cells,
+                MetIBLT.from_items(items, codec).cells,
+            )
+        finally:
+            cellbank.NUMPY_LANE = saved
+    assert tables[True] == tables[False]
+
+
 # -- decoder ---------------------------------------------------------------
 
 

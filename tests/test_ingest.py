@@ -1,0 +1,223 @@
+"""The vectorised set-ingestion pipeline: pool mechanics, batch faces,
+and the service's bulk churn — engine-agnostic behaviour (the
+bit-identity of the two engines lives in test_batch_equivalence.py)."""
+
+import pytest
+
+from repro.core import cellbank
+from repro.core.encoder import RatelessEncoder
+from repro.core.mapping import IndexGenerator
+from repro.core.symbols import SymbolCodec
+from repro.hashing.keyed import Blake2bHasher, SipHasher
+from repro.hashing.prng import mix64, mix64_lanes
+from repro.service.shard import ShardedSet
+
+from helpers import make_items
+
+
+# -- codec batch faces ------------------------------------------------------
+
+
+def test_checksum_batch_matches_singles(rng):
+    for hasher in (Blake2bHasher(), SipHasher()):
+        for checksum_size in (8, 4):
+            codec = SymbolCodec(8, hasher=hasher, checksum_size=checksum_size)
+            items = make_items(rng, 50)
+            assert codec.checksum_batch(items) == [
+                codec.checksum_data(item) for item in items
+            ]
+
+
+def test_checksum_batch_falls_back_without_batch_face(rng):
+    class LegacyHasher:
+        """A pre-batch custom hasher: only the hash64 face."""
+
+        key = b"\x00" * 16
+
+        def hash64(self, data: bytes) -> int:
+            return int.from_bytes(data[:8].ljust(8, b"\x00"), "little")
+
+    codec = SymbolCodec(8, hasher=LegacyHasher())
+    items = make_items(rng, 20)
+    assert codec.checksum_batch(items) == [
+        codec.checksum_data(item) for item in items
+    ]
+
+
+def test_to_int_batch_matches_singles_and_validates(rng):
+    codec = SymbolCodec(8)
+    items = make_items(rng, 30)
+    assert codec.to_int_batch(items) == [codec.to_int(item) for item in items]
+    with pytest.raises(ValueError):
+        codec.to_int_batch([b"12345678", b"short"])
+
+
+def test_mix64_lanes_matches_scalar(rng):
+    np = pytest.importorskip("numpy")
+    values = [rng.getrandbits(64) for _ in range(500)]
+    lanes = mix64_lanes(np.array(values, dtype=np.uint64))
+    assert lanes.tolist() == [mix64(v) for v in values]
+
+
+def test_index_generator_restore_round_trip():
+    gen = IndexGenerator(seed=0xDEADBEEF)
+    for _ in range(5):
+        gen.next_index()
+    parked = IndexGenerator.restore(gen.state, gen.current, gen.alpha)
+    assert parked.next_index() == gen.next_index()
+
+
+# -- encoder pool mechanics -------------------------------------------------
+
+
+def test_bulk_encoder_membership_and_size(rng):
+    items = make_items(rng, 64)
+    enc = RatelessEncoder(SymbolCodec(8), items[:60])
+    assert len(enc) == enc.set_size == 60
+    assert items[0] in enc
+    assert items[63] not in enc
+    enc.add_items(items[60:])
+    assert len(enc) == 64
+    enc.remove_items(items[:8])
+    assert len(enc) == 56
+    assert items[0] not in enc
+
+
+def test_bulk_duplicate_rejected_atomically(rng):
+    items = make_items(rng, 40)
+    enc = RatelessEncoder(SymbolCodec(8), items[:20])
+    with pytest.raises(KeyError):
+        enc.add_items(items[20:] + [items[0]])  # dup against the set
+    assert len(enc) == 20
+    assert items[20] not in enc  # nothing from the failed batch landed
+    with pytest.raises(KeyError):
+        enc.add_items([items[30], items[30]])  # dup inside the batch
+    assert len(enc) == 20
+
+
+def test_bulk_remove_missing_rejected_atomically(rng):
+    items = make_items(rng, 30)
+    enc = RatelessEncoder(SymbolCodec(8), items[:20])
+    with pytest.raises(KeyError):
+        enc.remove_items([items[0], items[25]])  # second one absent
+    assert items[0] in enc
+    with pytest.raises(KeyError):
+        enc.remove_items([items[1], items[1]])  # named twice
+    assert items[1] in enc
+
+
+def test_single_add_sees_pooled_duplicates(rng):
+    items = make_items(rng, 32)
+    enc = RatelessEncoder(SymbolCodec(8), items)  # staged in the pool
+    with pytest.raises(KeyError):
+        enc.add_item(items[5])
+    enc.remove_item(items[5])  # single removal of a pooled row
+    assert items[5] not in enc
+    enc.add_item(items[5])  # and back in, as a heap entry
+    assert items[5] in enc
+    assert len(enc) == 32
+
+
+def test_pool_survives_numpy_lane_loss(rng):
+    """Bulk-staged symbols keep streaming when the NumPy lane is turned
+    off mid-life (pool materialises into the reference engine)."""
+    if cellbank._np is None:
+        pytest.skip("NumPy not available")
+    items = make_items(rng, 100)
+    saved = cellbank.NUMPY_LANE
+    cellbank.NUMPY_LANE = True
+    try:
+        enc = RatelessEncoder(SymbolCodec(8), items)
+        head = enc.produce_block(50).cells()
+        cellbank.NUMPY_LANE = False
+        tail = enc.produce_block(50).cells()
+    finally:
+        cellbank.NUMPY_LANE = saved
+    reference = RatelessEncoder(SymbolCodec(8), items)
+    assert head + tail == reference.produce_block(100).cells()
+
+
+def test_empty_batches_are_noops(rng):
+    enc = RatelessEncoder(SymbolCodec(8), make_items(rng, 10))
+    enc.add_items([])
+    enc.remove_items([])
+    assert len(enc) == 10
+
+
+# -- sharded bulk churn -----------------------------------------------------
+
+
+def _hash64(data: bytes) -> int:
+    return Blake2bHasher().hash64(data)
+
+
+def test_sharded_add_many_matches_singles(rng):
+    items = make_items(rng, 200)
+    one = ShardedSet(_hash64, 4)
+    for item in items:
+        one.add(item)
+    many = ShardedSet(_hash64, 4)
+    placed = many.add_many(items)
+    assert placed == [one.shard_of(item) for item in items]
+    assert [sorted(s) for s in many.shards] == [sorted(s) for s in one.shards]
+    # one version bump per touched shard, not per item
+    assert all(v <= 1 for v in many.versions)
+    removed = many.remove_many(items[:50])
+    assert removed == placed[:50]
+    assert len(many) == 150
+
+
+def test_sharded_add_many_atomic(rng):
+    items = make_items(rng, 20)
+    sharded = ShardedSet(_hash64, 2, items[:10])
+    versions = list(sharded.versions)
+    with pytest.raises(KeyError):
+        sharded.add_many(items[10:] + [items[0]])
+    assert len(sharded) == 10
+    assert sharded.versions == versions  # nothing bumped
+    with pytest.raises(KeyError):
+        sharded.remove_many([items[0], items[15]])
+    assert len(sharded) == 10
+
+
+def test_warm_backend_bulk_churn_matches_rebuild(rng):
+    from repro.api.registry import get_scheme
+    from repro.service.backends import WarmRibltBackend
+
+    items = make_items(rng, 240)
+    base, fresh = items[:200], items[200:]
+    codec = SymbolCodec(8)
+    sharded = ShardedSet(_hash64, 3, base)
+    backend = WarmRibltBackend(get_scheme("riblt"), sharded, codec)
+    # produce some cells on every shard, then churn in one batch
+    for shard in range(3):
+        backend.encoders[shard].produce_block(64)
+    versions = list(sharded.versions)
+    backend.add_many(fresh)
+    backend.remove_many(base[:40])
+    assert [v > old for v, old in zip(sharded.versions, versions)]
+    survivors = base[40:] + fresh
+    rebuilt = ShardedSet(_hash64, 3, survivors)
+    for shard in range(3):
+        expected = RatelessEncoder(codec, sorted(rebuilt.shards[shard]))
+        warm = backend.encoders[shard]
+        produced = warm.produced_count
+        assert expected.produce_block(produced).cells() == [
+            warm.cached(i) for i in range(produced)
+        ]
+        assert warm.set_size == len(rebuilt.shards[shard])
+
+
+def test_server_bulk_mutation_api(rng):
+    from repro.service.server import ReconciliationServer
+
+    items = make_items(rng, 60)
+    server = ReconciliationServer(items[:40], num_shards=2)
+    server.add_items(items[40:])
+    assert len(server) == 60
+    server.remove_items(items[:10])
+    assert len(server) == 50
+    assert items[0] not in server
+    assert items[59] in server
+    with pytest.raises(KeyError):
+        server.add_items([items[59]])

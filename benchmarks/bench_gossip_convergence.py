@@ -1,0 +1,136 @@
+"""Gossip mesh convergence: rounds and bytes to heal an N-node mesh.
+
+The deployment claim behind ``repro.gossip``: an epidemic mesh whose
+full sessions are rateless reconciliations (and whose non-sessions are
+clock/digest skips) converges in O(log N) rounds while moving a small
+fraction of what naive full-set flooding would — flooding is charged
+*conservatively* (it stops paying at its own convergence), so the
+reported ratio understates the win.
+
+Asserted invariants (the ISSUE's acceptance bounds):
+
+* every mesh converges within ``ceil(log2(N)) + 2`` rounds;
+* total gossip bytes stay under half the flooding baseline.
+
+Results land in ``BENCH_gossip_convergence.json``; rows are keyed by
+``clients`` (the node count — scale profiles vary the *set* size, so
+quick-scale CI rows still match the committed default-scale record).
+"""
+
+import math
+import random
+import time
+
+from bench_json import write_bench_json
+from bench_util import by_scale, make_items, report_table
+from repro.gossip import GossipMesh, make_nodes, simulate_flooding
+from repro.gossip.mesh import select_pairs
+
+ITEM = 32
+NODE_COUNTS = by_scale([16, 64], [16, 64], [16, 64, 128])
+SET_SIZE = by_scale(128, 512, 1_024)
+DIFF_FRACTION = 0.01
+TOPOLOGY = "random"
+DEGREE = 6
+FANOUT = 2
+MAX_ROUNDS = 32
+SEED = 0x605517
+
+
+def _node_sets(rng, n_nodes):
+    """A shared base set; every node misses and owns ~1% of it."""
+    base = make_items(rng, SET_SIZE, ITEM)
+    per_node = max(1, round(DIFF_FRACTION * SET_SIZE))
+    sets = []
+    for _ in range(n_nodes):
+        missing = set(rng.sample(base, per_node))
+        own = [rng.randbytes(ITEM) for _ in range(per_node)]
+        sets.append([x for x in base if x not in missing] + own)
+    return sets
+
+
+def _converge(n_nodes):
+    rng = random.Random(SEED ^ n_nodes)
+    node_sets = _node_sets(rng, n_nodes)
+    mesh = GossipMesh(
+        make_nodes(node_sets),
+        topology=TOPOLOGY,
+        degree=DEGREE,
+        fanout=FANOUT,
+        seed=SEED,
+    )
+    start = time.perf_counter()
+    report = mesh.run_until_converged(max_rounds=MAX_ROUNDS)
+    elapsed = time.perf_counter() - start
+    flooding = simulate_flooding(
+        node_sets,
+        ITEM,
+        lambda round_no, frng: select_pairs(mesh.neighbors, FANOUT, frng),
+        random.Random(SEED),
+        max_rounds=MAX_ROUNDS,
+    )
+    return report, flooding, elapsed
+
+
+def test_gossip_convergence_vs_mesh_size(benchmark):
+    rows = []
+
+    def run():
+        for n_nodes in NODE_COUNTS:
+            report, flooding, elapsed = _converge(n_nodes)
+            bound = math.ceil(math.log2(n_nodes)) + 2
+            assert report.converged, f"{n_nodes}-node mesh did not converge"
+            assert report.rounds <= bound, (
+                f"{n_nodes} nodes: {report.rounds} rounds > bound {bound}"
+            )
+            assert report.wire_bytes < 0.5 * flooding.total_bytes, (
+                f"{n_nodes} nodes: gossip moved {report.wire_bytes} bytes, "
+                f"flooding only {flooding.total_bytes}"
+            )
+            rows.append(
+                {
+                    "clients": n_nodes,
+                    "rounds": report.rounds,
+                    "round_bound": bound,
+                    "wire_bytes": report.wire_bytes,
+                    "digest_bytes": report.digest_bytes,
+                    "symbols": report.symbols,
+                    "full_syncs": report.full_syncs,
+                    "digest_skips": report.digest_skips,
+                    "clock_skips": report.clock_skips,
+                    "flooding_bytes": flooding.total_bytes,
+                    "flooding_ratio": report.wire_bytes / flooding.total_bytes,
+                    "seconds": elapsed,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{'nodes':>6} {'rounds':>7} {'bound':>6} {'bytes':>10} "
+        f"{'flooding':>11} {'ratio':>7} {'seconds':>8}"
+    ]
+    lines += [
+        f"{r['clients']:>6} {r['rounds']:>7} {r['round_bound']:>6} "
+        f"{r['wire_bytes']:>10} {r['flooding_bytes']:>11} "
+        f"{r['flooding_ratio']:>7.4f} {r['seconds']:>8.3f}"
+        for r in rows
+    ]
+    report_table(
+        f"Gossip — convergence vs mesh size (|set|={SET_SIZE}, "
+        f"{DIFF_FRACTION:.0%} diff/node, {TOPOLOGY} deg {DEGREE}, "
+        f"fanout {FANOUT})",
+        lines,
+    )
+    write_bench_json(
+        "gossip_convergence",
+        rows=rows,
+        meta={
+            "set_size": SET_SIZE,
+            "item_size": ITEM,
+            "diff_fraction": DIFF_FRACTION,
+            "topology": TOPOLOGY,
+            "degree": DEGREE,
+            "fanout": FANOUT,
+        },
+    )

@@ -406,6 +406,80 @@ def _sync_local_transport(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gossip(args: argparse.Namespace) -> int:
+    """Run a synthetic N-node anti-entropy mesh and report convergence."""
+    import math
+    import random
+
+    from repro.gossip import GossipConfig, GossipMesh, make_nodes, simulate_flooding
+    from repro.gossip.mesh import select_pairs
+
+    if args.nodes < 2:
+        raise CliError("--nodes must be at least 2")
+    if not 0.0 < args.diff < 1.0:
+        raise CliError("--diff must be in (0, 1)")
+    item_size = args.item_size or 32
+    rng = random.Random(args.seed)
+    base = sorted({rng.randbytes(item_size) for _ in range(args.set_size)})
+    per_node = max(1, round(args.diff * len(base)))
+    node_sets = []
+    for _ in range(args.nodes):
+        missing = set(rng.sample(base, min(per_node, len(base))))
+        extras = [rng.randbytes(item_size) for _ in range(per_node)]
+        node_sets.append([x for x in base if x not in missing] + extras)
+
+    config = GossipConfig(
+        transport=args.transport,
+        bandwidth_bps=args.bandwidth,
+        delay_s=args.delay,
+        loss_rate=args.loss,
+        seed=args.seed,
+    )
+    mesh = GossipMesh(
+        make_nodes(node_sets),
+        topology=args.topology,
+        degree=args.degree,
+        fanout=args.fanout,
+        seed=args.seed,
+        config=config,
+    )
+    try:
+        report = mesh.run_until_converged(max_rounds=args.max_rounds)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+
+    print(
+        f"{args.nodes} nodes, {args.topology} topology, fanout {args.fanout}, "
+        f"{args.transport} transport, ~{per_node * 2} diff items/node"
+    )
+    print(f"{'round':>5} {'full':>5} {'digest':>7} {'clock':>6} "
+          f"{'bytes':>10} {'items':>6}")
+    for stats in report.per_round:
+        print(
+            f"{stats.round_no:>5} {stats.full_syncs:>5} "
+            f"{stats.digest_skips:>7} {stats.clock_skips:>6} "
+            f"{stats.wire_bytes:>10} {stats.items_moved:>6}"
+        )
+    verdict = "converged" if report.converged else "NOT converged"
+    bound = math.ceil(math.log2(args.nodes)) + 2
+    print(f"{verdict} in {report.rounds} rounds "
+          f"(log2(N)+2 bound: {bound}), {report.wire_bytes} bytes total")
+
+    flooding = simulate_flooding(
+        node_sets,
+        item_size,
+        lambda round_no, frng: select_pairs(mesh.neighbors, args.fanout, frng),
+        random.Random(args.seed),
+        args.max_rounds,
+    )
+    ratio = report.wire_bytes / flooding.total_bytes if flooding.total_bytes else 0.0
+    print(
+        f"flooding baseline: {flooding.total_bytes} bytes over "
+        f"{flooding.rounds} rounds -> gossip/flooding = {ratio:.4f}"
+    )
+    return 0 if report.converged else 3
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     items_a = read_items(Path(args.file_a), args.item_size, args.format)
     items_b = read_items(Path(args.file_b), args.item_size, args.format)
@@ -542,6 +616,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_sync.add_argument("-o", "--output", default=None,
                         help="write the reconciled (merged) item file here")
     p_sync.set_defaults(func=cmd_sync)
+
+    p_gossip = sub.add_parser(
+        "gossip", help="run a synthetic N-node anti-entropy gossip mesh"
+    )
+    p_gossip.add_argument("--nodes", type=int, default=32,
+                          help="mesh size (default 32)")
+    p_gossip.add_argument("--set-size", type=int, default=512,
+                          help="shared base set size (default 512)")
+    p_gossip.add_argument(
+        "--diff", type=float, default=0.01,
+        help="per-node difference fraction: each node misses and adds "
+             "this fraction of the base set (default 0.01)",
+    )
+    p_gossip.add_argument("--topology", choices=("ring", "random", "full"),
+                          default="random")
+    p_gossip.add_argument("--degree", type=int, default=4,
+                          help="target average degree, random topology only")
+    p_gossip.add_argument("--fanout", type=int, default=2,
+                          help="exchanges each node initiates per round")
+    p_gossip.add_argument(
+        "--transport", choices=("memory", "sim", "service"), default="memory",
+        help="how full sessions run: lock-step pump, simulated links, "
+             "or real asyncio TCP (default: memory)",
+    )
+    p_gossip.add_argument("--max-rounds", type=int, default=32)
+    p_gossip.add_argument("--seed", type=int, default=0)
+    p_gossip.add_argument("--bandwidth", type=float, default=20e6,
+                          help="sim link bandwidth, bps (default 20e6)")
+    p_gossip.add_argument("--delay", type=float, default=0.001,
+                          help="sim one-way delay, seconds (default 0.001)")
+    p_gossip.add_argument("--loss", type=float, default=0.0,
+                          help="sim frame loss rate in [0,1) (default 0)")
+    p_gossip.set_defaults(func=cmd_gossip)
 
     p_est = sub.add_parser("estimate", help="strata-estimate the difference size")
     p_est.add_argument("file_a")

@@ -1,0 +1,281 @@
+"""One gossip peer: a warm shard backend, a version clock, a set digest.
+
+A :class:`GossipNode` is the per-peer state of the anti-entropy mesh
+(:mod:`repro.gossip.mesh`).  Its set lives in the *same*
+:class:`~repro.service.backends.ShardBackend` family the asyncio service
+serves — for the default Rateless IBLT scheme that is the warm
+:class:`~repro.service.backends.WarmRibltBackend`, so every
+reconciliation session a node ever answers re-reads one continuously
+patched coded-symbol bank instead of re-encoding its set (§4.1's
+universality, now N-directional).
+
+Cheap staleness machinery, per the rate-compatible / pooled-sketch
+designs (PAPERS.md: Mitzenmacher et al.; SNIPPETS.md: bami's
+``PeerClock``):
+
+* a **version clock** — the sum of the sharded set's per-shard
+  versions, bumped by every mutation (including pushes applied by a
+  responder session);
+* a **set digest** (:class:`SetDigest`) — the XOR of the codec's keyed
+  64-bit hash over all items, plus the count.  Equal sets always match;
+  unequal sets collide with probability ~2⁻⁶⁴.  The digest is
+  maintained incrementally through the node API and lazily recomputed
+  when the backend mutated behind the node's back (a served session
+  applying PUSH frames);
+* a :class:`PeerView` per neighbour — what this node last heard of the
+  peer's clock/digest and the version pair at the last confirmed sync,
+  which lets a round skip a neighbour with provably nothing new before
+  a single byte moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.api.registry import Scheme, get_scheme
+from repro.protocol.machine import (
+    InitiatorMachine,
+    ResponderMachine,
+    codec_of,
+    hash64_of,
+)
+from repro.service.backends import ShardBackend, make_backend
+from repro.service.shard import ShardedSet
+
+_XOR_SEED = 0  # empty-set digest value
+
+
+@dataclass(frozen=True)
+class SetDigest:
+    """A node's cheap set fingerprint: (version clock, XOR hash, count)."""
+
+    version: int
+    xor64: int
+    count: int
+
+    def matches(self, other: "SetDigest") -> bool:
+        """Same set contents (whp) — versions may differ."""
+        return self.xor64 == other.xor64 and self.count == other.count
+
+
+@dataclass
+class PeerView:
+    """Everything a node knows about one neighbour's staleness."""
+
+    peer_version: int = -1
+    """The peer's version clock, as of the last digest heard from it."""
+    peer_digest: Optional[SetDigest] = None
+    in_sync: bool = False
+    synced_local_version: int = -1
+    """This node's own clock when the pair last confirmed sync."""
+    synced_peer_version: int = -1
+    """The peer's clock when the pair last confirmed sync."""
+    last_exchange_round: int = -1
+    """Mesh round of the last actual exchange (digest or full)."""
+
+
+class GossipNode:
+    """A mesh peer: one set, one warm backend, per-neighbour clocks."""
+
+    def __init__(
+        self,
+        node_id: int,
+        items: Iterable[bytes] = (),
+        *,
+        handle: Optional[Scheme] = None,
+        scheme: str = "riblt",
+        num_shards: int = 1,
+        **params: object,
+    ) -> None:
+        materialised = list(items)
+        if handle is None:
+            handle = get_scheme(scheme, **params)
+            if handle.params.symbol_size is None:
+                if not materialised:
+                    raise ValueError(
+                        "an empty gossip node needs an explicit symbol_size"
+                    )
+                handle = handle.with_params(symbol_size=len(materialised[0]))
+        self.node_id = node_id
+        self.handle = handle
+        self.codec = codec_of(handle)
+        self.hash64 = hash64_of(handle, self.codec)
+        sharded = ShardedSet(self.hash64, num_shards, materialised)
+        self.backend: ShardBackend = make_backend(handle, sharded, self.codec)
+        self.views: Dict[int, PeerView] = {}
+        self._xor = _XOR_SEED
+        for item in materialised:
+            self._xor ^= self.hash64(item)
+        self._digest_version = self.version
+
+    # -- the set ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation clock (sum of per-shard versions)."""
+        return sum(self.backend.sharded.versions)
+
+    def __len__(self) -> int:
+        return len(self.backend.sharded)
+
+    def __contains__(self, item: bytes) -> bool:
+        return item in self.backend.sharded
+
+    def items(self) -> list:
+        """The set as a sorted list (deterministic machine construction)."""
+        return sorted(self.backend.sharded)
+
+    def add(self, item: bytes) -> None:
+        """Local churn: add one item (warm banks patched, digest folded)."""
+        clean = self._digest_version == self.version
+        self.backend.add(item)
+        self._fold([item], clean)
+
+    def remove(self, item: bytes) -> None:
+        """Local churn: drop one item (XOR folding is its own inverse)."""
+        clean = self._digest_version == self.version
+        self.backend.remove(item)
+        self._fold([item], clean)
+
+    def add_many(self, items: Iterable[bytes]) -> None:
+        """Batch churn: one warm-bank patch per touched shard."""
+        items = items if isinstance(items, list) else list(items)
+        if not items:
+            return
+        clean = self._digest_version == self.version
+        self.backend.add_many(items)
+        self._fold(items, clean)
+
+    def learn(self, items: Iterable[bytes]) -> int:
+        """Absorb items gained from a peer (duplicates are fine).
+
+        Returns how many were actually new.  This is the apply side of a
+        reconciliation round: the initiator feeds ``only_in_remote``
+        here, and a sim-transport round feeds the responder the pushed
+        items the same way.
+        """
+        fresh = [item for item in dict.fromkeys(items)
+                 if item not in self.backend.sharded]
+        if fresh:
+            self.add_many(fresh)
+        return len(fresh)
+
+    def _fold(self, items: Iterable[bytes], was_clean: bool) -> None:
+        """Fold a just-applied mutation batch into the cached digest.
+
+        ``was_clean`` is whether the cache matched the backend *before*
+        the mutation; if it did not (a served session pushed items in
+        behind us), folding would mask the drift, so leave the cache
+        stale and let :meth:`digest` rebuild it.
+        """
+        if not was_clean:
+            return
+        for item in items:
+            self._xor ^= self.hash64(item)
+        self._digest_version = self.version
+
+    def digest(self) -> SetDigest:
+        """The current set digest (recomputed only after backend drift)."""
+        version = self.version
+        if self._digest_version != version:
+            # A responder session applied pushes directly to the backend
+            # (or _fold saw drift): rebuild the XOR from the set.
+            xor = _XOR_SEED
+            hash64 = self.hash64
+            for item in self.backend.sharded:
+                xor ^= hash64(item)
+            self._xor = xor
+            self._digest_version = version
+        return SetDigest(version, self._xor, len(self))
+
+    # -- peer clocks -------------------------------------------------------
+
+    def view_of(self, peer_id: int) -> PeerView:
+        view = self.views.get(peer_id)
+        if view is None:
+            view = self.views[peer_id] = PeerView()
+        return view
+
+    def note_peer_digest(
+        self, peer_id: int, digest: SetDigest, round_no: int
+    ) -> None:
+        """Record a digest heard from ``peer_id`` (any direction)."""
+        view = self.view_of(peer_id)
+        if digest.version < view.peer_version:
+            return  # stale reordered information
+        view.peer_version = digest.version
+        view.peer_digest = digest
+        view.last_exchange_round = round_no
+        if view.in_sync and digest.version != view.synced_peer_version:
+            view.in_sync = False  # the peer moved on since we synced
+
+    def mark_synced(
+        self, peer_id: int, peer_digest: SetDigest, round_no: int
+    ) -> None:
+        """The pair just confirmed equal sets; pin both clocks."""
+        view = self.view_of(peer_id)
+        view.in_sync = True
+        view.peer_version = peer_digest.version
+        view.peer_digest = peer_digest
+        view.synced_local_version = self.version
+        view.synced_peer_version = peer_digest.version
+        view.last_exchange_round = round_no
+
+    def can_skip(self, peer_id: int, round_no: int, refresh_every: int) -> bool:
+        """True when a round to ``peer_id`` may be skipped byte-free.
+
+        Conservative: requires a confirmed sync, no local mutation since,
+        no *observed* peer mutation since, and a recent enough exchange
+        (``refresh_every`` rounds) so a peer that changed without ever
+        initiating back cannot be ignored forever.
+        """
+        view = self.views.get(peer_id)
+        if view is None or not view.in_sync:
+            return False
+        if self.version != view.synced_local_version:
+            return False
+        if view.peer_version != view.synced_peer_version:
+            return False
+        return (round_no - view.last_exchange_round) < refresh_every
+
+    # -- protocol machines -------------------------------------------------
+
+    def initiator(
+        self,
+        *,
+        push: bool = True,
+        max_symbols: Optional[int] = None,
+        difference_bound: int = 0,
+        use_estimator: bool = False,
+    ) -> InitiatorMachine:
+        """A fresh initiator (Bob side) over this node's current set."""
+        return InitiatorMachine(
+            self.handle,
+            self.items(),
+            num_shards=0,  # adopt the responder's shard count
+            push=push,
+            max_symbols=max_symbols,
+            difference_bound=difference_bound,
+            use_estimator=use_estimator,
+        )
+
+    def responder(
+        self,
+        *,
+        block_size: int = 8,
+        slow_start: bool = False,
+        max_symbols_per_shard: Optional[int] = None,
+        budget_grace: float = 0.0,
+        use_estimator: bool = False,
+    ) -> ResponderMachine:
+        """A fresh responder (Alice side) serving this node's backend."""
+        return ResponderMachine(
+            self.backend,
+            self.handle,
+            block_size=block_size,
+            slow_start=slow_start,
+            max_symbols_per_shard=max_symbols_per_shard,
+            budget_grace=budget_grace,
+            use_estimator=use_estimator,
+        )

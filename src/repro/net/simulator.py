@@ -33,8 +33,20 @@ class Simulator:
         return event_id
 
     def schedule_at(self, when: float, action: Callable[[], None]) -> int:
-        """Run ``action`` at absolute time ``when`` (≥ now)."""
-        return self.schedule(when - self.now, action)
+        """Run ``action`` at absolute time ``when`` (≥ now).
+
+        ``when`` is used verbatim — NOT round-tripped through a relative
+        delay.  ``now + (when - now)`` can differ from ``when`` by a ULP
+        (it depends on ``now``), which breaks callers that rely on equal
+        absolute times staying equal: a link's in-order delivery clamp
+        assigns many frames the same delivery instant from *different*
+        current times, and a one-ULP scramble would reorder them.
+        """
+        if when < self.now:
+            raise ValueError("cannot schedule into the past")
+        event_id = next(self._seq)
+        heapq.heappush(self._heap, (when, event_id, action))
+        return event_id
 
     def cancel(self, event_id: int) -> None:
         """Drop a scheduled event (lazy removal)."""

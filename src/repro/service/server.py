@@ -52,11 +52,6 @@ class ServerConfig:
     block_size: int = 64
     """Coded symbols per SYMBOLS frame (stream mode)."""
 
-    queue_frames: int = 8
-    """Retained for compatibility: the engine adapter paces production
-    with the socket's own backpressure, so no frame queue exists any
-    more and this knob is ignored."""
-
     max_symbols_per_shard: Optional[int] = 1 << 17
     """Per-session, per-shard symbol budget; ``None`` disables the cap."""
 
@@ -96,7 +91,12 @@ class ReconciliationServer:
 
     ``params`` go to the scheme's parameter dataclass exactly as in
     :func:`repro.api.reconcile`; ``symbol_size`` is inferred from the
-    first item when omitted.
+    first item when omitted.  Alternatively pass an existing
+    ``backend``: the server then hosts that backend's (live, warm)
+    shard state directly — the gossip layer uses this to expose a
+    :class:`~repro.gossip.GossipNode`'s set over TCP without copying or
+    re-encoding it — and ``items``/``scheme``/``num_shards``/``params``
+    must be left at their defaults.
     """
 
     def __init__(
@@ -106,24 +106,36 @@ class ReconciliationServer:
         scheme: str = "riblt",
         num_shards: int = 1,
         config: Optional[ServerConfig] = None,
+        backend: Optional[ShardBackend] = None,
         **params: object,
     ) -> None:
-        materialised = list(items)
-        handle = get_scheme(scheme, **params)
-        if handle.params.symbol_size is None:
-            if not materialised:
+        if backend is not None:
+            materialised = list(items)
+            if materialised or num_shards != 1 or params or scheme != "riblt":
                 raise ValueError(
-                    "serving an empty set needs an explicit symbol_size"
+                    "backend= is exclusive: the backend already fixes the "
+                    "items, scheme, shard count, and parameters"
                 )
-            handle = handle.with_params(symbol_size=len(materialised[0]))
+            handle = backend.handle
+        else:
+            materialised = list(items)
+            handle = get_scheme(scheme, **params)
+            if handle.params.symbol_size is None:
+                if not materialised:
+                    raise ValueError(
+                        "serving an empty set needs an explicit symbol_size"
+                    )
+                handle = handle.with_params(symbol_size=len(materialised[0]))
         self.handle: Scheme = handle
         self.config = config or ServerConfig()
         self.stats = ServerStats()
         self.codec: Optional[SymbolCodec] = _codec_of(handle)
         hash64 = _hash64_of(handle, self.codec)
         self.key_probe = key_probe(hash64)
-        sharded = ShardedSet(hash64, num_shards, materialised)
-        self.backend: ShardBackend = make_backend(handle, sharded, self.codec)
+        if backend is None:
+            sharded = ShardedSet(hash64, num_shards, materialised)
+            backend = make_backend(handle, sharded, self.codec)
+        self.backend: ShardBackend = backend
         self._server: Optional[asyncio.base_events.Server] = None
         self._session_tasks: set[asyncio.Task] = set()
         self._sessions_finished = 0

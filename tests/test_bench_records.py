@@ -1,0 +1,49 @@
+"""Committed ``BENCH_*.json`` records must stay structurally comparable.
+
+The perf-smoke gate (``benchmarks/check_perf_regression.py``) compares
+fresh CI runs against these records; a record missing its envelope or
+its ``meta.env`` block silently weakens that comparison (numbers from
+unknown hardware are not a baseline).  This test pins the contract for
+every committed default-scale record.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+COMMITTED = sorted(
+    path
+    for path in REPO_ROOT.glob("BENCH_*.json")
+    if path.suffixes == [".json"]  # not BENCH_<name>.<scale>.json
+)
+
+
+def test_some_records_are_committed():
+    assert COMMITTED, "no committed BENCH_*.json records found"
+    names = {path.name for path in COMMITTED}
+    assert "BENCH_gossip_convergence.json" in names
+
+
+@pytest.mark.parametrize("path", COMMITTED, ids=lambda p: p.name)
+def test_record_envelope(path):
+    record = json.loads(path.read_text())
+    assert record["bench"] == path.stem.removeprefix("BENCH_")
+    assert record["scale"] == "default", (
+        f"{path.name}: committed records must be default-scale trajectories"
+    )
+    assert isinstance(record["unix_time"], float)
+    assert isinstance(record["python"], str)
+    assert isinstance(record["rows"], list) and record["rows"]
+
+
+@pytest.mark.parametrize("path", COMMITTED, ids=lambda p: p.name)
+def test_record_carries_environment_meta(path):
+    record = json.loads(path.read_text())
+    env = record.get("meta", {}).get("env")
+    assert isinstance(env, dict), f"{path.name}: missing meta.env block"
+    assert set(env) >= {"numpy", "cpu_count", "platform"}
+    assert env["cpu_count"] is None or isinstance(env["cpu_count"], int)
+    assert isinstance(env["platform"], str) and env["platform"]

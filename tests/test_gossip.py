@@ -1,0 +1,437 @@
+"""The gossip mesh: digests, clocks, topologies, tiers, convergence."""
+
+import math
+import random
+
+import pytest
+
+from repro.api import SymbolBudgetExceeded
+from repro.gossip import (
+    GossipConfig,
+    GossipMesh,
+    GossipNode,
+    SetDigest,
+    build_topology,
+    decode_digest,
+    encode_digest,
+    make_nodes,
+    run_link_session,
+    run_round,
+    select_pairs,
+    simulate_flooding,
+)
+from repro.service.errors import ProtocolError
+
+ITEM = 16
+
+
+def rand_items(rng, n):
+    return sorted({rng.randbytes(ITEM) for _ in range(n)})
+
+
+def diverged_sets(rng, n_nodes, base_size, per_node):
+    """A shared base; each node misses and owns ``per_node`` items."""
+    base = rand_items(rng, base_size)
+    sets = []
+    for _ in range(n_nodes):
+        missing = set(rng.sample(base, per_node))
+        own = [rng.randbytes(ITEM) for _ in range(per_node)]
+        sets.append([x for x in base if x not in missing] + own)
+    return sets
+
+
+def assert_all_equal(nodes):
+    first = set(nodes[0].backend.sharded)
+    for node in nodes[1:]:
+        assert set(node.backend.sharded) == first
+    return first
+
+
+# -- digests ----------------------------------------------------------------
+
+
+def test_digest_frame_roundtrip():
+    digest = SetDigest(version=123456, xor64=0xDEADBEEFCAFEF00D, count=987)
+    assert decode_digest(encode_digest(digest)) == digest
+
+
+def test_digest_frame_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        decode_digest(b"")
+    with pytest.raises(ProtocolError):
+        decode_digest(b"\xff\x00\x00")
+    blob = encode_digest(SetDigest(1, 2, 3))
+    with pytest.raises(ProtocolError):
+        decode_digest(blob + b"\x00")  # trailing junk
+
+
+def test_digest_incremental_equals_rebuild():
+    rng = random.Random(0)
+    items = rand_items(rng, 64)
+    node = GossipNode(0, items)
+    extra = rng.randbytes(ITEM)
+    node.add(extra)
+    node.remove(items[3])
+    incremental = node.digest()
+    rebuilt = GossipNode(1, node.items()).digest()
+    assert incremental.matches(rebuilt)
+    assert incremental.count == len(items)  # one added, one removed
+    # XOR folding is its own inverse: add+remove returns to the start
+    node.add(items[3])
+    node.remove(extra)
+    assert node.digest().matches(GossipNode(2, items).digest())
+
+
+def test_digest_recomputes_after_backend_drift():
+    rng = random.Random(1)
+    items = rand_items(rng, 32)
+    node = GossipNode(0, items)
+    before = node.digest()
+    # A served session applying PUSH frames mutates the backend directly,
+    # behind the node's incremental XOR.
+    pushed = rng.randbytes(ITEM)
+    node.backend.add(pushed)
+    after = node.digest()
+    assert not after.matches(before)
+    assert after.matches(GossipNode(1, items + [pushed]).digest())
+    # Node-API churn right after drift must not mask the stale cache.
+    node2 = GossipNode(2, items)
+    node2.backend.add(pushed)
+    own = rng.randbytes(ITEM)
+    node2.add(own)
+    assert node2.digest().matches(GossipNode(3, items + [pushed, own]).digest())
+
+
+def test_equal_sets_digest_match_any_history():
+    rng = random.Random(2)
+    items = rand_items(rng, 40)
+    a = GossipNode(0, items[:20])
+    a.add_many(items[20:])
+    b = GossipNode(1, items)
+    assert a.digest().matches(b.digest())
+    assert a.digest().version != 0
+
+
+# -- peer clocks ------------------------------------------------------------
+
+
+def test_can_skip_requires_confirmed_sync():
+    rng = random.Random(3)
+    items = rand_items(rng, 16)
+    x, y = GossipNode(0, items), GossipNode(1, items)
+    assert not x.can_skip(1, round_no=1, refresh_every=4)
+    x.mark_synced(1, y.digest(), round_no=1)
+    assert x.can_skip(1, round_no=2, refresh_every=4)
+
+
+def test_can_skip_expires_after_refresh_every():
+    rng = random.Random(4)
+    items = rand_items(rng, 16)
+    x, y = GossipNode(0, items), GossipNode(1, items)
+    x.mark_synced(1, y.digest(), round_no=1)
+    assert x.can_skip(1, round_no=4, refresh_every=4)
+    assert not x.can_skip(1, round_no=5, refresh_every=4)
+
+
+def test_can_skip_invalidated_by_local_mutation():
+    rng = random.Random(5)
+    items = rand_items(rng, 16)
+    x, y = GossipNode(0, items), GossipNode(1, items)
+    x.mark_synced(1, y.digest(), round_no=1)
+    x.add(rng.randbytes(ITEM))
+    assert not x.can_skip(1, round_no=2, refresh_every=4)
+
+
+def test_can_skip_invalidated_by_newer_peer_digest():
+    rng = random.Random(6)
+    items = rand_items(rng, 16)
+    x, y = GossipNode(0, items), GossipNode(1, items)
+    x.mark_synced(1, y.digest(), round_no=1)
+    y.add(rng.randbytes(ITEM))
+    x.note_peer_digest(1, y.digest(), round_no=2)
+    assert not x.can_skip(1, round_no=2, refresh_every=4)
+
+
+# -- topologies and schedules ----------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["ring", "random", "full"])
+def test_topology_connected_undirected(kind):
+    neighbors = build_topology(12, kind, degree=4, rng=random.Random(7))
+    for i, peers in enumerate(neighbors):
+        assert i not in peers
+        for j in peers:
+            assert i in neighbors[j]
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for j in neighbors[node]:
+            if j not in seen:
+                seen.add(j)
+                frontier.append(j)
+    assert seen == set(range(12))
+
+
+def test_topology_validation():
+    with pytest.raises(ValueError):
+        build_topology(1, "ring", 2, random.Random(0))
+    with pytest.raises(ValueError):
+        build_topology(4, "star", 2, random.Random(0))
+
+
+def test_select_pairs_deterministic_and_fanout_bounded():
+    neighbors = build_topology(10, "random", degree=4, rng=random.Random(8))
+    a = select_pairs(neighbors, 2, random.Random(9))
+    b = select_pairs(neighbors, 2, random.Random(9))
+    assert a == b
+    per_node = {}
+    for initiator, responder in a:
+        assert responder in neighbors[initiator]
+        per_node[initiator] = per_node.get(initiator, 0) + 1
+    assert all(count <= 2 for count in per_node.values())
+
+
+# -- single rounds: the three tiers ----------------------------------------
+
+
+def test_equal_peers_cost_digest_frames_only():
+    rng = random.Random(10)
+    items = rand_items(rng, 48)
+    x, y = GossipNode(0, items), GossipNode(1, items)
+    outcome = run_round(x, y, round_no=1)
+    assert outcome.tier == "digest-skip"
+    assert outcome.session_bytes == 0
+    assert outcome.symbols == 0
+    assert 0 < outcome.digest_bytes < 64
+    # The confirmed sync now powers the zero-byte tier.
+    outcome = run_round(x, y, round_no=2)
+    assert outcome.tier == "clock-skip"
+    assert outcome.wire_bytes == 0
+
+
+def test_full_round_reconciles_both_directions():
+    rng = random.Random(11)
+    base = rand_items(rng, 64)
+    x = GossipNode(0, base[:60] + [rng.randbytes(ITEM) for _ in range(2)])
+    y = GossipNode(1, base)
+    outcome = run_round(x, y, round_no=1)
+    assert outcome.tier == "full"
+    assert outcome.learned == 4  # the 4 base items x lacked
+    assert outcome.delivered == 2  # x pushed its 2 own items
+    assert outcome.symbols > 0
+    assert set(x.backend.sharded) == set(y.backend.sharded)
+    # And the pair is now provably synced.
+    assert run_round(x, y, round_no=2).tier == "clock-skip"
+
+
+def test_silent_peer_change_caught_when_refresh_expires():
+    rng = random.Random(12)
+    items = rand_items(rng, 32)
+    x, y = GossipNode(0, items), GossipNode(1, items)
+    run_round(x, y, round_no=1)
+    y.add(rng.randbytes(ITEM))
+    # x has not heard from y, so the conservative clock skip still fires —
+    # but only inside the refresh window...
+    assert run_round(x, y, round_no=2).tier == "clock-skip"
+    # ...after which the digest tier catches the silent change.
+    outcome = run_round(x, y, round_no=5)
+    assert outcome.tier == "full"
+    assert outcome.learned == 1
+
+
+# -- mesh convergence (memory transport) ------------------------------------
+
+
+@pytest.mark.parametrize("topology", ["ring", "random"])
+def test_mesh_converges_deterministically(topology):
+    rng = random.Random(13)
+    node_sets = diverged_sets(rng, 12, base_size=160, per_node=3)
+    bound = math.ceil(math.log2(12)) + 2
+
+    def build():
+        return GossipMesh(
+            make_nodes(node_sets),
+            topology=topology,
+            degree=4,
+            fanout=2,
+            seed=17,
+        )
+
+    mesh = build()
+    report = mesh.run_until_converged(max_rounds=16)
+    assert report.converged
+    assert report.rounds <= bound
+    union = set().union(*(set(s) for s in node_sets))
+    assert assert_all_equal(mesh.nodes) == union
+    # Determinism: an identical mesh replays the identical run.
+    replay = build().run_until_converged(max_rounds=16)
+    assert replay.rounds == report.rounds
+    assert replay.wire_bytes == report.wire_bytes
+
+
+def test_gossip_beats_flooding_by_2x():
+    rng = random.Random(14)
+    node_sets = diverged_sets(rng, 16, base_size=256, per_node=3)
+    mesh = GossipMesh(
+        make_nodes(node_sets), topology="random", degree=4, fanout=2, seed=23
+    )
+    report = mesh.run_until_converged(max_rounds=16)
+    assert report.converged
+    flooding = simulate_flooding(
+        node_sets,
+        ITEM,
+        lambda round_no, frng: select_pairs(mesh.neighbors, 2, frng),
+        random.Random(23),
+        max_rounds=16,
+    )
+    assert report.wire_bytes < 0.5 * flooding.total_bytes
+
+
+def test_converged_mesh_rounds_move_no_symbols():
+    rng = random.Random(15)
+    node_sets = diverged_sets(rng, 8, base_size=96, per_node=2)
+    mesh = GossipMesh(
+        make_nodes(node_sets), topology="random", degree=4, fanout=2, seed=29
+    )
+    assert mesh.run_until_converged(max_rounds=16).converged
+    steady = mesh.run_round()
+    assert steady.full_syncs == 0
+    assert steady.session_bytes == 0
+    assert steady.symbols == 0
+    assert steady.digest_skips + steady.clock_skips == steady.sessions
+    # Within refresh_every, later rounds drop to pure clock skips.
+    later = mesh.run_round()
+    assert later.wire_bytes <= steady.wire_bytes
+
+
+def test_churn_mid_gossip_reconverges():
+    rng = random.Random(16)
+    node_sets = diverged_sets(rng, 8, base_size=96, per_node=2)
+    mesh = GossipMesh(
+        make_nodes(node_sets), topology="random", degree=4, fanout=2, seed=31
+    )
+    assert mesh.run_until_converged(max_rounds=16).converged
+    # Churn lands on one node between rounds: new items plus a removal.
+    node = mesh.nodes[3]
+    fresh = [rng.randbytes(ITEM) for _ in range(5)]
+    node.add_many(fresh)
+    node.remove(node.items()[0])
+    assert not mesh.converged
+    report = mesh.run_until_converged(max_rounds=16)
+    assert report.converged
+    union = assert_all_equal(mesh.nodes)
+    assert set(fresh) <= union
+
+
+# -- sim transport -----------------------------------------------------------
+
+
+def test_sim_mesh_converges_under_loss():
+    rng = random.Random(17)
+    node_sets = diverged_sets(rng, 8, base_size=96, per_node=2)
+    config = GossipConfig(
+        transport="sim",
+        bandwidth_bps=50e6,
+        delay_s=0.002,
+        loss_rate=0.02,
+        seed=37,
+    )
+    mesh = GossipMesh(
+        make_nodes(node_sets),
+        topology="ring",
+        fanout=1,
+        seed=37,
+        config=config,
+    )
+    report = mesh.run_until_converged(max_rounds=24)
+    assert report.converged
+    assert_all_equal(mesh.nodes)
+    # Virtual time was actually simulated for the full rounds.
+    assert any(r.round_time > 0 for r in report.per_round)
+
+
+def test_lossy_link_session_budget_fails_typed():
+    rng = random.Random(18)
+    x = GossipNode(0, rand_items(rng, 128))
+    y = GossipNode(1, rand_items(rng, 128))  # disjoint: diff of 256
+    with pytest.raises(SymbolBudgetExceeded):
+        run_link_session(
+            x.initiator(push=False, max_symbols=16),
+            y.responder(block_size=8),
+            bandwidth_bps=20e6,
+            delay_s=0.005,
+            loss_rate=0.1,
+            rng=random.Random(41),
+        )
+
+
+def test_link_session_result_matches_memory_pump():
+    rng = random.Random(19)
+    base = rand_items(rng, 64)
+    x = GossipNode(0, base[:-3])
+    y = GossipNode(1, base)
+    report, wire_bytes, completed = run_link_session(
+        x.initiator(push=False),
+        y.responder(block_size=4),
+        bandwidth_bps=20e6,
+        delay_s=0.001,
+    )
+    assert set(report.only_in_remote) == set(base[-3:])
+    assert report.only_in_local == set()
+    assert wire_bytes > 0
+    assert completed > 0
+
+
+# -- service transport --------------------------------------------------------
+
+
+def test_service_transport_round_over_real_sockets():
+    rng = random.Random(20)
+    base = rand_items(rng, 48)
+    x = GossipNode(0, base[:44] + [rng.randbytes(ITEM)])
+    y = GossipNode(1, base)
+    outcome = run_round(
+        x, y, round_no=1, config=GossipConfig(transport="service")
+    )
+    assert outcome.tier == "full"
+    assert outcome.learned == 4
+    assert outcome.delivered == 1  # PUSH applied through the live backend
+    assert set(x.backend.sharded) == set(y.backend.sharded)
+    # The pushed item reached y's *warm* backend (the node's own set).
+    assert outcome.session_bytes > 0
+
+
+def test_server_hosting_live_backend_is_exclusive():
+    from repro.service.server import ReconciliationServer
+
+    rng = random.Random(21)
+    node = GossipNode(0, rand_items(rng, 8))
+    with pytest.raises(ValueError):
+        ReconciliationServer([b"x" * ITEM], backend=node.backend)
+    with pytest.raises(ValueError):
+        ReconciliationServer(backend=node.backend, num_shards=2)
+    server = ReconciliationServer(backend=node.backend)
+    assert server.backend is node.backend
+    node.add(rng.randbytes(ITEM))
+    assert len(server) == 9  # the server serves the node's live set
+
+
+# -- construction ------------------------------------------------------------
+
+
+def test_make_nodes_shares_one_scheme_handle():
+    rng = random.Random(22)
+    sets = [rand_items(rng, 8), rand_items(rng, 8)]
+    nodes = make_nodes(sets)
+    assert nodes[0].handle is nodes[1].handle
+    assert [n.node_id for n in nodes] == [0, 1]
+    with pytest.raises(ValueError):
+        make_nodes([[], []])  # all-empty: no symbol_size to infer
+
+
+def test_mesh_rejects_duplicate_node_ids():
+    rng = random.Random(23)
+    items = rand_items(rng, 8)
+    with pytest.raises(ValueError):
+        GossipMesh([GossipNode(0, items), GossipNode(0, items)])

@@ -239,7 +239,7 @@ def test_scheme_and_codec_mismatches_rejected():
 def test_mutation_mid_stream_surfaces_stale():
     """Mutating the served set while a session streams must fail that
     session with the typed StaleStream, not serve a mixed stream."""
-    config = ServerConfig(block_size=4, queue_frames=1)
+    config = ServerConfig(block_size=4)
 
     async def scenario():
         async with ReconciliationServer(

@@ -223,13 +223,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import ReconciliationServer, ServerConfig
 
-    items = read_items(Path(args.input), args.item_size, args.format)
-    unique = check_unique(items, args.input)
+    if args.input is None and args.data_dir is None:
+        raise CliError("serve needs an INPUT file, a --data-dir, or both")
+    if args.input is not None:
+        items = read_items(Path(args.input), args.item_size, args.format)
+        unique = check_unique(items, args.input)
+        params = scheme_params_from_args(args, len(items[0]))
+    else:
+        # Warm start: everything (items, scheme params, shard count)
+        # comes back from the durable data dir's manifest + journal.
+        unique = set()
+        params = {}
     config = ServerConfig(
         block_size=args.block_size,
         max_symbols_per_shard=args.max_symbols,
         max_sessions=args.max_sessions,
     )
+    durable = None
+    if args.data_dir is not None and args.checkpoint_every is not None:
+        from repro.durable import DurableConfig
+
+        durable = DurableConfig(checkpoint_every=args.checkpoint_every or None)
 
     async def run_server() -> None:
         try:
@@ -238,15 +252,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 scheme=args.scheme,
                 num_shards=args.shards,
                 config=config,
-                **scheme_params_from_args(args, len(items[0])),
+                data_dir=args.data_dir,
+                durable=durable,
+                **params,
             )
         except ValueError as exc:
             # e.g. a scheme that can neither stream nor ship a sketch
             raise CliError(str(exc)) from exc
+        served = len(server.backend.sharded)
         host, port = await server.start(args.host, args.port)
+        durability = f", durable in {args.data_dir}" if args.data_dir else ""
         print(
-            f"serving {len(unique)} items ({args.scheme}, {args.shards} shards) "
-            f"on {host}:{port}",
+            f"serving {served} items ({args.scheme}, "
+            f"{server.num_shards} shards{durability}) on {host}:{port}",
             flush=True,
         )
         try:
@@ -551,7 +569,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.set_defaults(func=cmd_reconcile)
 
     p_serve = sub.add_parser("serve", help="serve reconciliation sessions over TCP")
-    p_serve.add_argument("input")
+    p_serve.add_argument(
+        "input", nargs="?", default=None,
+        help="items file (optional when --data-dir holds a previous run)",
+    )
+    p_serve.add_argument(
+        "--data-dir", default=None,
+        help="persist shard state here (crash-safe snapshots + churn "
+             "journal); an existing dir warm-restarts from disk",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="snapshot after this many journaled mutations "
+             "(default 4096; 0 disables auto-checkpointing)",
+    )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=0,
                          help="TCP port (default 0: pick a free one and print it)")

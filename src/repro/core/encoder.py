@@ -428,6 +428,98 @@ class RatelessEncoder:
                 value, checksum, -1, gen.indices_below(frontier)
             )
 
+    # -- persistence hooks -------------------------------------------------
+
+    @property
+    def bank(self) -> CodedSymbolBank:
+        """The live cached-prefix bank (the durable store packs it verbatim)."""
+        return self._bank
+
+    def export_rows(self) -> tuple[list[int], list[int], list[int], list[int]]:
+        """Parallel ``(values, checksums, currents, states)`` source rows.
+
+        One row per live source symbol, carrying its parked §4.2 walk
+        position — the first mapped index at or past the produced
+        frontier, plus the splitmix64 state that resumes the walk
+        there.  Together with :attr:`bank` this is the encoder's whole
+        state: :meth:`restore` rebuilds a bit-identical stream from it
+        with no hashing and no index walking.
+        """
+        values: list[int] = []
+        checksums: list[int] = []
+        currents: list[int] = []
+        states: list[int] = []
+        for value, entry in self._entries.items():
+            gen = entry.gen
+            values.append(value)
+            checksums.append(entry.checksum)
+            currents.append(gen.current)
+            states.append(gen.state)
+        pool = self._pool
+        if pool is not None and pool.rows:
+            idx_list = pool.idx.tolist()
+            state_list = pool.state.tolist()
+            checksum_list = pool.checksums.tolist()
+            for value, row in pool.rows.items():
+                values.append(value)
+                checksums.append(checksum_list[row])
+                currents.append(idx_list[row])
+                states.append(state_list[row])
+        return values, checksums, currents, states
+
+    @classmethod
+    def restore(
+        cls,
+        codec: SymbolCodec,
+        values,
+        checksums,
+        currents,
+        states,
+        bank: CodedSymbolBank,
+    ) -> "RatelessEncoder":
+        """Rebuild an encoder from :meth:`export_rows` output + its bank.
+
+        Adopts ``bank`` as the produced prefix and re-parks every source
+        symbol exactly where it was exported, so the restored encoder's
+        future output is bit-identical to the original's.  Rows land in
+        the column pool when the NumPy lane is eligible (restore stays
+        array-to-array), in reference heap entries otherwise — both
+        engines produce the same cells, as everywhere else.
+        """
+        encoder = cls(codec)
+        encoder._bank = bank
+        n = len(values)
+        if n >= NUMPY_MIN_JOBS and numpy_lane_eligible(codec):
+            import numpy as np
+
+            pool = _StagedPool(
+                np.asarray(values, dtype=np.uint64),
+                np.asarray(checksums, dtype=np.uint64),
+                np.asarray(currents, dtype=np.int64),
+                np.asarray(states, dtype=np.uint64),
+                np.ones(n, dtype=bool),
+            )
+            # tolist() materialises python ints in C — much faster than
+            # per-element int() casts on a 100k-row restore.
+            pool.rows = dict(zip(pool.values.tolist(), range(n)))
+            pool.live = n
+            encoder._pool = pool
+            return encoder
+        entries = encoder._entries
+        heap = encoder._heap
+        seq = encoder._seq
+        restore_gen = IndexGenerator.restore
+        alpha_for = codec.alpha_for
+        for value, checksum, current, state in zip(values, checksums, currents, states):
+            value = int(value)
+            checksum = int(checksum)
+            gen = restore_gen(int(state), int(current), alpha_for(checksum))
+            entry = _SourceEntry(value, checksum, gen)
+            entries[value] = entry
+            heap.append((gen.current, next(seq), entry))
+        heapq.heapify(heap)
+        return encoder
+
     # -- coded symbol production -----------------------------------------
 
     def produce_next(self) -> CodedSymbol:

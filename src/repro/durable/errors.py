@@ -1,0 +1,39 @@
+"""Typed failures of the durable shard store.
+
+Every way the on-disk state can be unusable gets its own exception, so
+recovery code (and tests) can distinguish "repairable torn tail" from
+"this data would serve wrong symbols".  The contract is strict: a
+complete journal record or snapshot whose CRC does not match its bytes
+is *corruption* and always raises — it is never truncated away or
+silently skipped, because serving a bank rebuilt from mangled bytes
+would violate the bit-identical stream guarantee the whole subsystem
+exists to provide.
+"""
+
+from __future__ import annotations
+
+
+class DurabilityError(Exception):
+    """Base class for durable-store failures."""
+
+
+class CorruptManifest(DurabilityError):
+    """The manifest file exists but cannot be parsed or validated."""
+
+
+class CorruptSnapshot(DurabilityError):
+    """A shard snapshot's framing or CRC check failed."""
+
+
+class CorruptJournal(DurabilityError):
+    """A *complete* journal record failed its CRC or structural checks.
+
+    Torn tails (a record whose bytes simply end early — the signature of
+    a crash mid-append) are not corruption; recovery truncates them.
+    This exception means bytes that claim to be whole do not hash to
+    what they say they are.
+    """
+
+
+class DataDirMismatch(DurabilityError):
+    """The store on disk was created with incompatible parameters."""

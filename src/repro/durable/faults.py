@@ -1,0 +1,167 @@
+"""Fault injection for the durable store: named crash points + I/O errors.
+
+The durable layer's contract is "kill -9 at any instant, restart, serve
+correct symbols".  That claim is only worth anything if the failure
+paths are actually executed, the same way the net simulator exercises
+lossy links.  This module is the in-process stand-in for the kill:
+every write/fsync/rename in :mod:`repro.durable` is routed through the
+singleton :data:`INJECTOR`, which can be armed to
+
+* **crash** at a named point — raising :class:`SimulatedCrash`, a
+  ``BaseException`` subclass so no ``except Exception`` recovery path
+  can accidentally absorb it.  A crash armed on a *write* point fires
+  mid-write: half the bytes are written and flushed first, simulating a
+  torn page despite Python's buffered files.
+* **fail** at a named point with an injected :class:`OSError`
+  (``ENOSPC``-style), checking that callers leave in-memory state
+  unchanged and the store recoverable.
+
+Arming is programmatic (:meth:`FaultInjector.arm_crash` /
+:meth:`FaultInjector.arm_io_error`) or via the ``REPRO_CRASH_POINT``
+environment variable (``point`` or ``point:skip``), which lets a test
+drive a *real* subprocess to a crash point and kill it there.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from typing import Dict, Optional, Tuple
+
+#: Environment variable arming a crash point at interpreter start.
+ENV_CRASH_POINT = "REPRO_CRASH_POINT"
+
+#: Every named point a store operation passes through, in the order a
+#: checkpoint visits them.  The crash-sweep test iterates this tuple, so
+#: adding a point here automatically adds it to the recovery proof.
+CRASH_POINTS = (
+    "snapshot.write",
+    "snapshot.fsync",
+    "snapshot.rename",
+    "manifest.write",
+    "manifest.fsync",
+    "manifest.rename",
+    "journal.reset",
+    "journal.append",
+    "journal.fsync",
+)
+
+
+class SimulatedCrash(BaseException):
+    """Process death at a named crash point.
+
+    Deliberately a ``BaseException``: recovery code catches ``OSError``
+    and friends, and none of those handlers may run when the "process"
+    dies — the exception must unwind straight out of the store call,
+    leaving files exactly as a real kill would.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+def _check_point(point: str) -> None:
+    """A typo'd point would arm a fault that can never fire — a test
+    that silently proves nothing.  Fail loudly instead."""
+    if point not in CRASH_POINTS:
+        raise ValueError(
+            f"unknown crash point {point!r} (want one of {CRASH_POINTS})"
+        )
+
+
+class FaultInjector:
+    """Armable crash/IO-error points threaded through the durable store.
+
+    ``after=N`` skips the first N hits of the point before firing, so a
+    sweep can crash the *second* shard snapshot write, not just the
+    first.  Every armed fault fires exactly once, then disarms.
+    """
+
+    def __init__(self, env: Optional[dict] = None) -> None:
+        self._crashes: Dict[str, int] = {}
+        self._errors: Dict[str, Tuple[int, OSError]] = {}
+        spec = (os.environ if env is None else env).get(ENV_CRASH_POINT, "")
+        if spec:
+            point, _, skip = spec.partition(":")
+            self.arm_crash(point.strip(), after=int(skip) if skip else 0)
+
+    # -- arming ------------------------------------------------------------
+
+    def arm_crash(self, point: str, *, after: int = 0) -> None:
+        """Arm a :class:`SimulatedCrash` at ``point`` (after ``after`` hits)."""
+        _check_point(point)
+        self._crashes[point] = after
+
+    def arm_io_error(
+        self, point: str, *, after: int = 0, error: Optional[OSError] = None
+    ) -> None:
+        """Arm an injected ``OSError`` at ``point`` (default: ENOSPC)."""
+        _check_point(point)
+        if error is None:
+            error = OSError(errno.ENOSPC, f"injected: no space left ({point})")
+        self._errors[point] = (after, error)
+
+    def reset(self) -> None:
+        """Disarm everything (test teardown)."""
+        self._crashes.clear()
+        self._errors.clear()
+
+    def _take_crash(self, point: str) -> bool:
+        remaining = self._crashes.get(point)
+        if remaining is None:
+            return False
+        if remaining > 0:
+            self._crashes[point] = remaining - 1
+            return False
+        del self._crashes[point]
+        return True
+
+    def _check_error(self, point: str) -> None:
+        armed = self._errors.get(point)
+        if armed is None:
+            return
+        remaining, error = armed
+        if remaining > 0:
+            self._errors[point] = (remaining - 1, error)
+            return
+        del self._errors[point]
+        raise error
+
+    # -- instrumented I/O primitives ----------------------------------------
+
+    def crash(self, point: str) -> None:
+        """A pure crash point (no I/O of its own), e.g. between two steps."""
+        if self._take_crash(point):
+            raise SimulatedCrash(point)
+
+    def write(self, fileobj, data: bytes, point: str) -> None:
+        """Write ``data``, honouring an armed fault at ``point``.
+
+        An armed crash writes (and flushes) only the first half of the
+        bytes before dying, so the file really holds a torn prefix —
+        Python's buffered close would otherwise flush the rest during
+        interpreter teardown and hide the tear.
+        """
+        self._check_error(point)
+        if self._take_crash(point):
+            fileobj.write(data[: len(data) // 2])
+            fileobj.flush()
+            raise SimulatedCrash(point)
+        fileobj.write(data)
+
+    def fsync(self, fileobj, point: str, *, enabled: bool = True) -> None:
+        """Flush + fsync ``fileobj``, honouring an armed fault at ``point``."""
+        self._check_error(point)
+        if self._take_crash(point):
+            fileobj.flush()
+            raise SimulatedCrash(point)
+        fileobj.flush()
+        if enabled:
+            os.fsync(fileobj.fileno())
+
+
+#: Module singleton the store routes all I/O through.  Reads
+#: ``REPRO_CRASH_POINT`` once at import, so a subprocess launched with
+#: the variable set crashes at the named point with zero test plumbing.
+INJECTOR = FaultInjector()

@@ -1,0 +1,159 @@
+"""Append-only CRC-framed churn journal.
+
+Between checkpoints, every mutation batch that touches a durable
+backend is appended here *before* it is applied in memory (write-ahead:
+if the append raises, the set is unchanged and nothing was promised).
+Each record is framed
+
+    ``uvarint(len(payload)) | payload | crc32(payload) as 4 bytes LE``
+
+and written with a single ``write()`` call, so a crash can only ever
+leave a *prefix* of a record on disk.  Recovery distinguishes the two
+failure shapes sharply:
+
+* **torn tail** — the final record's bytes simply end early.  That is
+  the expected signature of a crash mid-append; the tail is truncated
+  and everything before it replayed.
+* **CRC mismatch on a complete record** — bytes that claim to be whole
+  but do not hash right.  That is corruption, and it raises
+  :class:`~repro.durable.errors.CorruptJournal` unconditionally;
+  serving symbols rebuilt from mangled churn would silently break the
+  bit-identical stream guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.core.varint import decode_uvarint, encode_uvarint
+from repro.durable.errors import CorruptJournal
+from repro.durable.faults import INJECTOR, FaultInjector
+
+MAGIC = b"RPJRNL1\n"
+_CRC_BYTES = 4
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Frame one journal payload: length varint | payload | crc32."""
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return encode_uvarint(len(payload)) + payload + crc.to_bytes(4, "little")
+
+
+def read_journal(path: Path) -> Tuple[List[bytes], int, int]:
+    """Scan a journal file, validating every frame.
+
+    Returns ``(payloads, valid_length, file_length)`` where
+    ``valid_length`` is the byte offset of the last frame boundary —
+    recovery truncates the file back to it when a torn tail follows.
+    A missing file reads as empty.  Complete-but-wrong frames raise
+    :class:`CorruptJournal`.
+    """
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0, 0
+    if len(data) < len(MAGIC):
+        # A crash while writing the 8-byte header itself: torn, not corrupt.
+        if MAGIC.startswith(data):
+            return [], 0, len(data)
+        raise CorruptJournal(f"{path.name}: bad journal magic")
+    if data[: len(MAGIC)] != MAGIC:
+        raise CorruptJournal(f"{path.name}: bad journal magic")
+    payloads: List[bytes] = []
+    offset = len(MAGIC)
+    valid = offset
+    total = len(data)
+    while offset < total:
+        start = offset
+        try:
+            length, offset = decode_uvarint(data, offset)
+        except ValueError:
+            break  # torn length prefix
+        end = offset + length + _CRC_BYTES
+        if end > total:
+            break  # torn payload/CRC
+        payload = data[offset : offset + length]
+        stored = int.from_bytes(data[offset + length : end], "little")
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != stored:
+            raise CorruptJournal(
+                f"{path.name}: CRC mismatch in record at offset {start}"
+            )
+        payloads.append(payload)
+        offset = valid = end
+    return payloads, valid, total
+
+
+class Journal:
+    """The append side of the churn journal.
+
+    Opened on an existing, already-validated file (recovery runs
+    :func:`read_journal` first and repairs any torn tail), or creates a
+    fresh file with just the magic header.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        *,
+        fsync: bool = True,
+        injector: FaultInjector = INJECTOR,
+    ) -> None:
+        self.path = path
+        self.fsync_enabled = fsync
+        self.injector = injector
+        self._file = None
+        self._broken = False
+
+    def open(self) -> "Journal":
+        fresh = not self.path.exists()
+        self._file = open(self.path, "ab" if fresh else "r+b")
+        if fresh:
+            self._file.write(MAGIC)
+            self.injector.fsync(self._file, "journal.fsync", enabled=self.fsync_enabled)
+        else:
+            self._file.seek(0, os.SEEK_END)
+        return self
+
+    def truncate_to(self, length: int) -> None:
+        """Cut a torn tail back to the last valid frame boundary."""
+        self._file.seek(max(length, len(MAGIC)))
+        self._file.truncate()
+        self.injector.fsync(self._file, "journal.fsync", enabled=self.fsync_enabled)
+
+    def append(self, payload: bytes) -> None:
+        """Durably append one framed record.
+
+        On an injected/real ``OSError`` the partial frame is truncated
+        away so later appends start at a clean boundary; if even the
+        repair fails the journal is marked broken and every further
+        append raises (the caller's in-memory state was never mutated,
+        so nothing is lost — the store just stops accepting churn).
+        """
+        if self._broken:
+            raise OSError("journal is broken after a failed append")
+        file = self._file
+        pos = file.tell()
+        try:
+            self.injector.write(file, frame_record(payload), "journal.append")
+            self.injector.fsync(file, "journal.fsync", enabled=self.fsync_enabled)
+        except OSError:
+            try:
+                file.seek(pos)
+                file.truncate()
+            except OSError:
+                self._broken = True
+            raise
+
+    def reset(self) -> None:
+        """Drop every record (a checkpoint just absorbed them)."""
+        self._file.seek(len(MAGIC))
+        self._file.truncate()
+        self.injector.fsync(self._file, "journal.fsync", enabled=self.fsync_enabled)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None

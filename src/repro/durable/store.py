@@ -1,0 +1,587 @@
+"""The durable shard store: snapshots + churn journal + recovery.
+
+``repro.durable`` makes the warm shard state the paper's linearity
+(§4.1) earns — one continuously patched coded-symbol bank per shard —
+survive process death.  A data dir holds::
+
+    data_dir/
+      MANIFEST.json          # commit point: which generation is live
+      journal.log            # CRC-framed churn since that generation
+      shard-0000.g3.snap     # per-shard encoder snapshots, generation-tagged
+
+**Checkpoint** writes every shard's snapshot (write-temp + fsync +
+rename) under a *new* generation number, commits by atomically renaming
+the manifest, then resets the journal.  Because snapshot files are
+generation-tagged, a crash anywhere in that sequence leaves either the
+old generation fully intact (manifest not yet renamed: stray new-gen
+files are orphans, deleted on recovery) or the new one fully committed
+(journal records now at-or-below the manifest's sequence number are
+skipped on replay).  There is no instant at which a reader can observe
+half a checkpoint.
+
+**Mutation** is write-ahead through :class:`DurableBackend`: validate
+against the live set (mirroring ``ShardedSet``'s all-or-nothing
+semantics), append to the journal, *then* patch the warm banks.  An
+``OSError`` on the append therefore leaves memory and disk both
+unchanged, and a replayed journal can never fail validation.
+
+**Recovery** (:func:`open_durable` on an existing dir) parses the
+manifest, rebuilds each shard's :class:`~repro.core.encoder.
+RatelessEncoder` from its snapshot (exact parked walk states — no
+hashing, no re-encoding), replays journal records past the manifest's
+sequence through the batch ``add_many``/``remove_many`` patch path, and
+truncates any torn tail.  The restored banks are bit-identical to fresh
+ingest of the final set — the durability suite proves it under a sweep
+of every named crash point in :mod:`repro.durable.faults`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from repro.api.registry import Scheme, get_scheme
+from repro.core.encoder import RatelessEncoder
+from repro.core.symbols import SymbolCodec
+from repro.core.varint import decode_uvarint, encode_uvarint
+from repro.durable.errors import (
+    CorruptJournal,
+    CorruptManifest,
+    CorruptSnapshot,
+    DataDirMismatch,
+)
+from repro.durable.faults import INJECTOR, FaultInjector
+from repro.durable.journal import Journal, read_journal
+from repro.durable.snapshot import (
+    ShardSnapshot,
+    pack_shard,
+    snapshot_members,
+    unpack_shard,
+)
+from repro.protocol.machine import codec_of, hash64_of
+from repro.service.backends import ShardBackend, WarmRibltBackend
+from repro.service.framing import SyncMode
+from repro.service.shard import ShardedSet
+
+MANIFEST_NAME = "MANIFEST.json"
+JOURNAL_NAME = "journal.log"
+MANIFEST_FORMAT = 1
+
+OP_ADD = 1
+OP_REMOVE = 2
+
+
+@dataclass
+class DurableConfig:
+    """Persistence knobs."""
+
+    checkpoint_every: Optional[int] = 4096
+    """Auto-checkpoint after this many journaled items (bounds both the
+    journal size and recovery replay time); ``None`` = manual only."""
+
+    fsync: bool = True
+    """Durability vs speed: tests on tmpfs can turn the fsyncs off."""
+
+
+# -- journal payloads -------------------------------------------------------
+
+
+def encode_op(op: int, seq: int, items: List[bytes]) -> bytes:
+    """One churn batch: op byte | seq | count | count fixed-width items."""
+    return (
+        bytes([op])
+        + encode_uvarint(seq)
+        + encode_uvarint(len(items))
+        + b"".join(items)
+    )
+
+
+def decode_op(payload: bytes, symbol_size: int) -> Tuple[int, int, List[bytes]]:
+    """Parse a churn record; structural violations raise CorruptJournal."""
+    try:
+        op = payload[0]
+        seq, offset = decode_uvarint(payload, 1)
+        count, offset = decode_uvarint(payload, offset)
+    except (IndexError, ValueError) as exc:
+        raise CorruptJournal("journal record header is malformed") from exc
+    if op not in (OP_ADD, OP_REMOVE):
+        raise CorruptJournal(f"unknown journal op {op}")
+    if len(payload) - offset != count * symbol_size:
+        raise CorruptJournal(
+            f"journal record body holds {len(payload) - offset} bytes, "
+            f"expected {count} x {symbol_size}"
+        )
+    items = [
+        payload[start : start + symbol_size]
+        for start in range(offset, len(payload), symbol_size)
+    ]
+    return op, seq, items
+
+
+# -- atomic file writes ------------------------------------------------------
+
+
+def _fsync_dir(path: Path) -> None:
+    """Make a rename durable (best-effort where dirs can't be fsynced)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(
+    path: Path,
+    data: bytes,
+    *,
+    kind: str,
+    fsync: bool,
+    injector: FaultInjector,
+) -> None:
+    """write-temp + fsync + rename, instrumented at ``kind``.* points."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        injector.write(handle, data, f"{kind}.write")
+        injector.fsync(handle, f"{kind}.fsync", enabled=fsync)
+    injector.crash(f"{kind}.rename")
+    os.replace(tmp, path)
+    if fsync:
+        _fsync_dir(path.parent)
+
+
+# -- the store ---------------------------------------------------------------
+
+
+class DurableShardStore:
+    """The on-disk side of one durable backend (checkpoint + journal)."""
+
+    def __init__(
+        self,
+        data_dir: Path,
+        handle: Scheme,
+        codec: SymbolCodec,
+        *,
+        gen: int,
+        seq: int,
+        config: DurableConfig,
+        injector: FaultInjector,
+    ) -> None:
+        self.data_dir = data_dir
+        self.handle = handle
+        self.codec = codec
+        self.gen = gen
+        self.seq = seq
+        self.config = config
+        self.injector = injector
+        self.journal = Journal(
+            data_dir / JOURNAL_NAME, fsync=config.fsync, injector=injector
+        )
+        self.churned_since_checkpoint = 0
+
+    # -- journalling -------------------------------------------------------
+
+    def journal_op(self, op: int, items: List[bytes]) -> None:
+        """Durably record one churn batch (write-ahead of the apply)."""
+        seq = self.seq + 1
+        self.journal.append(encode_op(op, seq, items))
+        self.seq = seq
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self, inner: WarmRibltBackend) -> None:
+        """Freeze every shard's encoder to a new snapshot generation.
+
+        Crash-safe at every instant: the manifest rename is the single
+        commit point, snapshots are generation-tagged so an aborted
+        checkpoint never mixes with the live one, and the journal is
+        reset only after the commit (a crash in between just means the
+        next recovery skips records the new manifest already covers).
+        """
+        gen = self.gen + 1
+        codec = self.codec
+        entries = []
+        for shard, encoder in enumerate(inner.encoders):
+            values, checksums, currents, states = encoder.export_rows()
+            snapshot = ShardSnapshot(
+                shard,
+                inner.sharded.versions[shard],
+                values,
+                checksums,
+                currents,
+                states,
+                encoder.bank,
+            )
+            name = _snap_name(shard, gen)
+            _atomic_write(
+                self.data_dir / name,
+                pack_shard(snapshot, codec),
+                kind="snapshot",
+                fsync=self.config.fsync,
+                injector=self.injector,
+            )
+            entries.append(
+                {
+                    "file": name,
+                    "version": inner.sharded.versions[shard],
+                    "count": len(encoder),
+                    "cells": encoder.produced_count,
+                }
+            )
+        params = self.handle.params
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "scheme": self.handle.name,
+            "symbol_size": codec.symbol_size,
+            "checksum_size": codec.checksum_size,
+            "hasher": params.hasher,
+            "key": params.key.hex(),
+            "num_shards": inner.num_shards,
+            "gen": gen,
+            "seq": self.seq,
+            "shards": entries,
+        }
+        _atomic_write(
+            self.data_dir / MANIFEST_NAME,
+            json.dumps(manifest, indent=1).encode(),
+            kind="manifest",
+            fsync=self.config.fsync,
+            injector=self.injector,
+        )
+        self.gen = gen
+        self.injector.crash("journal.reset")
+        self.journal.reset()
+        self.churned_since_checkpoint = 0
+        self._sweep_stale_files(keep_gen=gen)
+
+    def note_churn(self, count: int, inner: WarmRibltBackend) -> None:
+        """Auto-checkpoint once enough churn accumulated in the journal."""
+        self.churned_since_checkpoint += count
+        threshold = self.config.checkpoint_every
+        if threshold is not None and self.churned_since_checkpoint >= threshold:
+            self.checkpoint(inner)
+
+    def _sweep_stale_files(self, keep_gen: int) -> None:
+        """Drop snapshots of other generations and orphaned temp files.
+
+        Best-effort by design: these files are dead weight, never state —
+        a failed unlink costs disk, not correctness.
+        """
+        for path in self.data_dir.glob("shard-*.snap"):
+            if _snap_gen(path.name) != keep_gen:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        for path in self.data_dir.glob("*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+def _snap_name(shard: int, gen: int) -> str:
+    return f"shard-{shard:04d}.g{gen}.snap"
+
+
+def _snap_gen(name: str) -> Optional[int]:
+    try:
+        return int(name.rsplit(".", 2)[-2].lstrip("g"))
+    except (IndexError, ValueError):
+        return None
+
+
+# -- the durable backend -----------------------------------------------------
+
+
+class DurableBackend(ShardBackend):
+    """A :class:`WarmRibltBackend` whose churn is write-ahead journalled.
+
+    Streaming and sketches delegate straight to the inner warm backend
+    (both share the same :class:`ShardedSet`, so stream-version staleness
+    semantics are untouched); every mutation is validated, journalled,
+    then applied — see the module docstring for the ordering contract.
+    """
+
+    mode = SyncMode.STREAM
+
+    def __init__(self, inner: WarmRibltBackend, store: DurableShardStore) -> None:
+        super().__init__(inner.handle, inner.sharded)
+        self.inner = inner
+        self.store = store
+
+    @property
+    def codec(self) -> SymbolCodec:
+        return self.inner.codec
+
+    @property
+    def encoders(self) -> list[RatelessEncoder]:
+        return self.inner.encoders
+
+    def cached_symbols(self, shard: int) -> int:
+        return self.inner.cached_symbols(shard)
+
+    def open_stream(self, shard: int):
+        return self.inner.open_stream(shard)
+
+    def build_sketch(self, shard: int, bound: int) -> bytes:
+        return self.inner.build_sketch(shard, bound)
+
+    # -- write-ahead mutation ----------------------------------------------
+
+    def _mutate(self, items: List[bytes], op: int) -> list[int]:
+        # Validate first (mirroring ShardedSet's all-or-nothing checks) so
+        # a record that reaches the journal can never fail to replay.
+        sharded = self.inner.sharded
+        seen: set = set()
+        for item in items:
+            present = item in sharded
+            dup = item in seen
+            if op == OP_ADD and (present or dup):
+                raise KeyError(f"duplicate item: {item.hex()}")
+            if op == OP_REMOVE and (not present or dup):
+                raise KeyError(f"item not in set: {item.hex()}")
+            seen.add(item)
+        self.store.journal_op(op, items)
+        if op == OP_ADD:
+            placed = self.inner.add_many(items)
+        else:
+            placed = self.inner.remove_many(items)
+        self.store.note_churn(len(items), self.inner)
+        return placed
+
+    def add(self, item: bytes) -> int:
+        return self._mutate([item], OP_ADD)[0]
+
+    def remove(self, item: bytes) -> int:
+        return self._mutate([item], OP_REMOVE)[0]
+
+    def add_many(self, items: Iterable[bytes]) -> list[int]:
+        items = items if isinstance(items, list) else list(items)
+        return self._mutate(items, OP_ADD) if items else []
+
+    def remove_many(self, items: Iterable[bytes]) -> list[int]:
+        items = items if isinstance(items, list) else list(items)
+        return self._mutate(items, OP_REMOVE) if items else []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Force a snapshot generation now (also runs on churn threshold)."""
+        self.store.checkpoint(self.inner)
+
+    def close(self) -> None:
+        self.store.close()
+
+
+# -- open / recover ------------------------------------------------------------
+
+
+def open_durable(
+    data_dir,
+    items: Iterable[bytes] = (),
+    *,
+    scheme: str = "riblt",
+    num_shards: int = 0,
+    config: Optional[DurableConfig] = None,
+    injector: FaultInjector = INJECTOR,
+    **params: object,
+) -> DurableBackend:
+    """Open (or initialise) a durable warm backend at ``data_dir``.
+
+    Fresh directory: builds the warm backend from ``items`` (parameters
+    exactly as :class:`~repro.service.server.ReconciliationServer`
+    takes them; ``num_shards`` defaults to 1) and writes generation 1.
+
+    Existing directory: recovers — snapshots parsed, journal replayed,
+    torn tail truncated — and every explicit parameter is validated
+    against the manifest (:class:`DataDirMismatch` on disagreement;
+    ``num_shards=0`` and omitted params mean "adopt the store's").
+    ``items``, when given alongside an existing store, must equal the
+    recovered set exactly: passing the same input file across restarts
+    is idempotent, passing a different one is an error, never a merge.
+    """
+    data_dir = Path(data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    config = config or DurableConfig()
+    materialised = items if isinstance(items, list) else list(items)
+    if (data_dir / MANIFEST_NAME).exists():
+        backend = _recover(data_dir, config, injector)
+        _validate_reopen(backend, materialised, scheme, num_shards, params)
+        return backend
+    return _initialise(
+        data_dir, materialised, scheme, num_shards or 1, config, injector, params
+    )
+
+
+def _initialise(
+    data_dir: Path,
+    materialised: List[bytes],
+    scheme: str,
+    num_shards: int,
+    config: DurableConfig,
+    injector: FaultInjector,
+    params: dict,
+) -> DurableBackend:
+    handle = get_scheme(scheme, **params)
+    if handle.params.symbol_size is None:
+        if not materialised:
+            raise ValueError(
+                "initialising an empty durable store needs an explicit symbol_size"
+            )
+        handle = handle.with_params(symbol_size=len(materialised[0]))
+    codec = codec_of(handle)
+    if handle.name != "riblt" or codec is None:
+        raise ValueError(
+            f"the durable store persists warm riblt banks; scheme "
+            f"{handle.name!r} is not supported"
+        )
+    sharded = ShardedSet(hash64_of(handle, codec), num_shards, materialised)
+    inner = WarmRibltBackend(handle, sharded, codec)
+    store = DurableShardStore(
+        data_dir, handle, codec, gen=0, seq=0, config=config, injector=injector
+    )
+    store.journal.open()
+    store.checkpoint(inner)  # generation 1: the store is born consistent
+    return DurableBackend(inner, store)
+
+
+def _recover(
+    data_dir: Path, config: DurableConfig, injector: FaultInjector
+) -> DurableBackend:
+    manifest_path = data_dir / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        fmt = manifest["format"]
+        scheme = manifest["scheme"]
+        handle = get_scheme(
+            scheme,
+            symbol_size=manifest["symbol_size"],
+            checksum_size=manifest["checksum_size"],
+            hasher=manifest["hasher"],
+            key=bytes.fromhex(manifest["key"]),
+        )
+        num_shards = manifest["num_shards"]
+        gen = manifest["gen"]
+        seq = manifest["seq"]
+        shard_entries = manifest["shards"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CorruptManifest(f"{manifest_path}: {exc}") from exc
+    if fmt != MANIFEST_FORMAT:
+        raise CorruptManifest(f"{manifest_path}: unknown format {fmt}")
+    if len(shard_entries) != num_shards:
+        raise CorruptManifest(
+            f"{manifest_path}: {len(shard_entries)} shard entries for "
+            f"{num_shards} shards"
+        )
+    codec = codec_of(handle)
+    assert codec is not None
+    sharded = ShardedSet(hash64_of(handle, codec), num_shards)
+    encoders: List[RatelessEncoder] = []
+    for shard, entry in enumerate(shard_entries):
+        snap_path = data_dir / entry["file"]
+        try:
+            blob = snap_path.read_bytes()
+        except FileNotFoundError as exc:
+            raise CorruptSnapshot(f"{snap_path}: missing snapshot file") from exc
+        snapshot = unpack_shard(blob, codec, name=entry["file"])
+        if (
+            snapshot.shard != shard
+            or snapshot.version != entry["version"]
+            or len(snapshot.values) != entry["count"]
+            or len(snapshot.bank) != entry["cells"]
+        ):
+            raise CorruptSnapshot(
+                f"{snap_path}: snapshot disagrees with the manifest entry"
+            )
+        sharded.shards[shard] = snapshot_members(snapshot, codec)
+        sharded.versions[shard] = snapshot.version
+        encoders.append(
+            RatelessEncoder.restore(
+                codec,
+                snapshot.values,
+                snapshot.checksums,
+                snapshot.currents,
+                snapshot.states,
+                snapshot.bank,
+            )
+        )
+    inner = WarmRibltBackend(handle, sharded, codec, encoders=encoders)
+    # Replay churn the last checkpoint had not absorbed, oldest first.
+    # Records at or below the manifest's seq were written before a
+    # checkpoint whose journal reset did not complete — skip them.
+    journal_path = data_dir / JOURNAL_NAME
+    payloads, valid, total = read_journal(journal_path)
+    replayed = 0
+    last_seq = seq
+    for payload in payloads:
+        op, rec_seq, rec_items = decode_op(payload, codec.symbol_size)
+        if rec_seq <= seq:
+            continue
+        if rec_seq != last_seq + 1:
+            raise CorruptJournal(
+                f"{journal_path}: sequence jumped {last_seq} -> {rec_seq}"
+            )
+        if op == OP_ADD:
+            inner.add_many(rec_items)
+        else:
+            inner.remove_many(rec_items)
+        last_seq = rec_seq
+        replayed += len(rec_items)
+    store = DurableShardStore(
+        data_dir, handle, codec, gen=gen, seq=last_seq, config=config, injector=injector
+    )
+    store.journal.open()
+    if total > valid:
+        store.journal.truncate_to(valid)  # torn tail from a crash mid-append
+    store.churned_since_checkpoint = replayed
+    store._sweep_stale_files(keep_gen=gen)
+    backend = DurableBackend(inner, store)
+    # Fold a long journal back into snapshots so replay work is bounded
+    # across repeated restarts.
+    threshold = config.checkpoint_every
+    if threshold is not None and replayed >= threshold:
+        store.checkpoint(inner)
+    return backend
+
+
+def _validate_reopen(
+    backend: DurableBackend,
+    materialised: List[bytes],
+    scheme: str,
+    num_shards: int,
+    params: dict,
+) -> None:
+    handle = backend.handle
+    if scheme != handle.name:
+        raise DataDirMismatch(
+            f"store holds scheme {handle.name!r}, caller asked for {scheme!r}"
+        )
+    if num_shards not in (0, backend.num_shards):
+        raise DataDirMismatch(
+            f"store holds {backend.num_shards} shards, caller asked for {num_shards}"
+        )
+    stored = backend.handle.params
+    for name, value in params.items():
+        if name == "key" and isinstance(value, str):
+            value = bytes.fromhex(value)
+        if getattr(stored, name, value) != value:
+            raise DataDirMismatch(
+                f"store was created with {name}={getattr(stored, name)!r}, "
+                f"caller asked for {name}={value!r}"
+            )
+    if materialised and set(materialised) != set(backend.sharded):
+        raise DataDirMismatch(
+            "items passed to an existing durable store must equal the "
+            "recovered set (same input is idempotent; merging is not implied)"
+        )

@@ -41,6 +41,7 @@ from repro.api.registry import Scheme, get_scheme
 from repro.gossip.mesh import GossipMesh, build_topology, select_pairs
 from repro.gossip.node import GossipNode, PeerView, SetDigest
 from repro.gossip.rounds import (
+    SESSION_FAILURES,
     GossipConfig,
     decode_digest,
     encode_digest,
@@ -93,6 +94,7 @@ __all__ = [
     "MeshRoundStats",
     "PeerView",
     "RoundOutcome",
+    "SESSION_FAILURES",
     "SetDigest",
     "build_topology",
     "decode_digest",

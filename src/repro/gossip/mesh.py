@@ -40,6 +40,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.gossip.node import GossipNode
 from repro.gossip.rounds import (
+    SESSION_FAILURES,
     GossipConfig,
     LinkSession,
     exchange_digests,
@@ -224,6 +225,11 @@ class GossipMesh:
         sim = Simulator()
         for initiator_id, responder_id in pairs:
             x, y = self.nodes[initiator_id], self.nodes[responder_id]
+            if x.in_backoff(y.node_id, self.round_no):
+                stats.absorb(
+                    RoundOutcome(x.node_id, y.node_id, "backoff")
+                )
+                continue
             if x.can_skip(y.node_id, self.round_no, config.refresh_every):
                 stats.absorb(
                     RoundOutcome(x.node_id, y.node_id, "clock-skip")
@@ -231,6 +237,8 @@ class GossipMesh:
                 continue
             matched, digest_bytes = exchange_digests(x, y, self.round_no)
             if matched:
+                x.mark_contact_ok(y.node_id)
+                y.mark_contact_ok(x.node_id)
                 stats.absorb(
                     RoundOutcome(
                         x.node_id,
@@ -270,8 +278,23 @@ class GossipMesh:
             )
         sim.run(max_events=50_000_000)
         for initiator_id, responder_id, session, digest_bytes in sessions:
-            report, wire_bytes, completed_at = session.result()
             x, y = self.nodes[initiator_id], self.nodes[responder_id]
+            try:
+                report, wire_bytes, completed_at = session.result()
+            except SESSION_FAILURES as exc:
+                x.mark_failed(y.node_id, self.round_no)
+                if not config.tolerate_failures:
+                    raise
+                stats.absorb(
+                    RoundOutcome(
+                        x.node_id,
+                        y.node_id,
+                        "failed",
+                        digest_bytes=digest_bytes,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
             learned = x.learn(report.only_in_remote)
             delivered = 0
             if config.push and report.only_in_local:
@@ -281,6 +304,8 @@ class GossipMesh:
                     len(item) for item in exclusives
                 )
             confirm_sync(x, y, self.round_no)
+            x.mark_contact_ok(y.node_id)
+            y.mark_contact_ok(x.node_id)
             stats.absorb(
                 RoundOutcome(
                     x.node_id,

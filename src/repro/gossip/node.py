@@ -73,10 +73,20 @@ class PeerView:
     """The peer's clock when the pair last confirmed sync."""
     last_exchange_round: int = -1
     """Mesh round of the last actual exchange (digest or full)."""
+    suspect: bool = False
+    """A round to this peer failed and it has not succeeded since."""
+    failures: int = 0
+    """Consecutive failed rounds (drives the contact backoff)."""
+    next_contact_round: int = 0
+    """Earliest mesh round this node will initiate to a suspect peer."""
 
 
 class GossipNode:
     """A mesh peer: one set, one warm backend, per-neighbour clocks."""
+
+    #: Contact-interval cap for failing peers, in mesh rounds: a peer's
+    #: backoff doubles per consecutive failure (2, 4, 8, ...) up to here.
+    MAX_BACKOFF_ROUNDS = 16
 
     def __init__(
         self,
@@ -86,8 +96,32 @@ class GossipNode:
         handle: Optional[Scheme] = None,
         scheme: str = "riblt",
         num_shards: int = 1,
+        backend: Optional[ShardBackend] = None,
         **params: object,
     ) -> None:
+        if backend is not None:
+            # Adopt live shard state — e.g. a durable backend recovered
+            # from disk, so the node's version clock (and therefore the
+            # digest peers compare against their stale guard) survives
+            # a restart instead of resetting to zero.
+            materialised = list(items)
+            if materialised or num_shards != 1 or params or handle is not None:
+                raise ValueError(
+                    "backend= is exclusive: the backend already fixes the "
+                    "items, handle, shard count, and parameters"
+                )
+            handle = backend.handle
+            self.node_id = node_id
+            self.handle = handle
+            self.codec = codec_of(handle)
+            self.hash64 = hash64_of(handle, self.codec)
+            self.backend = backend
+            self.views: Dict[int, PeerView] = {}
+            self._xor = _XOR_SEED
+            for item in backend.sharded:
+                self._xor ^= self.hash64(item)
+            self._digest_version = self.version
+            return
         materialised = list(items)
         if handle is None:
             handle = get_scheme(scheme, **params)
@@ -221,6 +255,45 @@ class GossipNode:
         view.synced_local_version = self.version
         view.synced_peer_version = peer_digest.version
         view.last_exchange_round = round_no
+
+    def mark_failed(self, peer_id: int, round_no: int) -> PeerView:
+        """A round to ``peer_id`` died; suspect it and back off contact.
+
+        Each consecutive failure doubles the contact interval (2, 4,
+        8, ... rounds, capped at :attr:`MAX_BACKOFF_ROUNDS`) so a dead
+        or overwhelmed peer is not re-hammered at full rate every
+        round, while a recovering one is still probed within a bounded
+        window.
+        """
+        view = self.view_of(peer_id)
+        view.suspect = True
+        view.failures += 1
+        view.in_sync = False  # whatever we believed, the round disproved
+        view.next_contact_round = round_no + min(
+            1 << view.failures, self.MAX_BACKOFF_ROUNDS
+        )
+        return view
+
+    def mark_contact_ok(self, peer_id: int) -> None:
+        """A round to ``peer_id`` succeeded; restore the normal cadence.
+
+        One success clears suspicion entirely — the peer is back inside
+        the ordinary ``refresh_every`` window immediately.
+        """
+        view = self.views.get(peer_id)
+        if view is not None and view.suspect:
+            view.suspect = False
+            view.failures = 0
+            view.next_contact_round = 0
+
+    def in_backoff(self, peer_id: int, round_no: int) -> bool:
+        """True while a suspect peer's contact interval has not elapsed."""
+        view = self.views.get(peer_id)
+        return (
+            view is not None
+            and view.suspect
+            and round_no < view.next_contact_round
+        )
 
     def can_skip(self, peer_id: int, round_no: int, refresh_every: int) -> bool:
         """True when a round to ``peer_id`` may be skipped byte-free.

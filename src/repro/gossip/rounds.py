@@ -33,14 +33,27 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.api import SymbolBudgetExceeded
 from repro.gossip.node import GossipNode, SetDigest
 from repro.gossip.stats import RoundOutcome
 from repro.net.link import Link
 from repro.net.simulator import Simulator
 from repro.protocol.events import MachineReport
 from repro.protocol.machine import InitiatorMachine, ResponderMachine
-from repro.service.errors import ProtocolError
-from repro.service.framing import BodyReader, pack_uvarints
+from repro.service.errors import ProtocolError, ServiceError
+from repro.service.framing import BodyReader, FrameError, pack_uvarints
+
+#: What a dying full session can surface: typed budget/protocol errors
+#: from either machine, framing garbage, and transport-level failures.
+#: These degrade (suspect + backoff) under ``tolerate_failures``; other
+#: exceptions are bugs and always propagate.
+SESSION_FAILURES = (
+    SymbolBudgetExceeded,
+    ServiceError,
+    FrameError,
+    ConnectionError,
+    OSError,
+)
 
 #: Tag byte opening a gossip digest frame (outside the service frame
 #: catalogue: the digest exchange happens before any machine session).
@@ -89,6 +102,13 @@ class GossipConfig:
 
     seed: int = 0
     """Loss-model RNG seed base (sim transport)."""
+
+    tolerate_failures: bool = True
+    """Degrade instead of raise when a full session dies (budget blown,
+    peer closed, transport error): the initiator marks the responder
+    suspect — backing off its contact interval — and the round reports
+    tier ``"failed"``.  ``False`` restores raise-through semantics for
+    tests and callers that drive sessions directly."""
 
 
 def encode_digest(digest: SetDigest) -> bytes:
@@ -340,42 +360,60 @@ def run_round(
     this only for the two cheap tiers.
     """
     config = config or GossipConfig()
+    if x.in_backoff(y.node_id, round_no):
+        return RoundOutcome(x.node_id, y.node_id, "backoff")
     if x.can_skip(y.node_id, round_no, config.refresh_every):
         return RoundOutcome(x.node_id, y.node_id, "clock-skip")
     matched, digest_bytes = exchange_digests(x, y, round_no)
     if matched:
+        x.mark_contact_ok(y.node_id)
+        y.mark_contact_ok(x.node_id)
         return RoundOutcome(
             x.node_id, y.node_id, "digest-skip", digest_bytes=digest_bytes
         )
-    if config.transport == "service":
-        report, wire_bytes = _run_service_session(x, y, config)
-    else:
-        initiator = x.initiator(
-            push=config.push,
-            max_symbols=config.max_symbols,
-            difference_bound=config.difference_bound,
-            use_estimator=config.use_estimator,
-        )
-        responder = y.responder(
-            block_size=config.block_size,
-            use_estimator=config.use_estimator,
-        )
-        if config.transport == "sim":
-            report, wire_bytes, _ = run_link_session(
-                initiator,
-                responder,
-                bandwidth_bps=config.bandwidth_bps,
-                delay_s=config.delay_s,
-                loss_rate=config.loss_rate,
-                rng=random.Random(config.seed ^ (round_no << 16)
-                                  ^ (x.node_id << 8) ^ y.node_id)
-                if config.loss_rate
-                else None,
-            )
+    try:
+        if config.transport == "service":
+            report, wire_bytes = _run_service_session(x, y, config)
         else:
-            report, wire_bytes = pump_counted(initiator, responder)
+            initiator = x.initiator(
+                push=config.push,
+                max_symbols=config.max_symbols,
+                difference_bound=config.difference_bound,
+                use_estimator=config.use_estimator,
+            )
+            responder = y.responder(
+                block_size=config.block_size,
+                use_estimator=config.use_estimator,
+            )
+            if config.transport == "sim":
+                report, wire_bytes, _ = run_link_session(
+                    initiator,
+                    responder,
+                    bandwidth_bps=config.bandwidth_bps,
+                    delay_s=config.delay_s,
+                    loss_rate=config.loss_rate,
+                    rng=random.Random(config.seed ^ (round_no << 16)
+                                      ^ (x.node_id << 8) ^ y.node_id)
+                    if config.loss_rate
+                    else None,
+                )
+            else:
+                report, wire_bytes = pump_counted(initiator, responder)
+    except SESSION_FAILURES as exc:
+        x.mark_failed(y.node_id, round_no)
+        if not config.tolerate_failures:
+            raise
+        return RoundOutcome(
+            x.node_id,
+            y.node_id,
+            "failed",
+            digest_bytes=digest_bytes,
+            error=f"{type(exc).__name__}: {exc}",
+        )
     learned = x.learn(report.only_in_remote)
     confirm_sync(x, y, round_no)
+    x.mark_contact_ok(y.node_id)
+    y.mark_contact_ok(x.node_id)
     return RoundOutcome(
         x.node_id,
         y.node_id,

@@ -15,6 +15,17 @@ point of the clock/digest short-circuit is *where the bytes go*:
     A real reconciliation session through the protocol engine; bytes
     are the actual framed wire traffic, both directions.
 
+Two degraded tiers cover fault tolerance (``GossipConfig.
+tolerate_failures``):
+
+``failed``
+    The session died mid-flight (budget blown, frame error, connection
+    reset).  The initiator marks the responder suspect and backs off;
+    digest bytes already spent are charged.
+``backoff``
+    Zero bytes: the peer is suspect and its backed-off contact
+    interval has not elapsed, so the initiator skipped it entirely.
+
 :func:`simulate_flooding` is the naive baseline the benchmark compares
 against: the same topology, schedule, and round structure, but every
 session ships both full sets instead of a diff.  It is charged
@@ -39,7 +50,7 @@ class RoundOutcome:
 
     initiator: int
     responder: int
-    tier: str  # "clock-skip" | "digest-skip" | "full"
+    tier: str  # "clock-skip" | "digest-skip" | "full" | "failed" | "backoff"
     digest_bytes: int = 0
     session_bytes: int = 0
     symbols: int = 0
@@ -49,6 +60,8 @@ class RoundOutcome:
     """Items the initiator pushed into the responder."""
     completion_time: float = 0.0
     """Virtual seconds (sim transport only; 0 elsewhere)."""
+    error: Optional[str] = None
+    """``"ExcType: message"`` for a ``failed`` tier; ``None`` otherwise."""
 
     @property
     def wire_bytes(self) -> int:
@@ -64,6 +77,8 @@ class MeshRoundStats:
     clock_skips: int = 0
     digest_skips: int = 0
     full_syncs: int = 0
+    failed_syncs: int = 0
+    backoffs: int = 0
     digest_bytes: int = 0
     session_bytes: int = 0
     symbols: int = 0
@@ -81,6 +96,10 @@ class MeshRoundStats:
             self.clock_skips += 1
         elif outcome.tier == "digest-skip":
             self.digest_skips += 1
+        elif outcome.tier == "failed":
+            self.failed_syncs += 1
+        elif outcome.tier == "backoff":
+            self.backoffs += 1
         else:
             self.full_syncs += 1
         self.digest_bytes += outcome.digest_bytes
@@ -125,6 +144,14 @@ class ConvergenceReport:
     @property
     def clock_skips(self) -> int:
         return sum(r.clock_skips for r in self.per_round)
+
+    @property
+    def failed_syncs(self) -> int:
+        return sum(r.failed_syncs for r in self.per_round)
+
+    @property
+    def backoffs(self) -> int:
+        return sum(r.backoffs for r in self.per_round)
 
     @property
     def items_moved(self) -> int:

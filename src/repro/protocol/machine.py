@@ -87,7 +87,12 @@ from repro.protocol.events import (
     ShardTally,
 )
 from repro.service.backends import ShardBackend, StaleStream
-from repro.service.errors import PeerError, ProtocolError, SchemeMismatch
+from repro.service.errors import (
+    IdleTimeout,
+    PeerError,
+    ProtocolError,
+    SchemeMismatch,
+)
 from repro.service.framing import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -147,6 +152,8 @@ def _raise_peer_error(body: bytes) -> None:
         raise StaleStream(f"server: {message}")
     if code == ErrorCode.MISMATCH:
         raise SchemeMismatch(f"server: {message}")
+    if code == ErrorCode.IDLE:
+        raise IdleTimeout(f"server: {message}")
     if code in (ErrorCode.PROTOCOL, ErrorCode.UNSUPPORTED):
         raise ProtocolError(f"server: {message}")
     raise PeerError(code, message)
@@ -698,6 +705,20 @@ class ResponderMachine(ReconcilerMachine):
     def _protocol_fail(self, code: ErrorCode, message: str) -> None:
         self._send_error(code, message)
         self._fail(ProtocolError(message))
+
+    def deadline_expired(self, message: str = "session idle past deadline") -> None:
+        """Hosting transport declares the peer stalled.
+
+        The machine cannot observe wall-clock silence itself (sans-io);
+        the server calls this when a session blows its idle deadline.
+        Emits a typed ``ERROR`` frame — so a merely-slow client fails
+        with :class:`~repro.service.errors.IdleTimeout` rather than a
+        mute connection reset — and fails the session.
+        """
+        if self.finished:
+            return
+        self._send_error(ErrorCode.IDLE, message)
+        self._fail(IdleTimeout(message))
 
     # -- machine events ----------------------------------------------------
 

@@ -32,8 +32,9 @@ churns.  This package is that story over real sockets:
 """
 
 from repro.service.backends import StaleStream
-from repro.service.client import SyncResult, sync, sync_once
+from repro.service.client import RetryPolicy, SyncResult, sync, sync_once
 from repro.service.errors import (
+    IdleTimeout,
     PeerError,
     ProtocolError,
     SchemeMismatch,
@@ -46,9 +47,11 @@ from repro.service.server import ReconciliationServer, ServerConfig, ServerStats
 __all__ = [
     "FrameError",
     "FrameTooLarge",
+    "IdleTimeout",
     "PeerError",
     "ProtocolError",
     "ReconciliationServer",
+    "RetryPolicy",
     "SchemeMismatch",
     "ServerConfig",
     "ServerStats",

@@ -144,16 +144,33 @@ class _WarmStream(ShardStream):
 
 
 class WarmRibltBackend(ShardBackend):
-    """One warm, continuously patched Rateless-IBLT encoder per shard."""
+    """One warm, continuously patched Rateless-IBLT encoder per shard.
+
+    ``encoders`` is the durable-store load hook: recovery rebuilds each
+    shard's encoder from its snapshot (exact parked walk state + cached
+    bank) and hands them in ready-made instead of re-ingesting
+    ``sharded``.  They must be index-aligned with ``sharded.shards``
+    and hold the same members.
+    """
 
     mode = SyncMode.STREAM
 
-    def __init__(self, handle: Scheme, sharded: ShardedSet, codec: SymbolCodec) -> None:
+    def __init__(
+        self,
+        handle: Scheme,
+        sharded: ShardedSet,
+        codec: SymbolCodec,
+        encoders: Optional[list[RatelessEncoder]] = None,
+    ) -> None:
         super().__init__(handle, sharded)
         self.codec = codec
-        self.encoders = [
-            RatelessEncoder(codec, members) for members in sharded.shards
-        ]
+        if encoders is None:
+            encoders = [RatelessEncoder(codec, members) for members in sharded.shards]
+        elif len(encoders) != sharded.num_shards:
+            raise ValueError(
+                f"{len(encoders)} encoders adopted for {sharded.num_shards} shards"
+            )
+        self.encoders = encoders
 
     def add(self, item: bytes) -> int:
         shard = self.sharded.add(item)

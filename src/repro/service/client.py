@@ -12,13 +12,21 @@ sketch RETRY doubling, PUSH/BYE/STATS) is defined exactly once, in
 server is missing (this side's exclusives) are pushed back, so both
 sets converge in a single session while the server's warm encoders are
 patched — not rebuilt — by the incoming items.
+
+``retry=RetryPolicy(...)`` makes connection-level failures survivable:
+refused/reset/timed-out connections are retried with exponential
+backoff and deterministic, seedable jitter.  Only ``ConnectionError``/
+``OSError`` retry — a *typed* protocol failure (budget exceeded, scheme
+mismatch, idle timeout, stale stream) means both ends are alive and
+disagree, and retrying would just replay the disagreement.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 import repro.protocol.machine as protocol_machine
 from repro.api.registry import Scheme, get_scheme
@@ -29,6 +37,42 @@ from repro.service.framing import MAX_FRAME_BYTES, SyncMode
 DEFAULT_MAX_ROUNDS = 4
 
 _READ_CHUNK = 1 << 16
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded reconnect schedule: exponential backoff + seeded jitter.
+
+    ``attempts`` counts *total* connection attempts (1 = no retries).
+    The delay before retry ``k`` is ``base_delay * multiplier**(k-1)``
+    capped at ``max_delay``, then scaled by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` drawn from ``random.Random(seed)`` —
+    so a seeded policy yields an exactly reproducible schedule (tests),
+    while the default ``seed=None`` decorrelates a fleet of clients
+    that all lost the same server at the same instant.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delays(self) -> Iterator[float]:
+        """The sleep before each retry (``attempts - 1`` values)."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.attempts - 1):
+            scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield min(delay, self.max_delay) * scale
+            delay *= self.multiplier
 
 
 @dataclass
@@ -105,6 +149,7 @@ async def sync(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     capture_payloads: bool = False,
     max_frame: int = MAX_FRAME_BYTES,
+    retry: Optional[RetryPolicy] = None,
     **params: object,
 ) -> SyncResult:
     """Reconcile ``items`` against the server at ``(host, port)``.
@@ -115,7 +160,9 @@ async def sync(
     :class:`~repro.api.SymbolBudgetExceeded` a server-side drop
     produces.  ``difference_bound`` seeds sketch-mode sizing (ignored by
     streaming schemes); ``params`` configure the scheme exactly as in
-    :func:`repro.api.reconcile`.
+    :func:`repro.api.reconcile`.  ``retry`` bounds reconnects on
+    connection-level failures (see :class:`RetryPolicy`); the default
+    ``None`` keeps the historical fail-fast behaviour.
     """
     materialised = list(dict.fromkeys(items))
     handle = get_scheme(scheme, **params)
@@ -123,27 +170,44 @@ async def sync(
         if not materialised:
             raise ValueError("syncing an empty set needs an explicit symbol_size")
         handle = handle.with_params(symbol_size=len(materialised[0]))
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        return await _sync_over(
-            reader,
-            writer,
-            handle,
-            materialised,
-            num_shards=num_shards,
-            push=push,
-            max_symbols=max_symbols,
-            difference_bound=difference_bound,
-            max_rounds=max_rounds,
-            capture_payloads=capture_payloads,
-            max_frame=max_frame,
-        )
-    finally:
-        writer.close()
+
+    async def _attempt() -> SyncResult:
+        reader, writer = await asyncio.open_connection(host, port)
         try:
-            await writer.wait_closed()
+            return await _sync_over(
+                reader,
+                writer,
+                handle,
+                materialised,
+                num_shards=num_shards,
+                push=push,
+                max_symbols=max_symbols,
+                difference_bound=difference_bound,
+                max_rounds=max_rounds,
+                capture_payloads=capture_payloads,
+                max_frame=max_frame,
+            )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    if retry is None:
+        return await _attempt()
+    delays = retry.delays()
+    while True:
+        try:
+            return await _attempt()
         except (ConnectionError, OSError):
-            pass
+            # Typed protocol errors (ServiceError, SymbolBudgetExceeded,
+            # FrameError) propagate: both ends were alive and disagreed;
+            # replaying the session replays the disagreement.
+            pause = next(delays, None)
+            if pause is None:
+                raise
+            await asyncio.sleep(pause)
 
 
 def sync_once(

@@ -23,6 +23,15 @@ class SchemeMismatch(ProtocolError):
     """Client and server disagree on scheme, codec, key, or sharding."""
 
 
+class IdleTimeout(ServiceError):
+    """The session sat idle past its deadline and was closed.
+
+    Raised server-side when a client connects and then stalls (holding
+    its session, shard budget grace, and backpressure state hostage),
+    and client-side when the matching typed ``ERROR`` frame arrives.
+    """
+
+
 class PeerError(ServiceError):
     """The peer reported a failure this side cannot map to a typed error."""
 

@@ -77,6 +77,7 @@ class ErrorCode(IntEnum):
     MISMATCH = 3
     STALE = 4
     UNSUPPORTED = 5
+    IDLE = 6
 
 
 class SyncMode(IntEnum):

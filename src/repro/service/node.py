@@ -39,14 +39,18 @@ class ServiceNode:
         scheme: str = "riblt",
         num_shards: int = 1,
         config: Optional[ServerConfig] = None,
+        data_dir: Optional[object] = None,
+        durable: Optional[object] = None,
         **params: object,
     ) -> None:
         self.items: set[bytes] = set(items)
         self.scheme = scheme
         self.num_shards = num_shards
         self.config = config
-        self.params = params
+        self.data_dir = data_dir
+        self.durable = durable
         self._server: Optional[ReconciliationServer] = None
+        self.params = params
 
     # -- the set ----------------------------------------------------------
 
@@ -107,7 +111,14 @@ class ServiceNode:
         return self.server.address
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Expose this node's set; returns the bound ``(host, port)``."""
+        """Expose this node's set; returns the bound ``(host, port)``.
+
+        With ``data_dir`` the served state is durable: a warm restart
+        (existing dir, no/same items) recovers the persisted shard
+        banks and churn journal, and the node's in-memory set is
+        refreshed from the recovered state — including journaled churn
+        a crash interrupted.
+        """
         if self._server is not None:
             raise RuntimeError("node is already serving")
         self._server = ReconciliationServer(
@@ -115,8 +126,12 @@ class ServiceNode:
             scheme=self.scheme,
             num_shards=self.num_shards,
             config=self.config,
+            data_dir=self.data_dir,
+            durable=self.durable,
             **self.params,
         )
+        if self.data_dir is not None:
+            self.items = set(self._server.backend.sharded)
         return await self._server.start(host, port)
 
     async def stop(self) -> None:
@@ -143,7 +158,10 @@ class ServiceNode:
         the remote is missing.  A :class:`StaleStream` — the remote's
         set changed mid-stream — is retried up to ``retry_on_stale``
         times, since the reconnected stream reads the freshly patched
-        warm bank.
+        warm bank.  Pass ``retry=RetryPolicy(...)`` (forwarded to
+        :func:`~repro.service.client.sync`) to also survive
+        connection-level failures with backoff; the two loops compose —
+        reconnects happen inside each stale-stream attempt.
         """
         attempts = max(0, retry_on_stale) + 1
         for attempt in range(attempts):

@@ -69,6 +69,13 @@ class ServerConfig:
     max_sessions: Optional[int] = None
     """Finish after this many sessions (CLI/testing); ``None`` = forever."""
 
+    idle_timeout: Optional[float] = 60.0
+    """Seconds of session silence (no client bytes, no write progress)
+    before the server sends a typed ``ErrorCode.IDLE`` frame and drops
+    the session — a stalled client must not hold its session state,
+    budget grace, and backpressure bookkeeping forever.  ``None``
+    disables the deadline."""
+
 
 @dataclass
 class ServerStats:
@@ -97,6 +104,15 @@ class ReconciliationServer:
     :class:`~repro.gossip.GossipNode`'s set over TCP without copying or
     re-encoding it — and ``items``/``scheme``/``num_shards``/``params``
     must be left at their defaults.
+
+    ``data_dir`` makes the served state durable (:mod:`repro.durable`):
+    a fresh directory is initialised from ``items`` and checkpointed
+    before serving; an existing one is *recovered* — snapshots parsed,
+    churn journal replayed — so the server comes back warm without
+    re-ingesting anything (``items`` may then be omitted, and the
+    stored shard count and codec parameters are adopted).  ``durable``
+    takes a :class:`~repro.durable.DurableConfig`; the server owns the
+    store and closes it in :meth:`close`.
     """
 
     def __init__(
@@ -107,9 +123,28 @@ class ReconciliationServer:
         num_shards: int = 1,
         config: Optional[ServerConfig] = None,
         backend: Optional[ShardBackend] = None,
+        data_dir: Optional[object] = None,
+        durable: Optional[object] = None,
         **params: object,
     ) -> None:
-        if backend is not None:
+        self._owns_store = False
+        if data_dir is not None:
+            if backend is not None:
+                raise ValueError("data_dir= and backend= are exclusive")
+            from repro.durable import open_durable
+
+            materialised = list(items)
+            backend = open_durable(
+                data_dir,
+                materialised,
+                scheme=scheme,
+                num_shards=num_shards if materialised else 0,
+                config=durable,
+                **params,
+            )
+            self._owns_store = True
+            handle = backend.handle
+        elif backend is not None:
             materialised = list(items)
             if materialised or num_shards != 1 or params or scheme != "riblt":
                 raise ValueError(
@@ -160,6 +195,12 @@ class ReconciliationServer:
         """Remove a batch; the warm shard encoders are patched per shard."""
         self.backend.remove_many(items)
 
+    def checkpoint(self) -> None:
+        """Force a durable snapshot now (``data_dir`` servers only)."""
+        if not self._owns_store:
+            raise RuntimeError("checkpoint() needs a data_dir-backed server")
+        self.backend.checkpoint()  # type: ignore[attr-defined]
+
     def __contains__(self, item: bytes) -> bool:
         return item in self.backend.sharded
 
@@ -209,6 +250,9 @@ class ReconciliationServer:
                 pass
         if self._server is not None:
             await self._server.wait_closed()
+        if self._owns_store:
+            self.backend.close()  # type: ignore[attr-defined]
+            self._owns_store = False
         self._finished.set()
 
     async def __aenter__(self) -> "ReconciliationServer":
@@ -283,6 +327,11 @@ class _Session:
         machine = self.machine
         machine.start()
         loop = asyncio.get_running_loop()
+        idle = self.server.config.idle_timeout
+        # Progress = client bytes arriving, or our writes draining.  A
+        # session making either kind never expires; one making neither
+        # is a stalled client squatting on session state.
+        last_progress = loop.time()
         read_task: asyncio.Task = asyncio.ensure_future(
             self.reader.read(_READ_CHUNK)
         )
@@ -291,7 +340,23 @@ class _Session:
                 out = machine.take_output()
                 if out:
                     self.writer.write(out)
-                    await self.writer.drain()
+                    if idle is None:
+                        await self.writer.drain()
+                    else:
+                        remaining = last_progress + idle - loop.time()
+                        try:
+                            if remaining <= 0:
+                                raise asyncio.TimeoutError
+                            await asyncio.wait_for(
+                                self.writer.drain(), timeout=remaining
+                            )
+                        except asyncio.TimeoutError:
+                            # Client stopped reading: declare the
+                            # deadline blown; the machine queues a typed
+                            # ERROR frame, flushed best-effort below.
+                            machine.deadline_expired()
+                            continue
+                    last_progress = loop.time()
                 if machine.finished:
                     break
                 if read_task.done():
@@ -300,6 +365,7 @@ class _Session:
                         machine.peer_closed()
                         continue
                     machine.bytes_received(data)
+                    last_progress = loop.time()
                     read_task = asyncio.ensure_future(
                         self.reader.read(_READ_CHUNK)
                     )
@@ -312,9 +378,20 @@ class _Session:
                     await asyncio.sleep(0)
                     continue
                 delay = machine.next_tick_delay(loop.time())
+                timeout = delay
+                if idle is not None:
+                    idle_remaining = last_progress + idle - loop.time()
+                    if idle_remaining <= 0:
+                        machine.deadline_expired()
+                        continue
+                    timeout = (
+                        idle_remaining
+                        if timeout is None
+                        else min(timeout, idle_remaining)
+                    )
                 await asyncio.wait(
                     {read_task},
-                    timeout=delay,
+                    timeout=timeout,
                     return_when=asyncio.FIRST_COMPLETED,
                 )
                 if not read_task.done() and delay is not None:

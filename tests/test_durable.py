@@ -1,0 +1,362 @@
+"""Crash-safe persistence (``repro.durable``): the recovery contract.
+
+Acceptance anchors:
+
+* recovery after randomized churn is **bit-identical** to fresh ingest
+  of the same final set — the served wire stream, the shard versions,
+  and future cell production all match (§4.1 linearity end to end);
+* a simulated crash at *every* named crash point, followed by restart,
+  recovers exactly the acknowledged prefix of mutations and serves a
+  stream golden-equal to fresh ingest of that prefix;
+* a torn journal tail (byte shortage) is silently truncated; a
+  complete record with a bad CRC is *corruption* and fails typed.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.api.registry import get_scheme
+from repro.durable import (
+    CRASH_POINTS,
+    INJECTOR,
+    CorruptJournal,
+    CorruptSnapshot,
+    DataDirMismatch,
+    DurableConfig,
+    FaultInjector,
+    SimulatedCrash,
+    open_durable,
+)
+from repro.durable.journal import MAGIC as JOURNAL_MAGIC
+from repro.durable.store import JOURNAL_NAME, MANIFEST_NAME
+from repro.protocol.machine import codec_of, hash64_of
+from repro.service.backends import WarmRibltBackend
+from repro.service.shard import ShardedSet
+
+ITEM = 8
+NUM_SHARDS = 4
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    INJECTOR.reset()
+    yield
+    INJECTOR.reset()
+
+
+def make_items(lo, hi):
+    return [b"%08d" % i for i in range(lo, hi)]
+
+
+def fresh_backend(items, num_shards=NUM_SHARDS):
+    """Reference: a cold WarmRibltBackend ingesting ``items`` directly."""
+    handle = get_scheme("riblt", symbol_size=ITEM)
+    codec = codec_of(handle)
+    hash64 = hash64_of(handle, codec)
+    sharded = ShardedSet(hash64, num_shards, sorted(items))
+    return WarmRibltBackend(handle, sharded, codec)
+
+
+def served_stream(backend, cells=96):
+    """The exact wire bytes a client would read from every shard."""
+    return [
+        backend.open_stream(shard).next_block(cells)
+        for shard in range(backend.num_shards)
+    ]
+
+
+def assert_bit_identical(recovered, reference):
+    """Recovered state must be indistinguishable from fresh ingest."""
+    assert set(recovered.sharded) == set(reference.sharded)
+    assert recovered.num_shards == reference.num_shards
+    assert served_stream(recovered) == served_stream(reference)
+    # Future production must agree too, not just the cached prefix.
+    for shard in range(recovered.num_shards):
+        a = recovered.open_stream(shard)
+        b = reference.open_stream(shard)
+        a.next_block(64)
+        b.next_block(64)
+        assert a.next_block(64) == b.next_block(64)
+
+
+# -- recovery is fresh-ingest, bit for bit ---------------------------------
+
+
+def test_checkpoint_close_reopen_roundtrip(tmp_path):
+    items = make_items(0, 300)
+    backend = open_durable(tmp_path, items, num_shards=NUM_SHARDS)
+    backend.add_many(make_items(300, 360))
+    backend.remove_many(make_items(0, 30))
+    versions = list(backend.sharded.versions)
+    backend.close()
+
+    recovered = open_durable(tmp_path)
+    try:
+        final = sorted(set(make_items(30, 360)))
+        assert sorted(recovered.sharded) == final
+        # Journal replay re-applies the same batches, so the mutation
+        # clock lands exactly where it was at close (gossip digests
+        # compare versions across restarts).
+        assert list(recovered.sharded.versions) == versions
+        assert_bit_identical(recovered, fresh_backend(final))
+    finally:
+        recovered.close()
+
+
+@pytest.mark.parametrize("seed", [1, 7, 2024])
+def test_recovery_bit_identical_after_random_churn(tmp_path, seed):
+    rng = random.Random(seed)
+    live = set(make_items(0, 200))
+    backend = open_durable(
+        tmp_path,
+        sorted(live),
+        num_shards=NUM_SHARDS,
+        config=DurableConfig(checkpoint_every=97, fsync=False),
+    )
+    fresh_counter = 1000
+    for _ in range(rng.randrange(5, 15)):
+        if rng.random() < 0.6 or len(live) < 20:
+            batch = [
+                b"%08d" % i
+                for i in range(fresh_counter, fresh_counter + rng.randrange(1, 40))
+            ]
+            fresh_counter += len(batch)
+            backend.add_many(batch)
+            live.update(batch)
+        else:
+            batch = rng.sample(sorted(live), rng.randrange(1, 20))
+            backend.remove_many(batch)
+            live.difference_update(batch)
+        if rng.random() < 0.2:
+            backend.checkpoint()
+    versions = list(backend.sharded.versions)
+    backend.close()
+
+    recovered = open_durable(tmp_path)
+    try:
+        assert set(recovered.sharded) == live
+        assert list(recovered.sharded.versions) == versions
+        assert_bit_identical(recovered, fresh_backend(sorted(live)))
+    finally:
+        recovered.close()
+
+
+def test_reopen_with_same_items_validates(tmp_path):
+    items = make_items(0, 50)
+    open_durable(tmp_path, items, num_shards=2).close()
+    # Same items: fine (idempotent cold-start scripts).
+    backend = open_durable(tmp_path, items, num_shards=2)
+    backend.close()
+    # Different items: refusing beats silently serving the wrong set.
+    with pytest.raises(DataDirMismatch):
+        open_durable(tmp_path, make_items(0, 51), num_shards=2)
+    with pytest.raises(DataDirMismatch):
+        open_durable(tmp_path, items, num_shards=3)
+
+
+# -- kill it at every crash point ------------------------------------------
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_crash_point_then_recover_serves_acked_prefix(tmp_path, point):
+    """Crash at ``point``; restart serves a clean op-sequence prefix.
+
+    The contract: every *acked* op survives; the single in-flight op
+    may or may not (a crash after the journal write but before the ack
+    — e.g. during the fsync — legitimately persists it).  Whatever
+    state comes back must be bit-identical to fresh ingest of it.
+    """
+    backend = open_durable(
+        tmp_path, make_items(0, 120), num_shards=NUM_SHARDS
+    )
+    acked = set(make_items(0, 120))
+    backend.add_many(make_items(200, 240))
+    acked.update(make_items(200, 240))
+
+    # A journal-point crash fires inside a mutation; a snapshot or
+    # manifest point fires inside the checkpoint.
+    ops = [
+        ("add", make_items(300, 330)),
+        ("remove", make_items(0, 10)),
+        ("checkpoint", None),
+    ]
+    INJECTOR.arm_crash(point)
+    attempted = acked
+    try:
+        for op, batch in ops:
+            if op == "add":
+                attempted = acked | set(batch)
+                backend.add_many(batch)
+            elif op == "remove":
+                attempted = acked - set(batch)
+                backend.remove_many(batch)
+            else:
+                attempted = acked
+                backend.checkpoint()
+            acked = attempted
+        pytest.fail(f"crash point {point} never fired")
+    except SimulatedCrash as exc:
+        assert exc.point == point
+    INJECTOR.reset()
+
+    recovered = open_durable(tmp_path)
+    try:
+        recovered_set = set(recovered.sharded)
+        assert recovered_set in (acked, attempted)
+        assert_bit_identical(recovered, fresh_backend(sorted(recovered_set)))
+    finally:
+        recovered.close()
+
+
+def test_crash_point_env_var_spec():
+    injector = FaultInjector(env={"REPRO_CRASH_POINT": "manifest.rename:2"})
+    # skip=2: the first two hits pass, the third crashes.
+    injector._take_crash("manifest.rename")
+    injector._take_crash("manifest.rename")
+    with pytest.raises(SimulatedCrash):
+        injector.crash("manifest.rename")
+
+
+def test_unknown_crash_point_rejected():
+    with pytest.raises(ValueError):
+        INJECTOR.arm_crash("snapshot.nonsense")
+    with pytest.raises(ValueError):
+        FaultInjector(env={"REPRO_CRASH_POINT": "bogus.point"})
+
+
+# -- journal pathology ------------------------------------------------------
+
+
+def test_torn_journal_tail_is_truncated_not_fatal(tmp_path):
+    backend = open_durable(tmp_path, make_items(0, 60), num_shards=2)
+    backend.add_many(make_items(100, 110))  # acked, journaled
+    backend.close()
+
+    journal = tmp_path / JOURNAL_NAME
+    intact = journal.read_bytes()
+    # A torn write: half of a would-be record, then the crash.
+    journal.write_bytes(intact + b"\x40" + b"\xAB" * 17)
+
+    recovered = open_durable(tmp_path)
+    try:
+        assert set(recovered.sharded) == set(make_items(0, 60) + make_items(100, 110))
+        # The tail was physically truncated so the next append extends
+        # a valid log, not garbage.
+        recovered.add(b"%08d" % 999)
+    finally:
+        recovered.close()
+    reopened = open_durable(tmp_path)
+    try:
+        assert b"%08d" % 999 in reopened.sharded
+    finally:
+        reopened.close()
+
+
+def test_corrupt_journal_record_fails_typed(tmp_path):
+    backend = open_durable(tmp_path, make_items(0, 60), num_shards=2)
+    backend.add_many(make_items(100, 110))
+    backend.close()
+
+    journal = tmp_path / JOURNAL_NAME
+    blob = bytearray(journal.read_bytes())
+    assert len(blob) > len(JOURNAL_MAGIC) + 8
+    blob[-6] ^= 0xFF  # inside the record payload: CRC now lies
+    journal.write_bytes(bytes(blob))
+
+    with pytest.raises(CorruptJournal):
+        open_durable(tmp_path)
+
+
+def test_corrupt_snapshot_fails_typed(tmp_path):
+    backend = open_durable(tmp_path, make_items(0, 60), num_shards=2)
+    backend.close()
+    snap = sorted(tmp_path.glob("shard-*.snap"))[0]
+    blob = bytearray(snap.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    snap.write_bytes(bytes(blob))
+    with pytest.raises(CorruptSnapshot):
+        open_durable(tmp_path)
+
+
+def test_corrupt_manifest_fails_typed(tmp_path):
+    from repro.durable import CorruptManifest
+
+    open_durable(tmp_path, make_items(0, 20)).close()
+    manifest = tmp_path / MANIFEST_NAME
+    manifest.write_text(manifest.read_text()[:-10])
+    with pytest.raises(CorruptManifest):
+        open_durable(tmp_path)
+
+
+# -- injected IO errors (no crash, just a failing disk) ---------------------
+
+
+def test_journal_io_error_leaves_memory_and_disk_unchanged(tmp_path):
+    backend = open_durable(tmp_path, make_items(0, 60), num_shards=2)
+    before = set(backend.sharded)
+    journal_bytes = (tmp_path / JOURNAL_NAME).read_bytes()
+
+    INJECTOR.arm_io_error("journal.append")
+    with pytest.raises(OSError):
+        backend.add_many(make_items(100, 105))
+    # Write-ahead ordering: the failed batch never reached the bank.
+    assert set(backend.sharded) == before
+    assert (tmp_path / JOURNAL_NAME).read_bytes() == journal_bytes
+    INJECTOR.reset()
+
+    backend.add_many(make_items(100, 105))  # the disk recovered
+    backend.close()
+    recovered = open_durable(tmp_path)
+    try:
+        assert set(recovered.sharded) == before | set(make_items(100, 105))
+    finally:
+        recovered.close()
+
+
+def test_checkpoint_io_error_keeps_previous_generation(tmp_path):
+    backend = open_durable(tmp_path, make_items(0, 60), num_shards=2)
+    backend.add_many(make_items(100, 110))
+    INJECTOR.arm_io_error("snapshot.write")
+    with pytest.raises(OSError):
+        backend.checkpoint()
+    INJECTOR.reset()
+    backend.close()
+    # The old snapshot generation plus the journal still replays clean.
+    recovered = open_durable(tmp_path)
+    try:
+        assert set(recovered.sharded) == set(make_items(0, 60) + make_items(100, 110))
+    finally:
+        recovered.close()
+
+
+# -- checkpoint policy ------------------------------------------------------
+
+
+def test_auto_checkpoint_resets_journal(tmp_path):
+    backend = open_durable(
+        tmp_path,
+        make_items(0, 40),
+        num_shards=2,
+        config=DurableConfig(checkpoint_every=16, fsync=False),
+    )
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    gen_before = manifest["gen"]
+    backend.add_many(make_items(100, 120))  # 20 >= 16: auto-checkpoint
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    assert manifest["gen"] == gen_before + 1
+    assert (tmp_path / JOURNAL_NAME).read_bytes() == JOURNAL_MAGIC
+    backend.close()
+
+
+def test_checkpoint_sweeps_stale_generations(tmp_path):
+    backend = open_durable(tmp_path, make_items(0, 40), num_shards=2)
+    backend.add(b"%08d" % 500)
+    backend.checkpoint()
+    backend.add(b"%08d" % 501)
+    backend.checkpoint()
+    gens = {int(p.name.split(".g")[1].split(".")[0]) for p in tmp_path.glob("shard-*.snap")}
+    assert len(gens) == 1  # only the live generation remains
+    assert not list(tmp_path.glob("*.tmp"))
+    backend.close()

@@ -22,8 +22,13 @@ from repro.baselines.pinsketch import GF2m, PinSketch
 from repro.core.decoder import RatelessDecoder
 from repro.core.encoder import RatelessEncoder
 from repro.core.symbols import SymbolCodec
+from repro.hashing.keyed import make_hasher
 
 ITEM = 8
+
+# The paper's SipHash checksum, like the service layer: batched decode
+# verification rides its uint64-lane engine (see repro.service.defaults).
+HASHER = "siphash"
 RIBLT_DIFFS = by_scale(
     [10, 100], [1, 10, 100, 1000, 10000], [1, 10, 100, 1000, 10000, 100000]
 )
@@ -32,7 +37,7 @@ PIN_DIFFS = by_scale([1, 4], [1, 4, 16, 64, 128], [1, 4, 16, 64, 128, 256])
 
 def riblt_decode_stream(rng, d):
     """Precompute the subtracted stream of a d-item difference."""
-    codec = SymbolCodec(ITEM)
+    codec = SymbolCodec(ITEM, hasher=make_hasher(HASHER))
     items = make_items(rng, d, ITEM)
     encoder = RatelessEncoder(codec, items)
     return codec, encoder.produce_block(int(2.2 * d) + 8)
@@ -111,6 +116,7 @@ def test_fig09_riblt_decode(benchmark):
             {"d": d, "seconds": t, "throughput_per_s": tp} for d, t, tp in rows
         ],
         meta={
+            "hasher": HASHER,
             "fast_seconds_at_max_d": fast_elapsed,
             "reference_seconds_at_max_d": reference_elapsed,
             "fast_over_reference_speedup": speedup,

@@ -21,6 +21,7 @@ import time
 from bench_json import write_bench_json
 from bench_util import SCALE, by_scale, make_items, report_table
 from repro.service.client import sync
+from repro.service.defaults import SERVICE_HASHER
 from repro.service.server import ReconciliationServer, ServerConfig
 
 ITEM = 8
@@ -50,9 +51,9 @@ async def _serve_k_clients(server_items, fresh, k):
         # Each client misses `half` server items and owns `half` extras,
         # rotated so no two clients share the exact difference.
         lo = (i * 7) % half
-        missing = server_items[lo : lo + half]
+        missing = set(server_items[lo : lo + half])
         extras = fresh[(i * half) % len(fresh) :][:half]
-        client_items = [x for x in server_items if x not in set(missing)] + extras
+        client_items = [x for x in server_items if x not in missing] + extras
         clients.append(client_items)
     start = time.perf_counter()
     results = await asyncio.gather(
@@ -107,6 +108,7 @@ def test_service_throughput_vs_clients(benchmark):
             "set_size": SET_SIZE,
             "difference": DIFFERENCE,
             "num_shards": NUM_SHARDS,
+            "hasher": SERVICE_HASHER,
         },
     )
     assert all(r["symbols_per_s"] > 0 for r in rows)

@@ -261,9 +261,9 @@ def as_item_list(items: Iterable[bytes], symbol_size: Optional[int]) -> list[byt
     out = list(items)
     if out:
         width = symbol_size if symbol_size is not None else len(out[0])
-        for item in out:
-            if len(item) != width:
-                raise ValueError(
-                    f"items must all be {width} bytes; got {len(item)}"
-                )
+        # set(map(len, ...)) sweeps the lengths at C speed; the loop
+        # only reruns to name the offender when validation fails.
+        if set(map(len, out)) != {width}:
+            bad = next(len(item) for item in out if len(item) != width)
+            raise ValueError(f"items must all be {width} bytes; got {bad}")
     return out

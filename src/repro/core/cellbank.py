@@ -33,8 +33,10 @@ Two interchangeable engines exist:
   out (the set-ingestion pipeline's mapping + scatter stage: "map these
   n source items below this frontier").  Splitmix64's state is an
   additive counter, so a whole batch advances in lock-step rounds of
-  uint64 vector arithmetic plus ``np.bitwise_xor.at`` scatters, with the
-  working set compacted as symbols retire.  Guarded: requires NumPy,
+  uint64 vector arithmetic; colliding slots are combined with a
+  radix-sorted ``np.bitwise_xor.reduceat`` segment reduction (XOR is
+  commutative/associative, so reduction order cannot change the lanes)
+  and the working set compacts as symbols retire.  Guarded: requires NumPy,
   sums/checksums that fit in 64 bits, and the regular α = 0.5 mapping.
   :func:`scatter_walk_numpy` is its list-in/list-out face for callers
   (decoder replay, heap check-in) holding Python-int state.
@@ -74,6 +76,19 @@ NUMPY_LANE = _np is not None and os.environ.get("REPRO_NO_NUMPY", "") != "1"
 # Below these sizes the NumPy call overhead outweighs the vector win.
 NUMPY_MIN_JOBS = 8
 NUMPY_MIN_SPAN = 32
+
+# Live-row count below which a scatter walk finishes its stragglers
+# per-edge (see _walk_tail_scalar): a lock-step round costs ~20 small
+# NumPy calls however few symbols remain, a scalar edge ~1.5 µs.
+NUMPY_TAIL_JOBS = 32
+
+# Largest lane size the tail finisher round-trips through Python lists;
+# beyond this the full-lane copy costs more than the leftover edges.
+_TAIL_LIST_MAX = 4096
+
+# Below this many cells the (n, stride) matrix set-up of the vectorised
+# pack/unpack costs more than the per-cell ``to_bytes`` loop.
+PACK_MIN_CELLS = 16
 
 
 class CodedSymbolBank:
@@ -241,10 +256,36 @@ class CodedSymbolBank:
     COUNT_BYTES = 8
 
     def pack(self, codec: "SymbolCodec") -> bytes:
-        """Serialise the lanes into one contiguous byte string."""
+        """Serialise the lanes into one contiguous byte string.
+
+        This is the normative packed-bank encoding (``docs/wire-format.md``):
+        cells in index order, each occupying exactly ``stride = ℓ +
+        checksum_size + 8`` bytes laid out as
+
+        * ``sum`` — ℓ bytes, unsigned little-endian;
+        * ``checksum`` — ``checksum_size`` bytes, unsigned little-endian;
+        * ``count`` — 8 bytes, **signed** little-endian (two's complement).
+
+        Two engines produce it: a per-cell ``int.to_bytes`` reference
+        loop, and a vectorised lane dump (one ``(n, stride)`` uint8
+        matrix filled by column views, emitted with a single
+        ``ndarray.tobytes``) used under NumPy for banks of at least
+        ``PACK_MIN_CELLS`` cells.  Both emit byte-identical blobs — the
+        golden-equivalence suite asserts it — and symbols up to 16 bytes
+        ride the vector path via a low/high uint64 lane split.
+        """
         ssize = codec.symbol_size
         csize = codec.checksum_size
         stride = ssize + csize + self.COUNT_BYTES
+        if NUMPY_LANE and _np is not None and len(self.sums) >= PACK_MIN_CELLS:
+            blob = self._pack_numpy(ssize, csize, stride)
+            if blob is not None:
+                return blob
+        return self._pack_scalar(ssize, csize, stride)
+
+    def _pack_scalar(self, ssize: int, csize: int, stride: int) -> bytes:
+        """Reference per-cell :meth:`pack` engine (also the fallback that
+        raises the canonical ``OverflowError`` for out-of-range lanes)."""
         blob = bytearray(stride * len(self.sums))
         offset = 0
         for s, k, c in zip(self.sums, self.checksums, self.counts):
@@ -256,9 +297,60 @@ class CodedSymbolBank:
             offset += 8
         return bytes(blob)
 
+    def _pack_numpy(self, ssize: int, csize: int, stride: int) -> Optional[bytes]:
+        """Vectorised :meth:`pack`: fill an ``(n, stride)`` uint8 matrix by
+        column views, dump it with one ``tobytes``.  Returns ``None`` when
+        a lane value does not fit its field (the scalar engine then raises
+        the same error per-cell ``to_bytes`` always raised) or the symbol
+        is wider than the two uint64 lanes cover."""
+        np = _np
+        n = len(self.sums)
+        out = np.zeros((n, stride), dtype=np.uint8)
+
+        def byte_columns(values: list, width: int):
+            # Little-endian byte matrix of a uint64-per-row lane; None
+            # when a row needs more than `width` bytes.
+            arr = np.array(values, dtype=np.uint64)
+            if width < 8 and int(arr.max(initial=0)) >> (8 * width):
+                return None
+            return arr.astype("<u8").view(np.uint8).reshape(n, 8)[:, :width]
+
+        try:
+            if ssize <= 8:
+                cols = byte_columns(self.sums, ssize)
+                if cols is None:
+                    return None
+                out[:, :ssize] = cols
+            elif ssize <= 16:
+                mask = MASK64
+                lo = byte_columns([s & mask for s in self.sums], 8)
+                hi = byte_columns([s >> 64 for s in self.sums], ssize - 8)
+                if lo is None or hi is None:
+                    return None
+                out[:, :8] = lo
+                out[:, 8:ssize] = hi
+            else:
+                return None
+            cols = byte_columns(self.checksums, csize)
+            if cols is None:
+                return None
+            out[:, ssize : ssize + csize] = cols
+            counts = np.array(self.counts, dtype=np.int64)
+        except OverflowError:
+            return None  # negative sum / oversized count: scalar raises
+        out[:, ssize + csize :] = counts.astype("<i8").view(np.uint8).reshape(n, 8)
+        return out.tobytes()
+
     @classmethod
     def unpack(cls, blob: bytes, codec: "SymbolCodec") -> "CodedSymbolBank":
-        """Parse a :meth:`pack`-format byte string back into a bank."""
+        """Parse a :meth:`pack`-format byte string back into a bank.
+
+        The exact inverse of :meth:`pack` (see there for the normative
+        byte layout).  Mirrors its two engines: a per-cell
+        ``int.from_bytes`` reference loop, and a zero-copy
+        ``np.frombuffer`` view reshaped to ``(n, stride)`` whose column
+        slices become the lanes.  Both parse to identical lane values.
+        """
         ssize = codec.symbol_size
         csize = codec.checksum_size
         stride = ssize + csize + cls.COUNT_BYTES
@@ -267,6 +359,13 @@ class CodedSymbolBank:
                 f"bank blob of {len(blob)} bytes is not a multiple of the "
                 f"{stride}-byte cell stride"
             )
+        if (
+            NUMPY_LANE
+            and _np is not None
+            and len(blob) >= stride * PACK_MIN_CELLS
+            and ssize <= 16
+        ):
+            return cls._unpack_numpy(blob, ssize, csize, stride)
         view = memoryview(blob)
         sums: list[int] = []
         checksums: list[int] = []
@@ -280,16 +379,44 @@ class CodedSymbolBank:
             counts.append(from_bytes(view[offset : offset + 8], "little", signed=True))
         return cls(sums, checksums, counts)
 
+    @classmethod
+    def _unpack_numpy(
+        cls, blob: bytes, ssize: int, csize: int, stride: int
+    ) -> "CodedSymbolBank":
+        """Vectorised :meth:`unpack` engine (≤16-byte symbols)."""
+        np = _np
+        n = len(blob) // stride
+        mat = np.frombuffer(blob, dtype=np.uint8).reshape(n, stride)
+
+        def lane(col: int, width: int) -> list:
+            pad = np.zeros((n, 8), dtype=np.uint8)
+            pad[:, :width] = mat[:, col : col + width]
+            return pad.view("<u8").ravel().tolist()
+
+        if ssize <= 8:
+            sums = lane(0, ssize)
+        else:
+            sums = [
+                lo | (hi << 64)
+                for lo, hi in zip(lane(0, 8), lane(8, ssize - 8))
+            ]
+        checksums = lane(ssize, csize)
+        counts = (
+            mat[:, ssize + csize :].copy().view("<i8").ravel().tolist()
+        )
+        return cls(sums, checksums, counts)
+
 
 # -- batch scatter-walk samplers ------------------------------------------
 
 
 def numpy_lane_eligible(codec: "SymbolCodec") -> bool:
-    """True when ``codec``'s symbols can ride the vectorised lane.
+    """True when ``codec``'s symbols can ride the single-lane vector path.
 
     Requires NumPy, sums and checksums that fit in uint64, and the
-    regular α = 0.5 mapping (the §8 irregular power-step falls back to
-    the scalar engine).
+    regular α = 0.5 mapping.  This is the gate for the column-store
+    ingestion pool (one uint64 value lane, one α for all rows); block
+    producers/consumers use the wider :func:`numpy_block_eligible`.
     """
     return (
         NUMPY_LANE
@@ -297,6 +424,24 @@ def numpy_lane_eligible(codec: "SymbolCodec") -> bool:
         and codec.symbol_size <= 8
         and codec.checksum_size <= 8
         and codec.irregular is None
+    )
+
+
+def numpy_block_eligible(codec: "SymbolCodec") -> bool:
+    """True when ``codec``'s blocks can ride the batch pipeline at all.
+
+    Wider than :func:`numpy_lane_eligible`: symbols up to 16 bytes run on
+    a low/high pair of uint64 sum lanes, and §8 irregular mappings run
+    with a per-symbol α vector (:func:`scatter_walk_arrays` keeps the
+    generic-α inverse-CDF power step element-wise, because NumPy's SIMD
+    ``pow`` is not bit-identical to scalar libm ``pow`` — everything
+    around it is vectorised).
+    """
+    return (
+        NUMPY_LANE
+        and _np is not None
+        and codec.symbol_size <= 16
+        and codec.checksum_size <= 8
     )
 
 
@@ -401,8 +546,11 @@ def scatter_walk_arrays(
     hi: int,
     base: int = 0,
     touched: Optional[list] = None,
+    alphas=None,  # np.ndarray[float64] | None — per-symbol α (§8)
+    sums_hi=None,  # np.ndarray[uint64] | None — high 64 bits of wide sums
+    vals_hi=None,  # np.ndarray[uint64] | None — high 64 bits of wide values
 ):
-    """Array-native scatter walk (α = 0.5, ≤64-bit lanes).
+    """Array-native scatter walk.
 
     The kernel under :func:`scatter_walk_numpy`, and the batch mapping
     stage of the set-ingestion pipeline: walk every symbol ``j`` from
@@ -419,7 +567,26 @@ def scatter_walk_arrays(
     scalar engine: the float64 expression tree is evaluated in the same
     order, and IEEE-754 makes each elementwise op exactly reproducible.
 
+    Two optional extensions let wide symbols and §8 irregular mappings
+    ride the same kernel:
+
+    * ``sums_hi``/``vals_hi`` — a second uint64 lane holding bits 64+ of
+      sums/values, scattered to the same slots (symbols up to 16 bytes).
+    * ``alphas`` — per-symbol mapping parameter.  α = 0.5 rows keep the
+      closed-form vectorised inverse CDF; generic-α rows compute
+      ``(i+1)·((1−r)^{−α} − 1)`` element-wise in Python floats, because
+      NumPy's SIMD array ``pow`` is **not** bit-identical to the scalar
+      libm ``pow`` the reference engine uses (measured: ~4 % of draws
+      differ in the last ulp).  Everything else in the round — the
+      splitmix64 advance, the scatters, ceil/clamp — stays vectorised.
+
     ``touched``, when given, collects per-round absolute-index arrays.
+
+    Lock-step rounds cost ~20 small-array NumPy calls each, so once the
+    live set shrinks below :data:`NUMPY_MIN_JOBS` the remaining
+    stragglers are finished per-edge by :func:`_walk_tail_scalar` (the
+    same arithmetic on the same arrays — per-symbol walks are
+    independent, so the hand-off point cannot change the result).
     """
     np = _np
     out_idx = idx
@@ -428,6 +595,7 @@ def scatter_walk_arrays(
     gamma = np.uint64(GAMMA)
     mix1 = np.uint64(MIX1)
     mix2 = np.uint64(MIX2)
+    default_alpha = DEFAULT_ALPHA
     with np.errstate(over="ignore"):
         rows = np.nonzero(idx < hi)[0]
         ia = idx[rows]
@@ -435,11 +603,60 @@ def scatter_walk_arrays(
         va = vals[rows]
         ca = csums[rows]
         da = dirs[rows]
+        al = alphas[rows] if alphas is not None else None
+        if al is not None and not (al != default_alpha).any():
+            al = None  # all-regular batch: keep the closed-form fast path
+        vh = vals_hi[rows] if vals_hi is not None else None
         while rows.size:
+            if rows.size < NUMPY_TAIL_JOBS:
+                _walk_tail_scalar(
+                    sums, checksums, counts, out_idx, out_state,
+                    rows, ia, st, va, ca, da, al, vh,
+                    hi, base, touched, sums_hi,
+                )
+                break
             slot = ia - base
-            np.bitwise_xor.at(sums, slot, va)
-            np.bitwise_xor.at(checksums, slot, ca)
-            np.add.at(counts, slot, da)
+            # Buffered fancy indexing drops colliding slots, so rounds
+            # with duplicates segment-reduce instead: group equal slots
+            # (stable radix argsort) and fold each group with reduceat —
+            # XOR and integer add are commutative, so the fold order
+            # inside a group cannot change the result.  All three forms
+            # below are exact; ufunc.at would be too, but runs an order
+            # of magnitude slower than any of them.
+            smin = int(slot.min())
+            smax = int(slot.max())
+            if smin == smax:
+                # One shared cell (always round 0 of a fresh walk, where
+                # every symbol maps to index 0): fold the whole batch.
+                sums[smin] ^= np.bitwise_xor.reduce(va)
+                if vh is not None:
+                    sums_hi[smin] ^= np.bitwise_xor.reduce(vh)
+                checksums[smin] ^= np.bitwise_xor.reduce(ca)
+                counts[smin] += da.sum()
+            else:
+                # NumPy's radix sort only engages for ≤16-bit ints; bank
+                # spans almost always fit, and radix is ~10x faster than
+                # comparison-sorting int64 slots.
+                key = slot.astype(np.int16) if smax < 0x8000 else slot
+                perm = np.argsort(key, kind="stable")
+                ss = key[perm]
+                first = np.empty(ss.size, dtype=bool)
+                first[0] = True
+                np.not_equal(ss[1:], ss[:-1], out=first[1:])
+                if first.all():
+                    sums[slot] ^= va
+                    if vh is not None:
+                        sums_hi[slot] ^= vh
+                    checksums[slot] ^= ca
+                    counts[slot] += da
+                else:
+                    seg = np.flatnonzero(first)
+                    uniq = ss[seg]
+                    sums[uniq] ^= np.bitwise_xor.reduceat(va[perm], seg)
+                    if vh is not None:
+                        sums_hi[uniq] ^= np.bitwise_xor.reduceat(vh[perm], seg)
+                    checksums[uniq] ^= np.bitwise_xor.reduceat(ca[perm], seg)
+                    counts[uniq] += np.add.reduceat(da[perm], seg)
             if touched is not None:
                 touched.append(ia)
             st = st + gamma
@@ -448,11 +665,35 @@ def scatter_walk_arrays(
             z = z ^ (z >> u31)
             r = (z >> u11).astype(np.float64) * INV_2_53
             fi = ia.astype(np.float64)
-            half = fi + 1.5
-            t = r * (fi + 1.0)
-            t = t * (fi + 2.0)
-            t = t / (1.0 - r)
-            gap = np.sqrt(half * half + t) - half
+            if al is None:
+                half = fi + 1.5
+                t = r * (fi + 1.0)
+                t = t * (fi + 2.0)
+                t = t / (1.0 - r)
+                gap = np.sqrt(half * half + t) - half
+            else:
+                gap = np.empty_like(r)
+                half_rows = al == default_alpha
+                if half_rows.any():
+                    rh = r[half_rows]
+                    fih = fi[half_rows]
+                    half = fih + 1.5
+                    t = rh * (fih + 1.0)
+                    t = t * (fih + 2.0)
+                    t = t / (1.0 - rh)
+                    gap[half_rows] = np.sqrt(half * half + t) - half
+                pow_rows = np.nonzero(~half_rows)[0]
+                if pow_rows.size:
+                    # Element-wise on purpose — see the docstring: array
+                    # pow would drift from the scalar reference by an ulp.
+                    gap[pow_rows] = [
+                        (f + 1.0) * ((1.0 - rv) ** -a - 1.0)
+                        for rv, f, a in zip(
+                            r[pow_rows].tolist(),
+                            fi[pow_rows].tolist(),
+                            al[pow_rows].tolist(),
+                        )
+                    ]
             step = np.ceil(gap)
             # Cap before the int64 cast: a far-tail draw (r → 1) can push
             # ceil(gap) past 2^63.  Any step this large already exceeds
@@ -477,7 +718,123 @@ def scatter_walk_arrays(
             va = va[live]
             ca = ca[live]
             da = da[live]
+            if al is not None:
+                al = al[live]
+            if vh is not None:
+                vh = vh[live]
     return out_idx, out_state
+
+
+def _walk_tail_scalar(
+    sums, checksums, counts, out_idx, out_state,
+    rows, ia, st, va, ca, da, al, vh,
+    hi: int, base: int, touched: Optional[list], sums_hi,
+) -> None:
+    """Per-edge finisher for :func:`scatter_walk_arrays` stragglers.
+
+    Walks each remaining symbol to its first index ≥ ``hi`` with the
+    exact :func:`scatter_walk_scalar` arithmetic — cheaper than
+    lock-step rounds once only a handful of symbols are still live.
+    Small lane arrays are round-tripped through Python lists for the
+    loop (scalar list indexing runs an order of magnitude faster than
+    scalar ndarray indexing); large banks are written in place, since a
+    full-lane copy would dwarf the few edges left to scatter.  Either
+    way the arithmetic is the reference engine's, on exact integers.
+    """
+    np = _np
+    sqrt = math.sqrt
+    default_alpha = DEFAULT_ALPHA
+    collect: Optional[list[int]] = [] if touched is not None else None
+    listify = len(sums) <= _TAIL_LIST_MAX
+    if listify:
+        lane_sums = sums.tolist()
+        lane_checksums = checksums.tolist()
+        lane_counts = counts.tolist()
+        lane_sums_hi = sums_hi.tolist() if sums_hi is not None else None
+    else:
+        lane_sums = sums
+        lane_checksums = checksums
+        lane_counts = counts
+        lane_sums_hi = sums_hi
+    rows_l = rows.tolist()
+    ia_l = ia.tolist()
+    st_l = st.tolist()
+    va_l = va.tolist()
+    ca_l = ca.tolist()
+    da_l = da.tolist()
+    al_l = al.tolist() if al is not None else None
+    vh_l = vh.tolist() if vh is not None else None
+    for j, row in enumerate(rows_l):
+        idx = ia_l[j]
+        state = st_l[j]
+        value = va_l[j]
+        checksum = ca_l[j]
+        direction = da_l[j]
+        alpha = al_l[j] if al_l is not None else default_alpha
+        value_hi = vh_l[j] if vh_l is not None else None
+        if alpha == default_alpha:
+            while idx < hi:
+                slot = idx - base
+                lane_sums[slot] ^= value
+                if value_hi is not None:
+                    lane_sums_hi[slot] ^= value_hi
+                lane_checksums[slot] ^= checksum
+                lane_counts[slot] += direction
+                if collect is not None:
+                    collect.append(idx)
+                state = (state + GAMMA) & MASK64
+                z = (state ^ (state >> 30)) * MIX1 & MASK64
+                z = (z ^ (z >> 27)) * MIX2 & MASK64
+                r = ((z ^ (z >> 31)) >> 11) * INV_2_53
+                half = idx + 1.5
+                gap = (
+                    sqrt(half * half + r * (idx + 1.0) * (idx + 2.0) / (1.0 - r))
+                    - half
+                )
+                step = int(gap)
+                if step < gap:
+                    step += 1
+                if step < 1:
+                    step = 1
+                nxt = idx + step
+                if nxt > MAX_INDEX:
+                    nxt = idx + 1
+                idx = nxt
+        else:
+            neg_alpha = -alpha
+            while idx < hi:
+                slot = idx - base
+                lane_sums[slot] ^= value
+                if value_hi is not None:
+                    lane_sums_hi[slot] ^= value_hi
+                lane_checksums[slot] ^= checksum
+                lane_counts[slot] += direction
+                if collect is not None:
+                    collect.append(idx)
+                state = (state + GAMMA) & MASK64
+                z = (state ^ (state >> 30)) * MIX1 & MASK64
+                z = (z ^ (z >> 27)) * MIX2 & MASK64
+                r = ((z ^ (z >> 31)) >> 11) * INV_2_53
+                gap = (idx + 1.0) * ((1.0 - r) ** neg_alpha - 1.0)
+                step = int(gap)
+                if step < gap:
+                    step += 1
+                if step < 1:
+                    step = 1
+                nxt = idx + step
+                if nxt > MAX_INDEX:
+                    nxt = idx + 1
+                idx = nxt
+        out_idx[row] = idx
+        out_state[row] = state
+    if listify:
+        sums[:] = lane_sums
+        checksums[:] = lane_checksums
+        counts[:] = lane_counts
+        if sums_hi is not None:
+            sums_hi[:] = lane_sums_hi
+    if collect is not None:
+        touched.append(np.array(collect, dtype=np.int64))
 
 
 def scatter_walk_numpy(
@@ -492,22 +849,39 @@ def scatter_walk_numpy(
     hi: int,
     base: int = 0,
     touched: Optional[list] = None,
+    alphas: Optional[Sequence[float]] = None,
+    sums_hi=None,  # np.ndarray[uint64] | None — high 64 bits of wide sums
 ) -> None:
     """Vectorised :func:`scatter_walk_scalar`: list-in/list-out face of
-    :func:`scatter_walk_arrays` for callers holding Python-int state."""
+    :func:`scatter_walk_arrays` for callers holding Python-int state.
+
+    ``alphas`` (per-symbol mapping parameters) and ``sums_hi`` (the
+    second bank lane for >8-byte symbols; ``values`` may then exceed 64
+    bits — they are split into low/high uint64 lanes here) extend the
+    face to §8 irregular mappings and wide symbols.
+    """
     np = _np
+    if sums_hi is not None:
+        vals = np.array([v & MASK64 for v in values], dtype=np.uint64)
+        vals_hi = np.array([v >> 64 for v in values], dtype=np.uint64)
+    else:
+        vals = np.array(values, dtype=np.uint64)
+        vals_hi = None
     idx, state = scatter_walk_arrays(
         sums,
         checksums,
         counts,
         np.array(indices, dtype=np.int64),
         np.array(states, dtype=np.uint64),
-        np.array(values, dtype=np.uint64),
+        vals,
         np.array(symbol_checksums, dtype=np.uint64),
         np.array(directions, dtype=np.int64),
         hi,
         base=base,
         touched=touched,
+        alphas=np.array(alphas, dtype=np.float64) if alphas is not None else None,
+        sums_hi=sums_hi,
+        vals_hi=vals_hi,
     )
     indices[:] = idx.tolist()
     states[:] = state.tolist()

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from itertools import count as _counter
 from typing import Iterable, Optional
 
-from repro.core.cellbank import CodedSymbolBank, numpy_lane_eligible, scatter_walk_numpy
+from repro.core.cellbank import CodedSymbolBank, numpy_block_eligible, scatter_walk_numpy
 from repro.core.coded import CodedSymbol
 from repro.core.symbols import SymbolCodec
 
@@ -104,7 +104,21 @@ class DecodeResult:
 
 
 class RatelessDecoder:
-    """Peels source symbols out of an incrementally arriving coded stream."""
+    """Peels source symbols out of an incrementally arriving coded stream.
+
+    Feed subtracted cells (``a_i ⊖ b_i``) in stream order via
+    :meth:`add_coded_symbol` / :meth:`add_coded_block`; read progress
+    from :attr:`decoded` and :meth:`result` at any point.  Internally
+    the received prefix lives in a three-lane
+    :class:`~repro.core.cellbank.CodedSymbolBank`, recovered symbols
+    are re-peeled from later cells as they arrive (a heap of parked
+    §4.2 walks), and a *pure* cell (count ±1, checksum matching its
+    sum) triggers breadth-first peeling.  Two ingestion engines — the
+    scalar reference and a batched NumPy path that verifies each peel
+    round's candidates with one keyed-hash batch call — reach the same
+    fixed point with identical lane state; peeling is confluent, so
+    engine choice never changes what is recovered.
+    """
 
     def __init__(self, codec: SymbolCodec) -> None:
         self.codec = codec
@@ -208,7 +222,7 @@ class RatelessDecoder:
             n >= _MIN_NUMPY_BLOCK
             and step >= _MIN_NUMPY_BLOCK
             and 16 * n >= len(self._bank)
-            and numpy_lane_eligible(self.codec)
+            and numpy_block_eligible(self.codec)
         ):
             return self._ingest_numpy(bank, step, stop_when_decoded)
         src_sums = bank.sums
@@ -232,14 +246,27 @@ class RatelessDecoder:
 
         Works on uint64/int64 array lanes for the whole call and writes
         them back once; every arithmetic step is bit-identical to the
-        scalar engine (see ``cellbank.scatter_walk_numpy``).
+        scalar engine (see ``cellbank.scatter_walk_numpy``).  Symbols
+        wider than 8 bytes run on a low/high pair of sum lanes, and §8
+        irregular codecs hand the kernel a per-symbol α vector — both
+        ride this path instead of falling back to per-cell ingestion.
+
+        Each peel round gathers its pure-cell (sum, checksum) candidates
+        and verifies them against :meth:`SymbolCodec.checksum_int_batch`
+        in one call; the accept pass then replays the scalar loop's
+        order-dependent checks (in-round ghost duplicates), so the set of
+        recovered symbols is exactly the reference engine's.
         """
         import numpy as np
 
         bank = self._bank
         codec = self.codec
-        checksum_int = codec.checksum_int
+        checksum_int_batch = codec.checksum_int_batch
         new_mapping = codec.new_mapping
+        alpha_for = codec.alpha_for
+        irregular = codec.irregular is not None
+        wide = codec.symbol_size > 8
+        mask64 = 0xFFFFFFFFFFFFFFFF
         pending = self._pending
         seen = self._seen
         remote = self._remote
@@ -251,11 +278,19 @@ class RatelessDecoder:
         sums = np.empty(total, dtype=np.uint64)
         checksums = np.empty(total, dtype=np.uint64)
         counts = np.empty(total, dtype=np.int64)
-        sums[:old] = bank.sums
+        if wide:
+            sums[:old] = [s & mask64 for s in bank.sums]
+            sums[old:] = [s & mask64 for s in src.sums]
+            sums_hi = np.empty(total, dtype=np.uint64)
+            sums_hi[:old] = [s >> 64 for s in bank.sums]
+            sums_hi[old:] = [s >> 64 for s in src.sums]
+        else:
+            sums[:old] = bank.sums
+            sums[old:] = src.sums
+            sums_hi = None
         checksums[:old] = bank.checksums
-        counts[:old] = bank.counts
-        sums[old:] = src.sums
         checksums[old:] = src.checksums
+        counts[:old] = bank.counts
         counts[old:] = src.counts
         frontier = old
         while frontier < total:
@@ -267,6 +302,7 @@ class RatelessDecoder:
             job_values: list[int] = []
             job_checksums: list[int] = []
             job_directions: list[int] = []
+            job_alphas: Optional[list[float]] = [] if irregular else None
             while pending and pending[0][0] < new_frontier:
                 key, sq, rec = heapq.heappop(pending)
                 job_indices.append(key)
@@ -274,6 +310,8 @@ class RatelessDecoder:
                 job_values.append(rec.value)
                 job_checksums.append(rec.checksum)
                 job_directions.append(-rec.direction)
+                if job_alphas is not None:
+                    job_alphas.append(rec.gen.alpha)
                 replayed.append((sq, rec))
             if job_indices:
                 scatter_walk_numpy(
@@ -286,6 +324,8 @@ class RatelessDecoder:
                     job_checksums,
                     job_directions,
                     new_frontier,
+                    alphas=job_alphas,
+                    sums_hi=sums_hi,
                 )
                 for j, (sq, rec) in enumerate(replayed):
                     rec.gen.current = job_indices[j]
@@ -298,16 +338,40 @@ class RatelessDecoder:
                 rec_values: list[int] = []
                 rec_checksums: list[int] = []
                 rec_directions: list[int] = []
-                for i in candidates.tolist():
-                    count = int(counts[i])
-                    if count != 1 and count != -1:
-                        continue
-                    checksum = int(checksums[i])
+                cand_counts = counts[candidates].tolist()
+                cand_checksums = checksums[candidates].tolist()
+                if sums_hi is None:
+                    cand_values = sums[candidates].tolist()
+                else:
+                    cand_values = [
+                        lo | (hi << 64)
+                        for lo, hi in zip(
+                            sums[candidates].tolist(),
+                            sums_hi[candidates].tolist(),
+                        )
+                    ]
+                # Gather the round's plausible candidates, then verify
+                # their checksums in ONE batch hash call.  A candidate
+                # that becomes an in-round ghost (its checksum recovered
+                # by an *earlier* candidate this round) is re-checked
+                # against ``seen`` at accept time below — hashing it here
+                # is side-effect-free, so the recovered set is exactly
+                # what the scalar per-candidate loop produces.
+                probe = [
+                    j
+                    for j in range(len(cand_counts))
+                    if (cand_counts[j] == 1 or cand_counts[j] == -1)
+                    and cand_checksums[j] not in seen
+                ]
+                hashes = checksum_int_batch([cand_values[j] for j in probe])
+                for j, hashed in zip(probe, hashes):
+                    checksum = cand_checksums[j]
                     if checksum in seen:
                         continue  # ghost duplicate of a recovered symbol
-                    value = int(sums[i])
-                    if checksum_int(value) != checksum:
+                    if hashed != checksum:
                         continue  # not actually pure (counts cancelled)
+                    count = cand_counts[j]
+                    value = cand_values[j]
                     seen.add(checksum)
                     (remote if count == 1 else local).append(value)
                     rec_values.append(value)
@@ -330,6 +394,12 @@ class RatelessDecoder:
                     rec_directions,
                     new_frontier,
                     touched=touched,
+                    alphas=(
+                        [alpha_for(c) for c in rec_checksums]
+                        if irregular
+                        else None
+                    ),
+                    sums_hi=sums_hi,
                 )
                 # Park each recovery for cells beyond the frontier.
                 for j, checksum in enumerate(rec_checksums):
@@ -348,18 +418,28 @@ class RatelessDecoder:
                 counts[:frontier].any()
                 or sums[:frontier].any()
                 or checksums[:frontier].any()
+                or (sums_hi is not None and sums_hi[:frontier].any())
             ):
                 break
-        bank.sums[:] = sums[:frontier].tolist()
+        if wide:
+            bank.sums[:] = [
+                lo | (hi << 64)
+                for lo, hi in zip(
+                    sums[:frontier].tolist(), sums_hi[:frontier].tolist()
+                )
+            ]
+        else:
+            bank.sums[:] = sums[:frontier].tolist()
         bank.checksums[:] = checksums[:frontier].tolist()
         bank.counts[:] = counts[:frontier].tolist()
-        self._nonzero = int(
-            np.count_nonzero(
-                (sums[:frontier] != 0)
-                | (checksums[:frontier] != 0)
-                | (counts[:frontier] != 0)
-            )
+        nonzero = (
+            (sums[:frontier] != 0)
+            | (checksums[:frontier] != 0)
+            | (counts[:frontier] != 0)
         )
+        if sums_hi is not None:
+            nonzero |= sums_hi[:frontier] != 0
+        self._nonzero = int(np.count_nonzero(nonzero))
         return frontier - old
 
     # -- peeling -----------------------------------------------------------
@@ -438,7 +518,12 @@ class RatelessDecoder:
         return self._bank.cells()
 
     def result(self) -> DecodeResult:
-        """Snapshot the current decoding outcome."""
+        """Snapshot the current decoding outcome.
+
+        Safe to call at any point mid-stream: ``success`` mirrors
+        :attr:`decoded`, and the item lists hold whatever has been
+        recovered so far (possibly a strict subset of the difference).
+        """
         return DecodeResult(
             success=self.decoded,
             remote=self.remote_items(),
@@ -467,7 +552,13 @@ def peel_until_decoded(
     stream: Iterable[CodedSymbol],
     max_symbols: Optional[int] = None,
 ) -> DecodeResult:
-    """Feed ``stream`` into ``decoder`` until success or ``max_symbols``."""
+    """Feed ``stream`` into ``decoder`` until success or ``max_symbols``.
+
+    Stops after the first cell that completes decoding, or once
+    ``max_symbols`` total cells have been consumed (budget exhaustion
+    is reported as ``success=False`` in the returned result, never as
+    an exception).
+    """
     for cell in stream:
         decoder.add_coded_symbol(cell)
         if decoder.decoded:

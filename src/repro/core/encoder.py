@@ -56,10 +56,12 @@ from repro.core.cellbank import (
     NUMPY_MIN_JOBS,
     NUMPY_MIN_SPAN,
     CodedSymbolBank,
+    numpy_block_eligible,
     numpy_lane_eligible,
     scatter_walk_arrays,
     scatter_walk_scalar,
 )
+from repro.hashing.prng import MASK64
 from repro.core.coded import CodedSymbol
 from repro.core.mapping import IndexGenerator
 from repro.core.params import DEFAULT_ALPHA
@@ -182,12 +184,21 @@ class RatelessEncoder:
         checksums = codec.checksum_batch(datas)
         entries = self._entries
         pool = self._pool
-        pool_rows = pool.rows if pool is not None else ()
-        seen: set[int] = set()
-        for value in values:
-            if value in entries or value in pool_rows or value in seen:
-                raise KeyError(f"duplicate item: {value:#x}")
-            seen.add(value)
+        pool_rows = pool.rows if pool is not None else {}
+        # One C-speed sweep (set build + keys-view disjointness) replaces
+        # the per-item membership loop; the loop only reruns to name the
+        # offending item when a duplicate is present.
+        unique = set(values)
+        if (
+            len(unique) != len(values)
+            or (entries and not unique.isdisjoint(entries.keys()))
+            or (pool_rows and not unique.isdisjoint(pool_rows.keys()))
+        ):
+            seen: set[int] = set()
+            for value in values:
+                if value in entries or value in pool_rows or value in seen:
+                    raise KeyError(f"duplicate item: {value:#x}")
+                seen.add(value)
         if len(values) >= NUMPY_MIN_JOBS and numpy_lane_eligible(codec):
             self._ingest_pooled(values, checksums)
             return
@@ -235,11 +246,20 @@ class RatelessEncoder:
         if (
             n >= NUMPY_MIN_JOBS
             and n * _PATCH_CELLS_PER_ITEM >= frontier
-            and numpy_lane_eligible(self.codec)
+            and numpy_block_eligible(self.codec)
         ):
             import numpy as np
 
-            sums = np.array(bank.sums, dtype=np.uint64)
+            wide = self.codec.symbol_size > 8
+            if wide:
+                sums = np.array([s & MASK64 for s in bank.sums], dtype=np.uint64)
+                sums_hi = np.array([s >> 64 for s in bank.sums], dtype=np.uint64)
+                vals = np.array([v & MASK64 for v in values], dtype=np.uint64)
+                vals_hi = np.array([v >> 64 for v in values], dtype=np.uint64)
+            else:
+                sums = np.array(bank.sums, dtype=np.uint64)
+                sums_hi = vals_hi = None
+                vals = np.array(values, dtype=np.uint64)
             bank_checksums = np.array(bank.checksums, dtype=np.uint64)
             counts = np.array(bank.counts, dtype=np.int64)
             idx, state = scatter_walk_arrays(
@@ -248,12 +268,25 @@ class RatelessEncoder:
                 counts,
                 np.zeros(n, dtype=np.int64),
                 np.array(checksums, dtype=np.uint64),
-                np.array(values, dtype=np.uint64),
+                vals,
                 np.array(checksums, dtype=np.uint64),
                 np.full(n, direction, dtype=np.int64),
                 frontier,
+                alphas=(
+                    np.array(alphas, dtype=np.float64)
+                    if self.codec.irregular is not None
+                    else None
+                ),
+                sums_hi=sums_hi,
+                vals_hi=vals_hi,
             )
-            bank.sums[:] = sums.tolist()
+            if wide:
+                bank.sums[:] = [
+                    lo | (hi << 64)
+                    for lo, hi in zip(sums.tolist(), sums_hi.tolist())
+                ]
+            else:
+                bank.sums[:] = sums.tolist()
             bank.checksums[:] = bank_checksums.tolist()
             bank.counts[:] = counts.tolist()
             return idx, state
@@ -609,17 +642,32 @@ class RatelessEncoder:
         if pool_jobs is not None or (
             njobs >= NUMPY_MIN_JOBS
             and (m >= NUMPY_MIN_SPAN or njobs >= 256)
-            and numpy_lane_eligible(self.codec)
+            and numpy_block_eligible(self.codec)
         ):
             import numpy as np
 
+            # Pool rows only exist for strictly-eligible codecs (≤8-byte
+            # symbols, regular mapping), so the wide/irregular lanes below
+            # never coincide with a pool concat.
+            wide = self.codec.symbol_size > 8
             sums = np.zeros(m, dtype=np.uint64)
             checksums = np.zeros(m, dtype=np.uint64)
             counts = np.zeros(m, dtype=np.int64)
             idx = np.array(job_indices, dtype=np.int64)
             state = np.array(job_states, dtype=np.uint64)
-            vals = np.array(job_values, dtype=np.uint64)
+            if wide:
+                vals = np.array([v & MASK64 for v in job_values], dtype=np.uint64)
+                vals_hi = np.array([v >> 64 for v in job_values], dtype=np.uint64)
+                sums_hi = np.zeros(m, dtype=np.uint64)
+            else:
+                vals = np.array(job_values, dtype=np.uint64)
+                vals_hi = sums_hi = None
             csums = np.array(job_checksums, dtype=np.uint64)
+            alphas = (
+                np.array(job_alphas, dtype=np.float64)
+                if self.codec.irregular is not None
+                else None
+            )
             if pool_jobs is not None:
                 idx = np.concatenate([idx, pool.idx[pool_jobs]])
                 state = np.concatenate([state, pool.state[pool_jobs]])
@@ -636,13 +684,22 @@ class RatelessEncoder:
                 np.ones(idx.shape[0], dtype=np.int64),
                 hi,
                 base=lo,
+                alphas=alphas,
+                sums_hi=sums_hi,
+                vals_hi=vals_hi,
             )
             if pool_jobs is not None:
                 pool.idx[pool_jobs] = idx[njobs:]
                 pool.state[pool_jobs] = state[njobs:]
             job_indices[:] = idx[:njobs].tolist()
             job_states[:] = state[:njobs].tolist()
-            bank.sums.extend(sums.tolist())
+            if wide:
+                bank.sums.extend(
+                    lo_ | (hi_ << 64)
+                    for lo_, hi_ in zip(sums.tolist(), sums_hi.tolist())
+                )
+            else:
+                bank.sums.extend(sums.tolist())
             bank.checksums.extend(checksums.tolist())
             bank.counts.extend(counts.tolist())
         else:

@@ -16,7 +16,15 @@ decoder's purity test and the wire format stay consistent automatically.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Optional, Sequence
+
+try:  # pragma: no cover - exercised implicitly by the lane dispatch tests
+    import numpy as _batch_np
+except ImportError:  # pragma: no cover
+    _batch_np = None
+if os.environ.get("REPRO_NO_NUMPY", "") == "1":  # pragma: no cover
+    _batch_np = None
 
 from repro.core.mapping import IndexGenerator
 from repro.core.params import CHECKSUM_BYTES, DEFAULT_ALPHA
@@ -83,8 +91,29 @@ class SymbolCodec:
         return int.from_bytes(data, "little")
 
     def to_int_batch(self, datas: "Sequence[bytes]") -> list[int]:
-        """Pack many ℓ-byte items into integers, in order."""
+        """Pack many ℓ-byte items into integers, in order.
+
+        Items of at most 8 bytes ride a single ``frombuffer`` view under
+        NumPy; anything else (wide items, ragged input, no NumPy) takes
+        the per-item ``int.from_bytes`` loop with its per-item error.
+        """
         size = self.symbol_size
+        n = len(datas)
+        if _batch_np is not None and size <= 8 and n >= 32:
+            lengths = set(map(len, datas))
+            if lengths and lengths != {size}:
+                bad = next(len(d) for d in datas if len(d) != size)
+                raise ValueError(
+                    f"item must be exactly {size} bytes, got {bad}"
+                )
+            joined = b"".join(datas)
+            if size == 8:
+                return _batch_np.frombuffer(joined, dtype="<u8").tolist()
+            mat = _batch_np.zeros((n, 8), dtype=_batch_np.uint8)
+            mat[:, :size] = _batch_np.frombuffer(
+                joined, dtype=_batch_np.uint8
+            ).reshape(n, size)
+            return mat.view("<u8").ravel().tolist()
         from_bytes = int.from_bytes
         out = []
         for data in datas:
@@ -127,6 +156,25 @@ class SymbolCodec:
         if mask == 0xFFFFFFFFFFFFFFFF:
             return hashes
         return [h & mask for h in hashes]
+
+    def checksum_int_batch(self, values: "Sequence[int]") -> list[int]:
+        """Keyed checksums of many integer-form items at once, in order.
+
+        Element-for-element identical to :meth:`checksum_int` — the batch
+        face the decoder's peel-round verification rides (one lane-
+        parallel SipHash call per round instead of one hash call per
+        pure-cell candidate).
+        """
+        size = self.symbol_size
+        if size <= 8:
+            batch = getattr(self.hasher, "hash64_int_batch", None)
+            if batch is not None:
+                hashes = batch(values, size)
+                mask = self._checksum_mask
+                if mask == 0xFFFFFFFFFFFFFFFF:
+                    return hashes
+                return [h & mask for h in hashes]
+        return self.checksum_batch([v.to_bytes(size, "little") for v in values])
 
     # -- mapping ----------------------------------------------------------
 

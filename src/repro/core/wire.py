@@ -20,11 +20,22 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional
 
 from repro.core import varint
-from repro.core.cellbank import CodedSymbolBank
+from repro.core.cellbank import (
+    NUMPY_LANE,
+    PACK_MIN_CELLS,
+    CodedSymbolBank,
+    _np,
+    numpy_block_eligible,
+)
 from repro.core.coded import CodedSymbol
 from repro.core.symbols import SymbolCodec
 
 MAGIC = b"RIB1"
+
+# Above this the float64 products in the vectorised expected-count
+# computation could round differently from exact integer arithmetic, so
+# such (absurd) set sizes stay on the scalar engine.
+_MAX_VECTOR_SET_SIZE = 1 << 53
 
 # LEB128 never legitimately needs more than 10 bytes for a 64-bit value;
 # a count varint that is still "incomplete" with this many bytes buffered
@@ -40,6 +51,25 @@ def expected_count(codec: SymbolCodec, set_size: int, index: int) -> int:
     else:
         rho = codec.irregular.mean_rho(index)
     return round(set_size * rho)
+
+
+def _expected_counts_vector(codec: SymbolCodec, set_size: int, start: int, n: int):
+    """``expected_count`` for indices ``[start, start+n)`` as an int64 array.
+
+    Element-for-element identical to the scalar function: the regular-codec
+    branch evaluates the same ``rho`` expression per lane (``np.rint``
+    matches Python ``round``'s half-to-even on these magnitudes), and the
+    irregular branch simply calls the scalar function per index.
+    """
+    np = _np
+    if codec.irregular is None:
+        idx = np.arange(start, start + n, dtype=np.float64)
+        rho = 1.0 / (1.0 + 0.5 * idx)
+        return np.rint(float(set_size) * rho).astype(np.int64)
+    return np.array(
+        [expected_count(codec, set_size, start + i) for i in range(n)],
+        dtype=np.int64,
+    )
 
 
 class SymbolStreamWriter:
@@ -84,8 +114,30 @@ class SymbolStreamWriter:
 
     def write_block(self, bank: CodedSymbolBank) -> bytes:
         """Serialise a whole bank of cells; byte-identical to per-cell
-        :meth:`write` calls, without materialising cell objects."""
+        :meth:`write` calls, without materialising cell objects.
+
+        Under NumPy, blocks whose count deltas all fit a single zigzag
+        byte (the overwhelmingly common case — §6's point is that deltas
+        concentrate near zero) are emitted as one ``(n, ℓ+checksum+1)``
+        uint8 matrix dump; any wider delta, lane overflow, or ineligible
+        codec falls back to the scalar loop for the whole block.
+        """
         codec = self.codec
+        if (
+            NUMPY_LANE
+            and _np is not None
+            and len(bank) >= PACK_MIN_CELLS
+            and numpy_block_eligible(codec)
+            and self.set_size < _MAX_VECTOR_SET_SIZE
+        ):
+            blob = self._write_block_numpy(bank)
+            if blob is not None:
+                n = len(bank)
+                self.index += n
+                self.cells_written += n
+                self.bytes_written += len(blob)
+                self.count_bytes_written += n  # one zigzag byte per cell
+                return blob
         symbol_size = codec.symbol_size
         checksum_size = codec.checksum_size
         set_size = self.set_size
@@ -110,6 +162,67 @@ class SymbolStreamWriter:
         self.bytes_written += len(blob)
         self.count_bytes_written += count_bytes
         return blob
+
+    def _write_block_numpy(self, bank: CodedSymbolBank) -> Optional[bytes]:
+        """Vectorised :meth:`write_block` engine.
+
+        Returns ``None`` whenever the block cannot be proven to serialise
+        exactly as the scalar loop would — a count delta needing a
+        multibyte varint, a sum/checksum that does not fit its field
+        (the scalar engine then raises the canonical ``OverflowError``),
+        or non-integer lane contents.
+        """
+        np = _np
+        codec = self.codec
+        ssize = codec.symbol_size
+        csize = codec.checksum_size
+        n = len(bank.sums)
+        expected = _expected_counts_vector(codec, self.set_size, self.index, n)
+        try:
+            counts = np.array(bank.counts, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return None
+        delta = counts - expected
+        zigzag = np.where(delta >= 0, delta * 2, (-delta) * 2 - 1)
+        if int(zigzag.max(initial=0)) >= 0x80:
+            return None  # some count needs a multibyte varint
+        stride = ssize + csize + 1
+        out = np.zeros((n, stride), dtype=np.uint8)
+
+        def byte_columns(values, width: int):
+            # Little-endian byte matrix of a uint64-per-row lane; None if
+            # any value falls outside [0, 2**(8*width)).
+            try:
+                arr = np.array(values, dtype=np.uint64)
+            except (OverflowError, TypeError, ValueError):
+                return None
+            if width < 8 and int(arr.max(initial=0)) >> (8 * width):
+                return None
+            return arr.astype("<u8").view(np.uint8).reshape(n, 8)[:, :width]
+
+        if ssize <= 8:
+            cols = byte_columns(bank.sums, ssize)
+            if cols is None:
+                return None
+            out[:, :ssize] = cols
+        else:
+            try:
+                lo = [s & 0xFFFFFFFFFFFFFFFF for s in bank.sums]
+                hi = [s >> 64 for s in bank.sums]
+            except TypeError:
+                return None
+            lo_cols = byte_columns(lo, 8)
+            hi_cols = byte_columns(hi, ssize - 8)
+            if lo_cols is None or hi_cols is None:
+                return None
+            out[:, :8] = lo_cols
+            out[:, 8:ssize] = hi_cols
+        check_cols = byte_columns(bank.checksums, csize)
+        if check_cols is None:
+            return None
+        out[:, ssize : ssize + csize] = check_cols
+        out[:, ssize + csize] = zigzag.astype(np.uint8)
+        return out.tobytes()
 
     @property
     def mean_count_bytes(self) -> float:
@@ -138,7 +251,14 @@ class SymbolStreamReader:
 
     def feed_into(self, bank: CodedSymbolBank, data: bytes) -> int:
         """Append bytes; parse every completed cell straight into ``bank``'s
-        lanes (no cell objects).  Returns the number of cells appended."""
+        lanes (no cell objects).  Returns the number of cells appended.
+
+        Under NumPy, the maximal prefix of whole cells whose count varint
+        is a single byte is parsed as one reshaped uint8 matrix (the
+        mirror of :meth:`SymbolStreamWriter.write_block`'s fast path);
+        the scalar loop then handles any multibyte-varint, partial, or
+        corrupt tail exactly as before.
+        """
         self._buffer.extend(data)
         if not self._header_parsed and not self._try_parse_header():
             return 0
@@ -156,6 +276,15 @@ class SymbolStreamReader:
         buf = bytes(self._buffer)
         pos = 0
         end = len(buf)
+        if (
+            NUMPY_LANE
+            and _np is not None
+            and end >= (fixed + 1) * PACK_MIN_CELLS
+            and numpy_block_eligible(codec)
+            and set_size < _MAX_VECTOR_SET_SIZE
+        ):
+            parsed, pos = self._feed_numpy(bank, buf)
+            appended += parsed
         while end - pos >= fixed + 1:
             try:
                 delta, after = decode_svarint(buf, pos + fixed)
@@ -178,6 +307,52 @@ class SymbolStreamReader:
         if pos:
             del self._buffer[:pos]
         return appended
+
+    def _feed_numpy(self, bank: CodedSymbolBank, buf: bytes) -> tuple[int, int]:
+        """Vector-parse the maximal aligned prefix of single-byte-varint
+        cells from ``buf``.  Returns ``(cells_appended, bytes_consumed)``;
+        ``(0, 0)`` when the prefix is too short to beat the scalar loop.
+
+        Only cells up to (but not including) the first count byte with
+        the continuation bit set are taken, so multibyte varints — and any
+        corrupt ones — are always left to the scalar reference parser.
+        """
+        np = _np
+        codec = self.codec
+        ssize = codec.symbol_size
+        csize = codec.checksum_size
+        fixed = ssize + csize
+        stride = fixed + 1
+        nmax = len(buf) // stride
+        arr = np.frombuffer(buf, dtype=np.uint8)
+        count_bytes = arr[fixed::stride][:nmax]
+        multibyte = np.nonzero(count_bytes & 0x80)[0]
+        limit = int(multibyte[0]) if multibyte.size else nmax
+        if limit < PACK_MIN_CELLS:
+            return 0, 0
+        mat = arr[: limit * stride].reshape(limit, stride)
+
+        def lane(col: int, width: int):
+            # Zero-padded little-endian uint64 view of one lane's bytes.
+            pad = np.zeros((limit, 8), dtype=np.uint8)
+            pad[:, :width] = mat[:, col : col + width]
+            return pad.view("<u8").ravel()
+
+        if ssize <= 8:
+            sums = lane(0, ssize).tolist()
+        else:
+            hi = lane(8, ssize - 8).tolist()
+            sums = [int(lo) | (h << 64) for lo, h in zip(lane(0, 8).tolist(), hi)]
+        checks = lane(ssize, csize).tolist()
+        zigzag = count_bytes[:limit].astype(np.int64)
+        delta = np.where(zigzag & 1, -((zigzag + 1) >> 1), zigzag >> 1)
+        assert self.set_size is not None
+        expected = _expected_counts_vector(codec, self.set_size, self.index, limit)
+        bank.sums.extend(sums)
+        bank.checksums.extend(checks)
+        bank.counts.extend((delta + expected).tolist())
+        self.index += limit
+        return limit, limit * stride
 
     @property
     def pending_bytes(self) -> int:

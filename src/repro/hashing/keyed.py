@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, Protocol, Sequence
 
-from repro.hashing.siphash import siphash24, siphash24_batch
+from repro.hashing.siphash import siphash24, siphash24_batch, siphash24_int_batch
 
 DEFAULT_KEY = bytes(range(16))
 
@@ -58,6 +58,15 @@ class SipHasher:
     def hash64_batch(self, items: Sequence[bytes]) -> list[int]:
         return siphash24_batch(self.key, items)
 
+    def hash64_int_batch(self, values: Sequence[int], size: int) -> list[int]:
+        """Keyed hashes of ``size``-byte little-endian integer messages.
+
+        Identical to hashing ``v.to_bytes(size, "little")`` per value;
+        a message of ≤ 8 bytes is a single SipHash block, so the lane
+        engine builds its padded words straight from the integers.
+        """
+        return siphash24_int_batch(self.key, values, size)
+
 
 class Blake2bHasher:
     """Keyed BLAKE2b truncated to 64 bits; C-speed stand-in for SipHash."""
@@ -82,6 +91,21 @@ class Blake2bHasher:
         return [
             from_bytes(blake2b(data, digest_size=8, key=key).digest(), "little")
             for data in items
+        ]
+
+    def hash64_int_batch(self, values: Sequence[int], size: int) -> list[int]:
+        """Keyed hashes of ``size``-byte little-endian integer messages."""
+        blake2b = hashlib.blake2b
+        key = self.key
+        from_bytes = int.from_bytes
+        return [
+            from_bytes(
+                blake2b(
+                    v.to_bytes(size, "little"), digest_size=8, key=key
+                ).digest(),
+                "little",
+            )
+            for v in values
         ]
 
 

@@ -30,6 +30,7 @@ from typing import Iterable, Iterator, Optional
 
 import repro.protocol.machine as protocol_machine
 from repro.api.registry import Scheme, get_scheme
+from repro.service.defaults import with_service_hasher
 from repro.service.framing import MAX_FRAME_BYTES, SyncMode
 
 # Give up on a sketch-mode shard after this many doublings (mirrors
@@ -160,12 +161,15 @@ async def sync(
     :class:`~repro.api.SymbolBudgetExceeded` a server-side drop
     produces.  ``difference_bound`` seeds sketch-mode sizing (ignored by
     streaming schemes); ``params`` configure the scheme exactly as in
-    :func:`repro.api.reconcile`.  ``retry`` bounds reconnects on
+    :func:`repro.api.reconcile`, except that the keyed checksum hash
+    defaults to SipHash at the service layer (pass ``hasher="blake2b"``
+    to override; see :mod:`repro.service.defaults`).  ``retry`` bounds
+    reconnects on
     connection-level failures (see :class:`RetryPolicy`); the default
     ``None`` keeps the historical fail-fast behaviour.
     """
     materialised = list(dict.fromkeys(items))
-    handle = get_scheme(scheme, **params)
+    handle = get_scheme(scheme, **with_service_hasher(scheme, params))
     if handle.params.symbol_size is None:
         if not materialised:
             raise ValueError("syncing an empty set needs an explicit symbol_size")

@@ -36,6 +36,7 @@ from repro.service.framing import (
     ErrorCode,
     FrameError,
 )
+from repro.service.defaults import with_service_hasher
 from repro.service.shard import ShardedSet, key_probe
 
 # Sketch-mode bound when the client's HELLO leaves it to the server
@@ -97,8 +98,10 @@ class ReconciliationServer:
     """Serve reconciliation sessions for one (sharded) set.
 
     ``params`` go to the scheme's parameter dataclass exactly as in
-    :func:`repro.api.reconcile`; ``symbol_size`` is inferred from the
-    first item when omitted.  Alternatively pass an existing
+    :func:`repro.api.reconcile`, except that the keyed checksum hash
+    defaults to SipHash at the service layer (pass ``hasher="blake2b"``
+    to override; see :mod:`repro.service.defaults`); ``symbol_size`` is
+    inferred from the first item when omitted.  Alternatively pass an existing
     ``backend``: the server then hosts that backend's (live, warm)
     shard state directly — the gossip layer uses this to expose a
     :class:`~repro.gossip.GossipNode`'s set over TCP without copying or
@@ -131,8 +134,17 @@ class ReconciliationServer:
         if data_dir is not None:
             if backend is not None:
                 raise ValueError("data_dir= and backend= are exclusive")
-            from repro.durable import open_durable
+            from pathlib import Path
 
+            from repro.durable import open_durable
+            from repro.durable.store import MANIFEST_NAME
+
+            if not (Path(data_dir) / MANIFEST_NAME).exists():
+                # Fresh store: the service hasher default applies.  An
+                # existing store keeps whatever its manifest recorded
+                # (injecting a default there would falsely claim the
+                # caller asserted it).
+                params = with_service_hasher(scheme, params)
             materialised = list(items)
             backend = open_durable(
                 data_dir,
@@ -154,7 +166,7 @@ class ReconciliationServer:
             handle = backend.handle
         else:
             materialised = list(items)
-            handle = get_scheme(scheme, **params)
+            handle = get_scheme(scheme, **with_service_hasher(scheme, params))
             if handle.params.symbol_size is None:
                 if not materialised:
                     raise ValueError(

@@ -16,9 +16,21 @@ to reject that pairing before any symbols flow.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+import os
+from operator import itemgetter
+from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.hashing.prng import mix64
+from repro.hashing.prng import mix64, mix64_lanes
+
+try:  # pragma: no cover - exercised implicitly by the lane dispatch tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+NUMPY_LANE = _np is not None and os.environ.get("REPRO_NO_NUMPY", "") != "1"
+
+# Below this the batch-placement set-up costs more than the scalar loop.
+_NUMPY_MIN_BATCH = 32
 
 # Any fixed constant works; it only needs to differ from the identity so
 # the shard index and the checksum are independent functions of hash64.
@@ -33,6 +45,29 @@ _KEY_PROBE_DATA = b"repro.service key probe v1"
 def shard_of(hash64: Callable[[bytes], int], item: bytes, num_shards: int) -> int:
     """The shard ``item`` belongs to (identical for peers sharing the hash)."""
     return mix64(hash64(item) ^ _SHARD_SALT) % num_shards
+
+
+def shards_of(
+    hash64: Callable[[bytes], int], items: Sequence[bytes], num_shards: int
+) -> list[int]:
+    """:func:`shard_of` of many items at once, in order.
+
+    Element-for-element identical to the scalar function.  When ``hash64``
+    is the bound method of a hasher exposing ``hash64_batch`` (SipHash runs
+    its rounds as uint64 lane arithmetic) and the items share one length,
+    the keyed hashes come from one batch call and the salt/mix/modulo run
+    as a single uint64 lane pass; any other shape falls back to the loop.
+    """
+    n = len(items)
+    if NUMPY_LANE and n >= _NUMPY_MIN_BATCH:
+        hasher = getattr(hash64, "__self__", None)
+        batch = getattr(hasher, "hash64_batch", None)
+        if batch is not None and getattr(hasher, "hash64", None) == hash64:
+            if len(set(map(len, items))) == 1:
+                hashes = _np.array(batch(items), dtype=_np.uint64)
+                mixed = mix64_lanes(hashes ^ _np.uint64(_SHARD_SALT))
+                return (mixed % _np.uint64(num_shards)).astype(_np.int64).tolist()
+    return [shard_of(hash64, item, num_shards) for item in items]
 
 
 def key_probe(hash64: Callable[[bytes], int]) -> int:
@@ -60,8 +95,15 @@ class ShardedSet:
         self.num_shards = num_shards
         self.shards: list[set[bytes]] = [set() for _ in range(num_shards)]
         self.versions: list[int] = [0] * num_shards
-        for item in items:
-            self.add(item)
+        items = items if isinstance(items, list) else list(items)
+        # Batch the placement hashing but keep per-item add semantics
+        # (duplicate detection and one version bump per item).
+        for item, shard in zip(items, shards_of(hash64, items, num_shards)):
+            members = self.shards[shard]
+            if item in members:
+                raise KeyError(f"duplicate item: {item.hex()}")
+            members.add(item)
+            self.versions[shard] += 1
 
     def shard_of(self, item: bytes) -> int:
         return shard_of(self.hash64, item, self.num_shards)
@@ -95,7 +137,7 @@ class ShardedSet:
         per churn event, not one per item.
         """
         items = items if isinstance(items, list) else list(items)
-        placed = [self.shard_of(item) for item in items]
+        placed = shards_of(self.hash64, items, self.num_shards)
         seen: set[bytes] = set()
         for item, shard in zip(items, placed):
             if item in self.shards[shard] or item in seen:
@@ -116,7 +158,7 @@ class ShardedSet:
         one named twice in the batch — raises before anything changes).
         """
         items = items if isinstance(items, list) else list(items)
-        placed = [self.shard_of(item) for item in items]
+        placed = shards_of(self.hash64, items, self.num_shards)
         seen: set[bytes] = set()
         for item, shard in zip(items, placed):
             if item not in self.shards[shard] or item in seen:
@@ -147,9 +189,23 @@ def partition_items(
     """One-shot partition (the client side, which needs no versioning).
 
     Within each shard the items keep their input order, so deterministic
-    inputs give deterministic per-shard reconciler construction.
+    inputs give deterministic per-shard reconciler construction.  Large
+    inputs bucket through ``itemgetter`` over per-shard index vectors
+    (``flatnonzero`` is ascending, preserving input order) instead of a
+    per-item append loop.
     """
     shards: list[list[bytes]] = [[] for _ in range(num_shards)]
-    for item in items:
-        shards[shard_of(hash64, item, num_shards)].append(item)
+    items = items if isinstance(items, list) else list(items)
+    placed = shards_of(hash64, items, num_shards)
+    if NUMPY_LANE and len(items) >= _NUMPY_MIN_BATCH:
+        arr = _np.array(placed, dtype=_np.int64)
+        for shard in range(num_shards):
+            sel = _np.flatnonzero(arr == shard)
+            if sel.size == 1:
+                shards[shard] = [items[int(sel[0])]]
+            elif sel.size:
+                shards[shard] = list(itemgetter(*sel.tolist())(items))
+        return shards
+    for item, shard in zip(items, placed):
+        shards[shard].append(item)
     return shards

@@ -399,3 +399,128 @@ def test_riblt_adapter_block_payload_bytes_identical(lane, rng):
     blocks = handle.new(items)
     payload_blocks = blocks.produce_block(25) + blocks.produce_block(15)
     assert payload_blocks == payload_singles
+
+# -- packed bank (zero-copy pack/unpack) ------------------------------------
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_pack_unpack_round_trip(lane, codec_name, rng):
+    """pack → unpack is the identity on every codec shape, including a
+    subtracted bank whose counts are negative (signed count field)."""
+    codec, items = codec_items(codec_name, rng, 120)
+    bank = RatelessEncoder(codec, items).produce_block(90)
+    stride = codec.symbol_size + codec.checksum_size + CodedSymbolBank.COUNT_BYTES
+    blob = bank.pack(codec)
+    assert len(blob) == 90 * stride
+    assert CodedSymbolBank.unpack(blob, codec) == bank
+    other = RatelessEncoder(codec, items[:40]).produce_block(90)
+    diff = other.subtract(bank)  # 40-item minus 120-item: counts go negative
+    assert any(c < 0 for c in diff.counts)  # the signed field is exercised
+    assert CodedSymbolBank.unpack(diff.pack(codec), codec) == diff
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_pack_bytes_identical_across_engines(codec_name, rng):
+    """The vectorised pack/unpack engines are byte-for-byte the scalar
+    reference: same blob out, same lanes back."""
+    if cellbank._np is None:
+        pytest.skip("NumPy not available")
+    codec_factory = CODECS[codec_name]
+    items = make_items(rng, 80, size=codec_factory().symbol_size)
+    codec = codec_factory()
+    bank = RatelessEncoder(codec, items).produce_block(64)
+    blobs = {}
+    parsed = {}
+    for flag in (True, False):
+        saved = cellbank.NUMPY_LANE
+        cellbank.NUMPY_LANE = flag
+        try:
+            blobs[flag] = bank.pack(codec)
+            parsed[flag] = CodedSymbolBank.unpack(blobs[True], codec)
+        finally:
+            cellbank.NUMPY_LANE = saved
+    assert blobs[True] == blobs[False]
+    assert parsed[True] == parsed[False] == bank
+
+
+def test_pack_small_bank_skips_vector_engine(lane, rng):
+    """Banks below PACK_MIN_CELLS stay on the scalar engine and still
+    round-trip (the threshold is a performance gate, not a format one)."""
+    codec = SymbolCodec(8)
+    items = make_items(rng, 20)
+    bank = RatelessEncoder(codec, items).produce_block(
+        cellbank.PACK_MIN_CELLS - 1
+    )
+    assert CodedSymbolBank.unpack(bank.pack(codec), codec) == bank
+
+
+def test_unpack_rejects_misaligned_blob(lane):
+    codec = SymbolCodec(8)
+    with pytest.raises(ValueError, match="stride"):
+        CodedSymbolBank.unpack(b"\x00" * 17, codec)
+
+
+# -- integer-direct batched hashing (decoder peel verification) -------------
+
+
+def test_siphash_int_batch_matches_bytes_path(rng):
+    """siphash24_int_batch == siphash24 over the equivalent byte message
+    for every size 1..8, on both the scalar and lane engines."""
+    from repro.hashing import siphash as sh
+
+    key = bytes(range(16))
+    for size in (1, 3, 7, 8):
+        hi = (1 << (8 * size)) - 1
+        values = [0, 1, hi] + [rng.getrandbits(8 * size) for _ in range(60)]
+        expected = [
+            sh.siphash24(key, v.to_bytes(size, "little")) for v in values
+        ]
+        for flag in (True, False):
+            if flag and sh._np is None:
+                continue
+            saved = sh.NUMPY_LANE
+            sh.NUMPY_LANE = flag
+            try:
+                assert sh.siphash24_int_batch(key, values, size) == expected
+                # below the lane threshold the unrolled scalar engine runs
+                assert sh.siphash24_int_batch(key, values[:3], size) == expected[:3]
+            finally:
+                sh.NUMPY_LANE = saved
+
+
+def test_siphash_int_batch_contract():
+    """Same contract as int.to_bytes: out-of-range values raise, on
+    either engine, before anything is hashed."""
+    from repro.hashing import siphash as sh
+
+    key = bytes(16)
+    assert sh.siphash24_int_batch(key, [], 8) == []
+    with pytest.raises(OverflowError):
+        sh.siphash24_int_batch(key, [1 << 16], 2)
+    with pytest.raises(OverflowError):
+        sh.siphash24_int_batch(key, [5, -1], 4)
+    with pytest.raises(ValueError):
+        sh.siphash24_int_batch(key, [1], 9)
+    with pytest.raises(ValueError):
+        sh.siphash24_int_batch(b"short", [1], 8)
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_checksum_int_batch_matches_per_value(codec_name, rng):
+    """The decoder's peel-round verification hash — checksum_int_batch —
+    equals per-value checksum_int on every codec, for both the SipHash
+    integer fast path and the wide-symbol bytes fallback."""
+    from repro.hashing.keyed import SipHasher
+
+    for hasher in (None, SipHasher(key=bytes(range(16)))):
+        codec = SymbolCodec(
+            CODECS[codec_name]().symbol_size,
+            hasher=hasher,
+            checksum_size=CODECS[codec_name]().checksum_size,
+            irregular=CODECS[codec_name]().irregular,
+        )
+        values = [
+            rng.getrandbits(8 * codec.symbol_size) for _ in range(50)
+        ]
+        expected = [codec.checksum_int(v) for v in values]
+        assert codec.checksum_int_batch(values) == expected

@@ -1,0 +1,176 @@
+"""The reference docs cannot drift from the code they specify.
+
+``docs/*.md`` quote module paths, frame-type values, error codes, magic
+strings, and format constants.  Prose is not executable, so this suite
+re-derives every such claim from the source of truth and fails when the
+two disagree — a renamed module, a renumbered frame, or a changed magic
+must touch the docs in the same commit.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.cellbank import PACK_MIN_CELLS, CodedSymbolBank
+from repro.durable import faults, journal, snapshot
+from repro.durable.store import JOURNAL_NAME, MANIFEST_FORMAT, MANIFEST_NAME
+from repro.gossip.rounds import DIGEST_TAG
+from repro.service.framing import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    FrameType,
+    SyncMode,
+)
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+def doc_text(name: str) -> str:
+    path = DOCS / name
+    assert path.is_file(), f"{path} is missing"
+    return path.read_text(encoding="utf-8")
+
+
+def all_docs() -> list[Path]:
+    pages = sorted(DOCS.glob("*.md"))
+    assert pages, f"no markdown files under {DOCS}"
+    return pages
+
+
+def section(text: str, heading: str) -> str:
+    """The body of one ``#``-heading, up to the next heading of any level."""
+    match = re.search(
+        rf"^#+\s+{re.escape(heading)}.*?$(.*?)(?=^#)", text, re.MULTILINE | re.DOTALL
+    )
+    assert match, f"doc is missing the {heading!r} section"
+    return match.group(1)
+
+
+def table_constants(text: str, names: list[str]) -> dict[str, int]:
+    """Extract ``| `NAME` | `0xNN` |`` / ``| `NAME` | N |`` table rows."""
+    out: dict[str, int] = {}
+    for name in names:
+        match = re.search(
+            rf"^\|\s*`{re.escape(name)}`\s*\|\s*`?(0x[0-9A-Fa-f]+|\d+)`?\s*\|",
+            text,
+            re.MULTILINE,
+        )
+        assert match, f"doc table is missing a row for {name!r}"
+        out[name] = int(match.group(1), 0)
+    return out
+
+
+# -- module references resolve ------------------------------------------------
+
+
+@pytest.mark.parametrize("page", all_docs(), ids=lambda p: p.name)
+def test_doc_module_references_import(page):
+    """Every backticked dotted ``repro.*`` path must import (modules) or
+    resolve as an attribute of its parent module (classes/functions)."""
+    text = page.read_text(encoding="utf-8")
+    refs = sorted(set(re.findall(r"`(repro(?:\.\w+)+)", text)))
+    assert refs, f"{page.name} references no repro modules"
+    for ref in refs:
+        parts = ref.split(".")
+        obj = None
+        for cut in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:cut]))
+                break
+            except ImportError:
+                continue
+        assert obj is not None, f"{page.name}: no importable prefix of {ref!r}"
+        for attr in parts[cut:]:
+            assert hasattr(obj, attr), f"{page.name}: stale reference {ref!r}"
+            obj = getattr(obj, attr)
+
+
+@pytest.mark.parametrize("page", all_docs(), ids=lambda p: p.name)
+def test_doc_internal_links_resolve(page):
+    text = page.read_text(encoding="utf-8")
+    for target in re.findall(r"\]\(([\w./-]+\.md)(?:#[\w-]+)?\)", text):
+        assert (DOCS / target).is_file(), f"{page.name}: broken link {target}"
+
+
+def test_readme_links_docs():
+    readme = (DOCS.parent / "README.md").read_text(encoding="utf-8")
+    for name in ("architecture.md", "wire-format.md", "durable-format.md"):
+        assert f"docs/{name}" in readme, f"README does not link docs/{name}"
+
+
+# -- wire-format.md ----------------------------------------------------------
+
+
+def test_frame_catalogue_matches_framing():
+    body = section(doc_text("wire-format.md"), "Frame types")
+    documented = table_constants(body, [ft.name for ft in FrameType])
+    assert documented == {ft.name: int(ft) for ft in FrameType}
+
+
+def test_error_codes_match_framing():
+    body = section(doc_text("wire-format.md"), "Error codes")
+    documented = table_constants(body, [code.name for code in ErrorCode])
+    assert documented == {code.name: int(code) for code in ErrorCode}
+
+
+def test_sync_modes_match_framing():
+    body = section(doc_text("wire-format.md"), "Sync modes")
+    documented = table_constants(body, [mode.name for mode in SyncMode])
+    assert documented == {mode.name: int(mode) for mode in SyncMode}
+
+
+def test_frame_layer_constants():
+    text = doc_text("wire-format.md")
+    assert f"`PROTOCOL_VERSION = {PROTOCOL_VERSION}`" in text
+    assert f"`MAX_FRAME_BYTES = {MAX_FRAME_BYTES >> 20} MiB` ({MAX_FRAME_BYTES} bytes)" in text
+
+
+def test_stream_magic_and_digest_tag():
+    from repro.core.wire import MAGIC as STREAM_MAGIC
+
+    text = doc_text("wire-format.md")
+    assert f'magic "{STREAM_MAGIC.decode()}"' in text
+    assert f"`DIGEST_TAG = 0x{DIGEST_TAG:02X}`" in text
+    assert f"tag 0x{DIGEST_TAG:02X}" in text
+
+
+def test_packed_bank_constants():
+    text = doc_text("wire-format.md")
+    assert f"`PACK_MIN_CELLS = {PACK_MIN_CELLS}`" in text
+    # the documented stride formula quotes the 8-byte signed count field
+    assert CodedSymbolBank.COUNT_BYTES == 8
+    assert "ℓ + checksum_size + 8" in text
+
+
+# -- durable-format.md -------------------------------------------------------
+
+
+def test_durable_file_names_and_magics():
+    text = doc_text("durable-format.md")
+    assert MANIFEST_NAME in text
+    assert JOURNAL_NAME in text
+    assert f"currently `{MANIFEST_FORMAT}`" in text
+    for magic in (snapshot.MAGIC, journal.MAGIC):
+        quoted = magic.decode().replace("\n", "\\n")
+        assert f'"{quoted}"' in text, f"doc is missing magic {quoted!r}"
+
+
+def test_durable_crash_points_all_documented():
+    text = doc_text("durable-format.md")
+    for point in faults.CRASH_POINTS:
+        assert point in text, f"crash point {point!r} undocumented"
+    assert faults.ENV_CRASH_POINT in text
+
+
+def test_snapshot_name_pattern_matches_store():
+    from repro.durable.store import _snap_name
+
+    text = doc_text("durable-format.md")
+    # the documented printf-style pattern must agree with the code
+    assert "shard-%04d.g<gen>.snap" in text
+    assert _snap_name(3, 7) == "shard-0003.g7.snap"

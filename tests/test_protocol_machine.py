@@ -219,12 +219,18 @@ def test_golden_tcp_service_matches_recording() -> None:
     recorded = GOLDEN["service"]["stream"]
 
     async def scenario():
+        # The recording predates the service-layer SipHash default; pin
+        # the BLAKE2b hasher it was captured under.
         async with ReconciliationServer(
-            items_range(0, 300), num_shards=1
+            items_range(0, 300), num_shards=1, hasher="blake2b"
         ) as server:
             host, port = server.address
             return await sync(
-                host, port, items_range(5, 305), capture_payloads=True
+                host,
+                port,
+                items_range(5, 305),
+                capture_payloads=True,
+                hasher="blake2b",
             )
 
     result = asyncio.run(asyncio.wait_for(scenario(), timeout=60))

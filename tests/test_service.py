@@ -409,7 +409,7 @@ def test_retry_frame_in_stream_mode_is_protocol_error():
                 pack_uvarints(PROTOCOL_VERSION)
                 + pack_lp_str("riblt")
                 + pack_uvarints(8, 8)
-                + pack_lp_str("blake2b")
+                + pack_lp_str(server.handle.params.hasher)
                 + pack_uvarints(probe, 0, 0, 0),
             )
             frame = await read_frame(reader)

@@ -1,0 +1,63 @@
+"""Subprocess sync client for the multi-worker throughput bench.
+
+The workers row of ``bench_service_throughput.py`` measures whether a
+``repro.cluster`` pool actually uses more than one core — which a
+client running *inside* the bench process would mask: its decode work
+competes with nothing and the GIL serialises whatever shares its
+interpreter.  So each concurrent client is this script in its own
+process.  It regenerates its workload deterministically from
+``(seed, index)`` (no item bytes cross the pipe), reports ``READY``,
+blocks until the parent broadcasts ``GO`` (so all clients start
+together), syncs once, and prints one ``DONE`` line::
+
+    DONE <symbols> <payload_bytes> <seconds>
+
+Underscore-prefixed so pytest never collects it as a bench.
+"""
+
+import asyncio
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_util import make_items  # noqa: E402
+
+from repro.service.client import sync  # noqa: E402
+
+
+def client_workload(seed, index, set_size, difference, item_size):
+    """Client ``index``'s item list — identical to what the in-process
+    sweep in ``bench_service_throughput.py`` derives for client ``i``."""
+    rng = random.Random(seed)
+    base = make_items(rng, set_size + difference, item_size)
+    server_items = base[:set_size]
+    fresh = base[set_size:]
+    half = difference // 2
+    lo = (index * 7) % half
+    missing = set(server_items[lo : lo + half])
+    extras = fresh[(index * half) % len(fresh) :][:half]
+    return [x for x in server_items if x not in missing] + extras
+
+
+def main(argv):
+    host, port, seed, index, set_size, difference, item_size = argv
+    items = client_workload(
+        int(seed), int(index), int(set_size), int(difference), int(item_size)
+    )
+    print("READY", flush=True)
+    if sys.stdin.readline().strip() != "GO":
+        return 1
+    t0 = time.perf_counter()
+    result = asyncio.run(sync(host, int(port), items))
+    elapsed = time.perf_counter() - t0
+    assert result.difference_size > 0
+    print(f"DONE {result.symbols} {result.bytes_received} {elapsed:.6f}",
+          flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

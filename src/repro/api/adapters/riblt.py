@@ -44,6 +44,8 @@ class RibltParams(CodecParams):
 class RibltReconciler(StreamingReconciler):
     """Rateless IBLT over one set: stream it, or freeze a prefix sketch."""
 
+    accepts_item_hashes = True
+
     def __init__(self, params: RibltParams, codec: SymbolCodec) -> None:
         self.params = params
         self.codec = codec
@@ -65,11 +67,15 @@ class RibltReconciler(StreamingReconciler):
 
     @classmethod
     def from_items(
-        cls, items: Sequence[bytes], params: RibltParams
+        cls,
+        items: Sequence[bytes],
+        params: RibltParams,
+        *,
+        item_hashes: Optional[Sequence[int]] = None,
     ) -> "RibltReconciler":
         codec = codec_for(params)
         rec = cls(params, codec)
-        rec._encoder = RatelessEncoder(codec, items)
+        rec._encoder = RatelessEncoder(codec, items, item_hashes=item_hashes)
         rec._set_size = rec._encoder.set_size
         return rec
 

@@ -147,6 +147,11 @@ class SetReconciler(ABC):
     scheme: str = "?"  # stamped by registry registration
     params: SchemeParams
 
+    # Adapters whose ``from_items`` accepts an ``item_hashes`` keyword
+    # (precomputed keyed 64-bit hashes, reused for checksums) set True;
+    # ``Scheme.new`` only forwards the hashes when the class opts in.
+    accepts_item_hashes: bool = False
+
     # -- construction (adapter contract) ---------------------------------
 
     @classmethod

@@ -18,7 +18,7 @@ populates the registry.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Iterable, Sequence, Type
+from typing import Iterable, Optional, Sequence, Type
 
 from repro.api.base import (
     Capabilities,
@@ -111,11 +111,28 @@ class Scheme:
             params = replace(params, symbol_size=len(items[0]))
         return params
 
-    def new(self, items: Iterable[bytes]) -> SetReconciler:
-        """Build a live sketch of ``items`` (symbol_size inferred if unset)."""
+    def new(
+        self,
+        items: Iterable[bytes],
+        *,
+        item_hashes: Optional[Sequence[int]] = None,
+    ) -> SetReconciler:
+        """Build a live sketch of ``items`` (symbol_size inferred if unset).
+
+        ``item_hashes`` — the codec hasher's keyed 64-bit hash of each
+        item, in order — lets schemes that opt in (``accepts_item_hashes``)
+        reuse e.g. shard-placement hashes for checksums instead of
+        hashing every item a second time.  Schemes that don't opt in
+        silently ignore them (the hashes are a pure optimisation).
+        """
         materialised = as_item_list(items, self.params.symbol_size)
         params = self._bound_params(materialised)
-        return self.info.reconciler_class.from_items(materialised, params)
+        cls = self.info.reconciler_class
+        if item_hashes is not None and getattr(cls, "accepts_item_hashes", False):
+            return cls.from_items(
+                materialised, params, item_hashes=list(item_hashes)
+            )
+        return cls.from_items(materialised, params)
 
     def deserialize(self, blob: bytes) -> SetReconciler:
         """Rebuild a received sketch (needs an explicit symbol_size)."""

@@ -17,9 +17,12 @@ Commands
     would do first).
 ``repro schemes``
     List every scheme in the registry with its capability flags.
-``repro serve INPUT --port P --shards N``
+``repro serve INPUT --port P --shards N [--workers W]``
     Expose INPUT's items as an asyncio reconciliation service: warm
-    per-shard encoders, any number of concurrent clients.
+    per-shard encoders, any number of concurrent clients.  With
+    ``--workers W`` (> 1) a supervised pool of W worker processes
+    splits the shards across cores (``repro.cluster``); clients route
+    transparently and results are byte-identical to ``--workers 1``.
 ``repro sync INPUT --port P [--push] [-o OUT]``
     Reconcile INPUT's items against a running ``serve`` instance; with
     ``--push`` the server also learns this side's exclusive items.
@@ -245,6 +248,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         durable = DurableConfig(checkpoint_every=args.checkpoint_every or None)
 
+    if args.workers > 1:
+        return _serve_cluster(args, sorted(unique), params, durable)
+
     async def run_server() -> None:
         try:
             server = ReconciliationServer(
@@ -281,6 +287,65 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         asyncio.run(run_server())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
+def _serve_cluster(
+    args: argparse.Namespace, items: list, params: dict, durable
+) -> int:
+    """``repro serve --workers N``: the multi-process pool path."""
+    import asyncio
+
+    from repro.cluster import ClusterConfig, ClusterError, ClusterSupervisor
+
+    if args.scheme != "riblt":
+        raise CliError(
+            "--workers > 1 needs the durable warm-riblt backend "
+            f"(scheme {args.scheme!r} is not supported)"
+        )
+    if args.max_sessions is not None:
+        raise CliError("--max-sessions does not apply to a worker pool")
+    config = ClusterConfig(
+        num_workers=args.workers,
+        host=args.host,
+        entry_port=args.port,
+        block_size=args.block_size,
+        max_symbols_per_shard=args.max_symbols,
+    )
+
+    async def run_cluster() -> None:
+        sup = ClusterSupervisor(
+            items,
+            data_dir=args.data_dir,
+            scheme=args.scheme,
+            num_shards=args.shards,
+            config=config,
+            durable=durable,
+            **params,
+        )
+        try:
+            host, port = await sup.start()
+        except ClusterError as exc:
+            await sup.close()
+            raise CliError(str(exc)) from exc
+        mode = (
+            "SO_REUSEPORT" if sup.reuse_port_active else "per-worker ports"
+        )
+        durability = f", durable in {args.data_dir}" if args.data_dir else ""
+        print(
+            f"serving {sup.total_shards} shards across {args.workers} "
+            f"workers ({mode}{durability}) on {host}:{port}",
+            flush=True,
+        )
+        try:
+            await sup.wait()
+        finally:
+            await sup.close()
+
+    try:
+        asyncio.run(run_cluster())
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
     return 0
@@ -603,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-sessions", type=int, default=None,
         help="exit after serving this many sessions (default: run forever)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes sharing the shards (default 1: in-process "
+             "server; >1 spawns a supervised pool, one core each)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -1,0 +1,36 @@
+"""``repro.cluster`` — a multi-process worker pool serving shards across cores.
+
+One :class:`ClusterSupervisor` spawns N real worker processes, each a
+:class:`~repro.service.server.ReconciliationServer` over the striped
+shard subset ``{g : g % N == w}`` (:mod:`repro.cluster.topology`),
+all sharing one durable data directory: workers journal churn to
+private ``journal.<worker>.log`` segments and a crashed worker is
+restarted warm from *its* segment alone.  Clients need no new API —
+:func:`repro.service.client.sync` reads the pool's routing tail from
+whichever worker answers the entry address and fans out to the
+siblings transparently, merging per-worker results into one
+:class:`~repro.service.client.SyncResult` that is byte-identical to a
+single-process server over the same set.
+"""
+
+from repro.cluster.supervisor import (
+    ClusterConfig,
+    ClusterError,
+    ClusterSupervisor,
+    reuse_port_available,
+)
+from repro.cluster.topology import worker_of_shard, worker_shards
+
+# repro.cluster.worker (WorkerServer, CRASH_EXIT_CODE) is deliberately
+# NOT imported here: worker processes run `python -m
+# repro.cluster.worker`, and a package-level import would load that
+# module twice (runpy's double-import warning).
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterSupervisor",
+    "reuse_port_available",
+    "worker_of_shard",
+    "worker_shards",
+]

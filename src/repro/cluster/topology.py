@@ -1,0 +1,32 @@
+"""Shard-to-worker assignment: the striped topology every peer derives.
+
+Worker ``w`` of ``N`` owns exactly the global shards
+``{g : g % N == w}`` — a pure function of ``(total_shards,
+num_workers)``, so the supervisor, every worker, and every client
+compute identical assignments from the three integers a cluster
+WELCOME tail carries (:class:`repro.protocol.ClusterInfo`); no routing
+table crosses the wire.  Striping (rather than contiguous ranges)
+keeps worker loads balanced whatever ``total_shards % num_workers``
+is, and a worker's *local* shard index is simply ``g // N`` — the
+dense order :func:`worker_shards` yields them in.
+"""
+
+from __future__ import annotations
+
+
+def worker_shards(total_shards: int, num_workers: int, worker: int) -> range:
+    """The global shards worker ``worker`` owns, in local-index order."""
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if not 0 <= worker < num_workers:
+        raise ValueError(f"worker {worker} outside [0, {num_workers})")
+    if total_shards < num_workers:
+        raise ValueError(
+            f"{total_shards} shards cannot cover {num_workers} workers"
+        )
+    return range(worker, total_shards, num_workers)
+
+
+def worker_of_shard(shard: int, num_workers: int) -> int:
+    """The worker owning global shard ``shard``."""
+    return shard % num_workers

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count as _counter
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.core.cellbank import (
     NUMPY_MIN_JOBS,
@@ -127,7 +127,11 @@ class RatelessEncoder:
     """
 
     def __init__(
-        self, codec: SymbolCodec, items: Optional[Iterable[bytes]] = None
+        self,
+        codec: SymbolCodec,
+        items: Optional[Iterable[bytes]] = None,
+        *,
+        item_hashes: Optional[Sequence[int]] = None,
     ) -> None:
         self.codec = codec
         self._entries: dict[int, _SourceEntry] = {}
@@ -136,7 +140,7 @@ class RatelessEncoder:
         self._bank = CodedSymbolBank()
         self._pool: Optional[_StagedPool] = None
         if items is not None:
-            self.add_items(items)
+            self.add_items(items, item_hashes=item_hashes)
 
     # -- set mutation ----------------------------------------------------
 
@@ -165,7 +169,12 @@ class RatelessEncoder:
         """Add an ℓ-byte item to the set being encoded."""
         self.add_value(self.codec.to_int(data))
 
-    def add_items(self, items: Iterable[bytes]) -> None:
+    def add_items(
+        self,
+        items: Iterable[bytes],
+        *,
+        item_hashes: Optional[Sequence[int]] = None,
+    ) -> None:
         """Add many items at once (the batch ingestion pipeline).
 
         The whole batch is hashed through the codec's keyed batch face,
@@ -175,13 +184,25 @@ class RatelessEncoder:
         batch patches the cached bank in one fused scatter.  Duplicates
         anywhere — the set, the pool, or the batch itself — raise
         ``KeyError`` before anything is inserted.
+
+        ``item_hashes``, when given, must be the codec hasher's keyed
+        64-bit hash of each item, in order (e.g. the values shard
+        placement already computed); checksums are then masked from
+        them instead of hashing the items a second time.
         """
         datas = items if isinstance(items, list) else list(items)
         if not datas:
             return
         codec = self.codec
         values = codec.to_int_batch(datas)
-        checksums = codec.checksum_batch(datas)
+        if item_hashes is not None:
+            if len(item_hashes) != len(datas):
+                raise ValueError(
+                    f"{len(datas)} items but {len(item_hashes)} hashes"
+                )
+            checksums = codec.checksums_from_hash64(item_hashes)
+        else:
+            checksums = codec.checksum_batch(datas)
         entries = self._entries
         pool = self._pool
         pool_rows = pool.rows if pool is not None else {}

@@ -157,6 +157,19 @@ class SymbolCodec:
             return hashes
         return [h & mask for h in hashes]
 
+    def checksums_from_hash64(self, hashes: "Sequence[int]") -> list[int]:
+        """Checksums from precomputed keyed 64-bit hashes, in order.
+
+        ``checksums_from_hash64([hash64(d) for d in datas])`` is
+        element-for-element identical to ``checksum_batch(datas)`` —
+        the masking step split out so a caller that already hashed the
+        items (e.g. for shard placement) does not hash them again.
+        """
+        mask = self._checksum_mask
+        if mask == 0xFFFFFFFFFFFFFFFF:
+            return list(hashes)
+        return [h & mask for h in hashes]
+
     def checksum_int_batch(self, values: "Sequence[int]") -> list[int]:
         """Keyed checksums of many integer-form items at once, in order.
 

@@ -64,14 +64,36 @@ from repro.durable.snapshot import (
 from repro.protocol.machine import codec_of, hash64_of
 from repro.service.backends import ShardBackend, WarmRibltBackend
 from repro.service.framing import SyncMode
-from repro.service.shard import ShardedSet
+from repro.service.shard import ShardedSet, ShardSubsetSet
 
 MANIFEST_NAME = "MANIFEST.json"
 JOURNAL_NAME = "journal.log"
 MANIFEST_FORMAT = 1
 
+# Cluster workers journal into per-worker segments so N processes can
+# share one data dir without a write lock.  Segments use the same
+# record framing as journal.log; "journal.log" itself has a single dot
+# and never matches the glob.
+JOURNAL_SEGMENT_GLOB = "journal.*.log"
+
 OP_ADD = 1
 OP_REMOVE = 2
+
+
+def journal_segment_name(worker: int) -> str:
+    """The journal segment of cluster worker ``worker``: journal.<worker>.log"""
+    return f"journal.{worker}.log"
+
+
+def _segment_worker(name: str) -> Optional[int]:
+    """Parse a segment file name back to its worker index (None = not one)."""
+    parts = name.split(".")
+    if len(parts) != 3 or parts[0] != "journal" or parts[2] != "log":
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
 
 
 @dataclass
@@ -173,6 +195,8 @@ class DurableShardStore:
         seq: int,
         config: DurableConfig,
         injector: FaultInjector,
+        journal_name: str = JOURNAL_NAME,
+        shard_subset: Optional[Tuple[int, ...]] = None,
     ) -> None:
         self.data_dir = data_dir
         self.handle = handle
@@ -181,8 +205,10 @@ class DurableShardStore:
         self.seq = seq
         self.config = config
         self.injector = injector
+        self.journal_name = journal_name
+        self.shard_subset = shard_subset
         self.journal = Journal(
-            data_dir / JOURNAL_NAME, fsync=config.fsync, injector=injector
+            data_dir / journal_name, fsync=config.fsync, injector=injector
         )
         self.churned_since_checkpoint = 0
 
@@ -204,7 +230,17 @@ class DurableShardStore:
         checkpoint never mixes with the live one, and the journal is
         reset only after the commit (a crash in between just means the
         next recovery skips records the new manifest already covers).
+
+        A shard-subset store (cluster worker) must not checkpoint: it
+        would write a manifest claiming only its own shards.  The
+        supervisor folds worker segments into a full checkpoint on the
+        next full open instead.
         """
+        if self.shard_subset is not None:
+            raise RuntimeError(
+                "a shard-subset store cannot checkpoint; the supervisor "
+                "folds worker segments on the next full open"
+            )
         gen = self.gen + 1
         codec = self.codec
         entries = []
@@ -259,23 +295,36 @@ class DurableShardStore:
         self.injector.crash("journal.reset")
         self.journal.reset()
         self.churned_since_checkpoint = 0
-        self._sweep_stale_files(keep_gen=gen)
+        self._sweep_stale_files(keep_gen=gen, drop_segments=True)
 
     def note_churn(self, count: int, inner: WarmRibltBackend) -> None:
         """Auto-checkpoint once enough churn accumulated in the journal."""
         self.churned_since_checkpoint += count
+        if self.shard_subset is not None:
+            return  # workers never checkpoint (see checkpoint's docstring)
         threshold = self.config.checkpoint_every
         if threshold is not None and self.churned_since_checkpoint >= threshold:
             self.checkpoint(inner)
 
-    def _sweep_stale_files(self, keep_gen: int) -> None:
+    def _sweep_stale_files(self, keep_gen: int, drop_segments: bool = False) -> None:
         """Drop snapshots of other generations and orphaned temp files.
 
         Best-effort by design: these files are dead weight, never state —
-        a failed unlink costs disk, not correctness.
+        a failed unlink costs disk, not correctness.  ``drop_segments``
+        (set only by a full checkpoint, which has just folded every
+        worker segment into the new generation) also removes the
+        ``journal.<worker>.log`` files.
         """
         for path in self.data_dir.glob("shard-*.snap"):
             if _snap_gen(path.name) != keep_gen:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        if drop_segments:
+            for path in self.data_dir.glob(JOURNAL_SEGMENT_GLOB):
+                if _segment_worker(path.name) is None:
+                    continue
                 try:
                     path.unlink()
                 except OSError:
@@ -352,6 +401,11 @@ class DurableBackend(ShardBackend):
             if op == OP_REMOVE and (not present or dup):
                 raise KeyError(f"item not in set: {item.hex()}")
             seen.add(item)
+        if isinstance(sharded, ShardSubsetSet):
+            # An unowned item is not "present", so the membership sweep
+            # passes — but apply would raise.  Fail placement *before*
+            # the journal write or the record could never replay.
+            sharded.place_many(items)
         self.store.journal_op(op, items)
         if op == OP_ADD:
             placed = self.inner.add_many(items)
@@ -395,6 +449,8 @@ def open_durable(
     num_shards: int = 0,
     config: Optional[DurableConfig] = None,
     injector: FaultInjector = INJECTOR,
+    shard_subset: Optional[Iterable[int]] = None,
+    journal_name: Optional[str] = None,
     **params: object,
 ) -> DurableBackend:
     """Open (or initialise) a durable warm backend at ``data_dir``.
@@ -410,11 +466,42 @@ def open_durable(
     ``items``, when given alongside an existing store, must equal the
     recovered set exactly: passing the same input file across restarts
     is idempotent, passing a different one is an error, never a merge.
+
+    ``shard_subset`` opens a cluster worker's view: only those global
+    shards are restored, churn goes to ``journal_name`` (a per-worker
+    segment, see :func:`journal_segment_name`), and the store never
+    checkpoints.  Requires an existing, checkpointed data dir.  A later
+    *full* open folds every segment back into a fresh checkpoint.
     """
     data_dir = Path(data_dir)
     data_dir.mkdir(parents=True, exist_ok=True)
     config = config or DurableConfig()
     materialised = items if isinstance(items, list) else list(items)
+    if shard_subset is not None:
+        if journal_name is None:
+            raise ValueError(
+                "a shard-subset open needs its own journal segment "
+                "(journal_name=journal_segment_name(worker))"
+            )
+        if not (data_dir / MANIFEST_NAME).exists():
+            raise DataDirMismatch(
+                f"{data_dir}: a shard-subset open needs an initialised "
+                "store (the supervisor checkpoints before spawning workers)"
+            )
+        backend = _recover(
+            data_dir,
+            config,
+            injector,
+            shard_subset=tuple(shard_subset),
+            journal_name=journal_name,
+        )
+        total = backend.sharded.total_shards
+        if num_shards not in (0, total):
+            raise DataDirMismatch(
+                f"store holds {total} shards, caller asked for {num_shards}"
+            )
+        _validate_reopen(backend, materialised, scheme, 0, params)
+        return backend
     if (data_dir / MANIFEST_NAME).exists():
         backend = _recover(data_dir, config, injector)
         _validate_reopen(backend, materialised, scheme, num_shards, params)
@@ -456,8 +543,62 @@ def _initialise(
     return DurableBackend(inner, store)
 
 
+def _restore_shard(
+    data_dir: Path, entry: dict, shard: int, codec: SymbolCodec
+) -> ShardSnapshot:
+    """Parse and cross-check one manifest entry's snapshot file."""
+    snap_path = data_dir / entry["file"]
+    try:
+        blob = snap_path.read_bytes()
+    except FileNotFoundError as exc:
+        raise CorruptSnapshot(f"{snap_path}: missing snapshot file") from exc
+    snapshot = unpack_shard(blob, codec, name=entry["file"])
+    if (
+        snapshot.shard != shard
+        or snapshot.version != entry["version"]
+        or len(snapshot.values) != entry["count"]
+        or len(snapshot.bank) != entry["cells"]
+    ):
+        raise CorruptSnapshot(
+            f"{snap_path}: snapshot disagrees with the manifest entry"
+        )
+    return snapshot
+
+
+def _replay_segment(
+    path: Path, base_seq: int, symbol_size: int
+) -> List[Tuple[int, int, List[bytes]]]:
+    """Decode one journal segment's records past ``base_seq``, in order.
+
+    Each segment is independently contiguous from the manifest's seq
+    (workers initialise their counters from the same checkpoint); a gap
+    *within* a segment is corruption.  A torn tail is silently dropped
+    (``read_journal`` yields only CRC-valid frames) — those bytes were
+    never acknowledged.
+    """
+    payloads, _valid, _total = read_journal(path)
+    records: List[Tuple[int, int, List[bytes]]] = []
+    last_seq = base_seq
+    for payload in payloads:
+        op, rec_seq, rec_items = decode_op(payload, symbol_size)
+        if rec_seq <= base_seq:
+            continue
+        if rec_seq != last_seq + 1:
+            raise CorruptJournal(
+                f"{path}: sequence jumped {last_seq} -> {rec_seq}"
+            )
+        last_seq = rec_seq
+        records.append((rec_seq, op, rec_items))
+    return records
+
+
 def _recover(
-    data_dir: Path, config: DurableConfig, injector: FaultInjector
+    data_dir: Path,
+    config: DurableConfig,
+    injector: FaultInjector,
+    *,
+    shard_subset: Optional[Tuple[int, ...]] = None,
+    journal_name: str = JOURNAL_NAME,
 ) -> DurableBackend:
     manifest_path = data_dir / MANIFEST_NAME
     try:
@@ -486,26 +627,28 @@ def _recover(
         )
     codec = codec_of(handle)
     assert codec is not None
-    sharded = ShardedSet(hash64_of(handle, codec), num_shards)
+    if shard_subset is not None:
+        for g in shard_subset:
+            if not 0 <= g < num_shards:
+                raise DataDirMismatch(
+                    f"shard subset names shard {g}, store holds {num_shards}"
+                )
+        sharded: ShardedSet = ShardSubsetSet(
+            hash64_of(handle, codec), num_shards, shard_subset
+        )
+        restored = [
+            (local, g, shard_entries[g]) for local, g in enumerate(shard_subset)
+        ]
+    else:
+        sharded = ShardedSet(hash64_of(handle, codec), num_shards)
+        restored = [
+            (shard, shard, entry) for shard, entry in enumerate(shard_entries)
+        ]
     encoders: List[RatelessEncoder] = []
-    for shard, entry in enumerate(shard_entries):
-        snap_path = data_dir / entry["file"]
-        try:
-            blob = snap_path.read_bytes()
-        except FileNotFoundError as exc:
-            raise CorruptSnapshot(f"{snap_path}: missing snapshot file") from exc
-        snapshot = unpack_shard(blob, codec, name=entry["file"])
-        if (
-            snapshot.shard != shard
-            or snapshot.version != entry["version"]
-            or len(snapshot.values) != entry["count"]
-            or len(snapshot.bank) != entry["cells"]
-        ):
-            raise CorruptSnapshot(
-                f"{snap_path}: snapshot disagrees with the manifest entry"
-            )
-        sharded.shards[shard] = snapshot_members(snapshot, codec)
-        sharded.versions[shard] = snapshot.version
+    for local, g, entry in restored:
+        snapshot = _restore_shard(data_dir, entry, g, codec)
+        sharded.shards[local] = snapshot_members(snapshot, codec)
+        sharded.versions[local] = snapshot.version
         encoders.append(
             RatelessEncoder.restore(
                 codec,
@@ -520,7 +663,11 @@ def _recover(
     # Replay churn the last checkpoint had not absorbed, oldest first.
     # Records at or below the manifest's seq were written before a
     # checkpoint whose journal reset did not complete — skip them.
-    journal_path = data_dir / JOURNAL_NAME
+    # A subset open replays only its *own* segment; a full open replays
+    # the base journal, then folds every worker segment (merged by
+    # (seq, worker) — workers touch disjoint shards, so the order
+    # across segments only needs to be deterministic).
+    journal_path = data_dir / journal_name
     payloads, valid, total = read_journal(journal_path)
     replayed = 0
     last_seq = seq
@@ -538,19 +685,53 @@ def _recover(
             inner.remove_many(rec_items)
         last_seq = rec_seq
         replayed += len(rec_items)
+    segments_folded = False
+    if shard_subset is None:
+        merged: List[Tuple[int, int, int, List[bytes]]] = []
+        for seg_path in sorted(data_dir.glob(JOURNAL_SEGMENT_GLOB)):
+            worker = _segment_worker(seg_path.name)
+            if worker is None:
+                continue
+            segments_folded = True
+            for rec_seq, op, rec_items in _replay_segment(
+                seg_path, seq, codec.symbol_size
+            ):
+                merged.append((rec_seq, worker, op, rec_items))
+        merged.sort(key=lambda rec: (rec[0], rec[1]))
+        for rec_seq, _worker, op, rec_items in merged:
+            if op == OP_ADD:
+                inner.add_many(rec_items)
+            else:
+                inner.remove_many(rec_items)
+            last_seq = max(last_seq, rec_seq)
+            replayed += len(rec_items)
     store = DurableShardStore(
-        data_dir, handle, codec, gen=gen, seq=last_seq, config=config, injector=injector
+        data_dir,
+        handle,
+        codec,
+        gen=gen,
+        seq=last_seq,
+        config=config,
+        injector=injector,
+        journal_name=journal_name,
+        shard_subset=shard_subset,
     )
     store.journal.open()
     if total > valid:
         store.journal.truncate_to(valid)  # torn tail from a crash mid-append
     store.churned_since_checkpoint = replayed
-    store._sweep_stale_files(keep_gen=gen)
     backend = DurableBackend(inner, store)
+    if shard_subset is not None:
+        # Workers neither sweep (other generations may be mid-fold) nor
+        # checkpoint; their state is bounded by the supervisor's fold.
+        return backend
+    store._sweep_stale_files(keep_gen=gen)
     # Fold a long journal back into snapshots so replay work is bounded
-    # across repeated restarts.
+    # across repeated restarts; worker segments *must* fold (their seq
+    # numbers overlap per-segment, so they cannot stay behind a stale
+    # manifest seq) — the checkpoint's sweep then deletes them.
     threshold = config.checkpoint_every
-    if threshold is not None and replayed >= threshold:
+    if segments_folded or (threshold is not None and replayed >= threshold):
         store.checkpoint(inner)
     return backend
 

@@ -13,6 +13,7 @@ every transport in the repo:
 """
 
 from repro.protocol.events import (
+    ClusterInfo,
     Delivered,
     Effect,
     Failed,
@@ -36,6 +37,7 @@ __all__ = [
     "DEFAULT_MAX_ROUNDS",
     "DEFAULT_SKETCH_BOUND",
     "ESTIMATE_MARGIN",
+    "ClusterInfo",
     "Delivered",
     "Effect",
     "Failed",

@@ -57,6 +57,24 @@ class Failed(Effect):
     error: Exception
 
 
+@dataclass(frozen=True)
+class ClusterInfo:
+    """Worker-pool routing metadata carried in a cluster WELCOME tail.
+
+    A worker serving on behalf of a supervisor appends this to its
+    WELCOME: the pool size, which worker answered, the *global* shard
+    count, and one listening port per worker (all equal in
+    SO_REUSEPORT single-port mode).  Worker ``w`` of ``num_workers``
+    owns exactly the global shards ``{g : g % num_workers == w}``, so
+    the tuple fully determines routing — no per-shard table needed.
+    """
+
+    num_workers: int
+    worker_index: int
+    total_shards: int
+    ports: tuple = ()
+
+
 @dataclass
 class ShardTally:
     """Per-shard accounting, mirrored into service ``ShardReport``s."""
@@ -101,6 +119,9 @@ class MachineReport:
     per_shard: list = field(default_factory=list)
     payloads: Optional[dict] = None
     """Raw per-shard payload bytes, captured only when asked (goldens)."""
+
+    cluster: Optional["ClusterInfo"] = None
+    """Routing metadata from a cluster WELCOME tail (None outside one)."""
 
     @property
     def difference_size(self) -> int:

@@ -79,6 +79,7 @@ from repro.api.registry import Scheme
 from repro.baselines.strata import StrataEstimator
 from repro.core.symbols import SymbolCodec
 from repro.protocol.events import (
+    ClusterInfo,
     Delivered,
     Effect,
     Failed,
@@ -106,7 +107,12 @@ from repro.service.framing import (
     pack_lp_str,
     pack_uvarints,
 )
-from repro.service.shard import key_probe, partition_items
+from repro.service.shard import (
+    hash_items,
+    key_probe,
+    partition_items,
+    partition_with_hashes,
+)
 
 # Sketches sized from a (noisy) strata estimate get this headroom; the
 # retry loop doubles from there if the estimate still undershot.
@@ -294,12 +300,18 @@ class ReconcilerMachine:
 
 
 class _InitiatorShard:
-    """Initiator-side decoding state for one shard."""
+    """Initiator-side decoding state for one shard.
 
-    __slots__ = ("items", "reconciler", "tally", "done", "result")
+    ``tally.shard`` is the *global* shard id (== the local frame id
+    outside a cluster); ``hashes`` are the items' keyed 64-bit hashes,
+    computed once for placement and reused for codec checksums.
+    """
 
-    def __init__(self, shard: int, items: list) -> None:
+    __slots__ = ("items", "hashes", "reconciler", "tally", "done", "result")
+
+    def __init__(self, shard: int, items: list, hashes: list) -> None:
         self.items = items
+        self.hashes = hashes
         self.reconciler: Optional[StreamingReconciler] = None
         self.tally = ShardTally(shard)
         self.done = False
@@ -329,6 +341,8 @@ class InitiatorMachine(ReconcilerMachine):
         estimate_margin: float = ESTIMATE_MARGIN,
         capture_payloads: bool = False,
         max_frame: int = MAX_FRAME_BYTES,
+        item_hashes: Optional[Sequence[int]] = None,
+        expect_worker: Optional[int] = None,
     ) -> None:
         super().__init__(max_frame)
         if handle.params.symbol_size is None:
@@ -346,6 +360,9 @@ class InitiatorMachine(ReconcilerMachine):
         self.estimate_margin = estimate_margin
         self.codec = codec_of(handle)
         self._hash64 = hash64_of(handle, self.codec)
+        self._item_hashes = list(item_hashes) if item_hashes is not None else None
+        self.expect_worker = expect_worker
+        self.cluster: Optional[ClusterInfo] = None
         self._state = "welcome"
         self._mode: Optional[SyncMode] = None
         self._shards: List[_InitiatorShard] = []
@@ -425,29 +442,54 @@ class InitiatorMachine(ReconcilerMachine):
             raise ProtocolError(f"unknown sync mode in WELCOME: {exc}") from None
         granted = welcome.uvarint()
         welcome.uvarint()  # responder block size: informational
+        cluster = self._parse_cluster_tail(welcome)
         welcome.expect_end()
         if version != PROTOCOL_VERSION:
             raise ProtocolError(
                 f"server speaks protocol {version}, client {PROTOCOL_VERSION}"
             )
-        if self.num_shards_wish and granted != self.num_shards_wish:
+        # In a cluster the worker grants its *local* shard count; the
+        # wish (and placement) always speak global shards.
+        total = cluster.total_shards if cluster is not None else granted
+        if self.num_shards_wish and total != self.num_shards_wish:
             raise SchemeMismatch(
-                f"server runs {granted} shards, caller demanded "
+                f"server runs {total} shards, caller demanded "
                 f"{self.num_shards_wish}"
             )
-        self._mode = mode
-        self._shards = [
-            _InitiatorShard(i, part)
-            for i, part in enumerate(
-                partition_items(self._hash64, self.items, granted)
+        if cluster is not None:
+            if (
+                self.expect_worker is not None
+                and cluster.worker_index != self.expect_worker
+            ):
+                raise ProtocolError(
+                    f"routed to worker {cluster.worker_index}, "
+                    f"expected worker {self.expect_worker}"
+                )
+            owned = list(
+                range(cluster.worker_index, total, cluster.num_workers)
             )
+            if granted != len(owned):
+                raise ProtocolError(
+                    f"worker {cluster.worker_index} granted {granted} shards "
+                    f"but the striped topology owns {len(owned)}"
+                )
+        else:
+            owned = list(range(granted))
+        self.cluster = cluster
+        self._mode = mode
+        hashes = self._item_hashes
+        if hashes is None:
+            hashes = hash_items(self._hash64, self.items)
+        parts, part_hashes = partition_with_hashes(self.items, hashes, total)
+        self._shards = [
+            _InitiatorShard(g, parts[g], part_hashes[g]) for g in owned
         ]
-        self._remaining = granted
+        self._remaining = len(owned)
         if self._payloads is not None:
-            self._payloads = {i: bytearray() for i in range(granted)}
+            self._payloads = {g: bytearray() for g in owned}
         if mode == SyncMode.STREAM:
             for st in self._shards:
-                reconciler = self.handle.new(st.items)
+                reconciler = self.handle.new(st.items, item_hashes=st.hashes)
                 if not isinstance(reconciler, StreamingReconciler):
                     raise ProtocolError(
                         f"scheme {self.handle.name!r} announced stream mode "
@@ -456,11 +498,30 @@ class InitiatorMachine(ReconcilerMachine):
                 st.reconciler = reconciler
             self._state = "stream"
         else:
-            if self.use_estimator and granted != 1:
+            if self.use_estimator and len(owned) != 1:
                 raise ProtocolError(
                     "the estimator composition requires a single shard"
                 )
             self._state = "estimate" if self.use_estimator else "sketch"
+
+    def _parse_cluster_tail(self, welcome: BodyReader) -> Optional[ClusterInfo]:
+        """Routing metadata appended by cluster workers (absent = solo)."""
+        if not welcome.remaining:
+            return None
+        num_workers = welcome.uvarint()
+        worker_index = welcome.uvarint()
+        total_shards = welcome.uvarint()
+        if num_workers < 1 or not 0 <= worker_index < num_workers:
+            raise ProtocolError(
+                f"bad cluster tail: worker {worker_index} of {num_workers}"
+            )
+        if total_shards < num_workers:
+            raise ProtocolError(
+                f"bad cluster tail: {total_shards} shards over "
+                f"{num_workers} workers"
+            )
+        ports = tuple(welcome.uvarint() for _ in range(num_workers))
+        return ClusterInfo(num_workers, worker_index, total_shards, ports)
 
     def _on_symbols(self, ftype: int, body: bytes) -> None:
         if ftype != FrameType.SYMBOLS:
@@ -474,7 +535,7 @@ class InitiatorMachine(ReconcilerMachine):
         if st.done:
             return  # frames already in flight when SHARD_DONE crossed them
         if self._payloads is not None:
-            self._payloads[shard_id].extend(payload)
+            self._payloads[st.tally.shard].extend(payload)
         st.tally.payload_bytes += len(payload)
         reconciler = st.reconciler
         assert reconciler is not None
@@ -510,10 +571,8 @@ class InitiatorMachine(ReconcilerMachine):
         bound = max(1, math.ceil(estimate * self.estimate_margin))
         if self.difference_bound:
             bound = max(bound, self.difference_bound)
-        for st in self._shards:
-            self._send_frame(
-                FrameType.RETRY, pack_uvarints(st.tally.shard, bound)
-            )
+        for local, _st in enumerate(self._shards):
+            self._send_frame(FrameType.RETRY, pack_uvarints(local, bound))
         self._state = "sketch"
 
     def _on_sketch(self, ftype: int, body: bytes) -> None:
@@ -529,11 +588,11 @@ class InitiatorMachine(ReconcilerMachine):
         if st.done:
             return
         if self._payloads is not None:
-            self._payloads[shard_id].extend(blob)
+            self._payloads[st.tally.shard].extend(blob)
         st.tally.payload_bytes += len(blob)
         sized = self.handle.sized_for(max(1, bound))
         remote = sized.deserialize(blob)
-        local = sized.new(st.items)
+        local = sized.new(st.items, item_hashes=st.hashes)
         diff = remote.subtract(local)
         decode = diff.decode()
         st.tally.accounted_bytes += diff.decode_wire_bytes(decode)
@@ -569,13 +628,19 @@ class InitiatorMachine(ReconcilerMachine):
         if self.push and self._only_local:
             symbol_size = self.handle.params.symbol_size
             assert symbol_size is not None
-            by_shard = partition_items(
-                self._hash64, sorted(self._only_local), len(self._shards)
+            total = (
+                self.cluster.total_shards
+                if self.cluster is not None
+                else len(self._shards)
             )
-            for shard_id, members in enumerate(by_shard):
+            by_shard = partition_items(
+                self._hash64, sorted(self._only_local), total
+            )
+            for local, st in enumerate(self._shards):
+                members = by_shard[st.tally.shard]
                 if not members:
                     continue
-                body = pack_uvarints(shard_id, len(members)) + b"".join(members)
+                body = pack_uvarints(local, len(members)) + b"".join(members)
                 self._push_bytes += len(body)
                 self._pushed += len(members)
                 self._send_frame(FrameType.PUSH, body)
@@ -618,6 +683,7 @@ class InitiatorMachine(ReconcilerMachine):
             push_bytes=self._push_bytes,
             per_shard=[st.tally for st in self._shards],
             payloads=self._payloads,
+            cluster=self.cluster,
         )
 
 
@@ -659,10 +725,12 @@ class ResponderMachine(ReconcilerMachine):
         max_sketch_bound: int = 1 << 16,
         use_estimator: bool = False,
         max_frame: int = MAX_FRAME_BYTES,
+        cluster: Optional[ClusterInfo] = None,
     ) -> None:
         super().__init__(max_frame)
         self.backend = backend
         self.handle = handle
+        self.cluster = cluster
         self.codec = codec_of(handle)
         self._hash64 = hash64_of(handle, self.codec)
         self.key_probe = key_probe(self._hash64)
@@ -739,15 +807,20 @@ class ResponderMachine(ReconcilerMachine):
         if not self._check_hello(BodyReader(body)):
             return
         mode = self.backend.mode
-        self._send_frame(
-            FrameType.WELCOME,
-            pack_uvarints(
-                PROTOCOL_VERSION,
-                int(mode),
-                self.backend.num_shards,
-                self.block_size,
-            ),
+        welcome = pack_uvarints(
+            PROTOCOL_VERSION,
+            int(mode),
+            self.backend.num_shards,
+            self.block_size,
         )
+        if self.cluster is not None:
+            # Cluster tail: absent entirely outside a worker pool, so
+            # solo WELCOMEs stay byte-identical to every golden capture.
+            c = self.cluster
+            welcome += pack_uvarints(
+                c.num_workers, c.worker_index, c.total_shards, *c.ports
+            )
+        self._send_frame(FrameType.WELCOME, welcome)
         self._mode = mode
         if mode == SyncMode.STREAM:
             ramp = min(8, self.block_size) if self.slow_start else self.block_size
@@ -813,11 +886,16 @@ class ResponderMachine(ReconcilerMachine):
                 ErrorCode.MISMATCH,
                 "hash key probe mismatch: peers hold different keys",
             )
-        if num_shards and num_shards != self.backend.num_shards:
+        expected_shards = (
+            self.cluster.total_shards
+            if self.cluster is not None
+            else self.backend.num_shards
+        )
+        if num_shards and num_shards != expected_shards:
             return self._reject(
                 ErrorCode.MISMATCH,
                 f"shard count mismatch: client expects {num_shards}, "
-                f"server runs {self.backend.num_shards}",
+                f"server runs {expected_shards}",
             )
         return True
 

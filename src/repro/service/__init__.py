@@ -39,6 +39,7 @@ from repro.service.errors import (
     ProtocolError,
     SchemeMismatch,
     ServiceError,
+    WorkerUnavailable,
 )
 from repro.service.framing import FrameError, FrameTooLarge, TruncatedFrame
 from repro.service.node import ServiceNode
@@ -60,6 +61,7 @@ __all__ = [
     "StaleStream",
     "SyncResult",
     "TruncatedFrame",
+    "WorkerUnavailable",
     "sync",
     "sync_once",
 ]

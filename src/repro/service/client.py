@@ -30,8 +30,11 @@ from typing import Iterable, Iterator, Optional
 
 import repro.protocol.machine as protocol_machine
 from repro.api.registry import Scheme, get_scheme
+from repro.protocol.events import ClusterInfo
 from repro.service.defaults import with_service_hasher
-from repro.service.framing import MAX_FRAME_BYTES, SyncMode
+from repro.service.errors import ProtocolError, SchemeMismatch, WorkerUnavailable
+from repro.service.framing import FrameError, MAX_FRAME_BYTES, SyncMode
+from repro.service.shard import hash_items
 
 # Give up on a sketch-mode shard after this many doublings (mirrors
 # repro.protocol.machine.DEFAULT_MAX_ROUNDS).
@@ -174,9 +177,24 @@ async def sync(
         if not materialised:
             raise ValueError("syncing an empty set needs an explicit symbol_size")
         handle = handle.with_params(symbol_size=len(materialised[0]))
+    # Hash every item exactly once per sync: shard placement and codec
+    # checksums consume the same keyed values, and in a cluster every
+    # worker session reuses this one list.
+    codec = protocol_machine.codec_of(handle)
+    item_hashes = (
+        hash_items(codec.hasher.hash64, materialised)
+        if codec is not None and materialised
+        else None
+    )
 
-    async def _attempt() -> SyncResult:
-        reader, writer = await asyncio.open_connection(host, port)
+    async def _session(
+        session_host: str,
+        session_port: int,
+        *,
+        expect_worker: Optional[int] = None,
+        on_cluster=None,
+    ) -> SyncResult:
+        reader, writer = await asyncio.open_connection(session_host, session_port)
         try:
             return await _sync_over(
                 reader,
@@ -190,6 +208,9 @@ async def sync(
                 max_rounds=max_rounds,
                 capture_payloads=capture_payloads,
                 max_frame=max_frame,
+                item_hashes=item_hashes,
+                expect_worker=expect_worker,
+                on_cluster=on_cluster,
             )
         finally:
             writer.close()
@@ -197,6 +218,40 @@ async def sync(
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _attempt() -> SyncResult:
+        # A solo server answers the dialled port and that is the whole
+        # sync.  A cluster worker's WELCOME carries a routing tail; the
+        # moment it arrives we fan out one session per *other* worker
+        # (their private ports) and merge — the items are partitioned by
+        # the same keyed hash everywhere, so the sessions are disjoint.
+        cluster_box: list[ClusterInfo] = []
+        siblings: list[asyncio.Task] = []
+
+        def _fan_out(info: ClusterInfo) -> None:
+            cluster_box.append(info)
+            for worker in range(info.num_workers):
+                if worker == info.worker_index:
+                    continue
+                siblings.append(
+                    asyncio.ensure_future(
+                        _session(
+                            host, info.ports[worker], expect_worker=worker
+                        )
+                    )
+                )
+
+        try:
+            first = await _session(host, port, on_cluster=_fan_out)
+            others = await asyncio.gather(*siblings)
+        except BaseException:
+            for task in siblings:
+                task.cancel()
+            await asyncio.gather(*siblings, return_exceptions=True)
+            raise
+        if not cluster_box or cluster_box[0].num_workers == 1:
+            return first
+        return _merge_cluster(cluster_box[0], [first, *others])
 
     if retry is None:
         return await _attempt()
@@ -234,8 +289,15 @@ async def _sync_over(
     max_rounds: int,
     capture_payloads: bool,
     max_frame: int,
+    item_hashes: Optional[list] = None,
+    expect_worker: Optional[int] = None,
+    on_cluster=None,
 ) -> SyncResult:
-    """Shuttle bytes between the stream pair and an initiator machine."""
+    """Shuttle bytes between the stream pair and an initiator machine.
+
+    ``on_cluster`` fires once, as soon as a cluster WELCOME tail is
+    parsed (the caller fans out sessions to the sibling workers).
+    """
     machine = protocol_machine.InitiatorMachine(
         handle,
         items,
@@ -246,8 +308,12 @@ async def _sync_over(
         max_rounds=max_rounds,
         capture_payloads=capture_payloads,
         max_frame=max_frame,
+        item_hashes=item_hashes,
+        expect_worker=expect_worker,
     )
     machine.start()
+    cluster_seen = False
+    saw_eof = False
     while not machine.finished:
         out = machine.take_output()
         if out:
@@ -257,9 +323,14 @@ async def _sync_over(
             break
         data = await reader.read(_READ_CHUNK)
         if not data:
+            saw_eof = True
             machine.peer_closed()
         else:
             machine.bytes_received(data)
+        if not cluster_seen and machine.cluster is not None:
+            cluster_seen = True
+            if on_cluster is not None:
+                on_cluster(machine.cluster)
     out = machine.take_output()
     if out:
         writer.write(out)
@@ -267,7 +338,51 @@ async def _sync_over(
             await writer.drain()
         except (ConnectionError, OSError):
             pass  # the sync outcome is already decided
-    if machine.failed is not None:
-        raise machine.failed
+    failure = machine.failed
+    if failure is not None:
+        in_cluster = machine.cluster is not None or expect_worker is not None
+        if (
+            saw_eof
+            and in_cluster
+            and isinstance(failure, (ProtocolError, FrameError))
+            and not isinstance(failure, SchemeMismatch)
+        ):
+            # A worker vanishing mid-session cuts the stream (a typed
+            # ERROR frame would have arrived *before* EOF and kept
+            # saw_eof False).  Retryable: the supervisor restarts it.
+            raise WorkerUnavailable(
+                f"cluster worker closed mid-session: {failure}"
+            ) from failure
+        raise failure
     assert machine.report is not None
     return _to_sync_result(machine.report)
+
+
+def _merge_cluster(info: ClusterInfo, results: list) -> SyncResult:
+    """Fold per-worker session results into one cluster-wide result.
+
+    Workers own disjoint global shards, so the difference sets are
+    disjoint unions and the counters plain sums; per-shard reports are
+    re-sorted by their global shard id.
+    """
+    merged = SyncResult(
+        scheme=results[0].scheme,
+        mode=results[0].mode,
+        num_shards=info.total_shards,
+    )
+    payloads: dict = {}
+    any_payloads = False
+    for result in results:
+        merged.only_in_server |= result.only_in_server
+        merged.only_in_client |= result.only_in_client
+        merged.symbols += result.symbols
+        merged.bytes_received += result.bytes_received
+        merged.bytes_sent += result.bytes_sent
+        merged.pushed += result.pushed
+        merged.per_shard.extend(result.per_shard)
+        if result.payloads is not None:
+            any_payloads = True
+            payloads.update(result.payloads)
+    merged.per_shard.sort(key=lambda shard: shard.shard)
+    merged.payloads = payloads if any_payloads else None
+    return merged

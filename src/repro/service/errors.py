@@ -32,6 +32,17 @@ class IdleTimeout(ServiceError):
     """
 
 
+class WorkerUnavailable(ServiceError, ConnectionError):
+    """A cluster worker died mid-session (connection cut, not refused).
+
+    Deliberately *both* a :class:`ServiceError` (typed, inspectable —
+    never a hang) and a :class:`ConnectionError` (so an existing
+    :class:`~repro.service.client.RetryPolicy` retries it: the
+    supervisor restarts crashed workers, and a rerouted attempt is
+    expected to succeed).
+    """
+
+
 class PeerError(ServiceError):
     """The peer reported a failure this side cannot map to a typed error."""
 

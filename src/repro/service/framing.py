@@ -241,6 +241,11 @@ class BodyReader:
         self._pos = len(self._body)
         return out
 
+    @property
+    def remaining(self) -> int:
+        """Bytes not yet consumed (optional-tail detection)."""
+        return len(self._body) - self._pos
+
     def lp_bytes(self) -> bytes:
         """A length-prefixed byte string."""
         return self.raw(self.uvarint())

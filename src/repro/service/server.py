@@ -29,6 +29,7 @@ from typing import Iterable, Optional
 
 import repro.protocol.machine as protocol_machine
 from repro.api.registry import Scheme, get_scheme
+from repro.protocol.events import ClusterInfo
 from repro.core.symbols import SymbolCodec
 from repro.service.backends import ShardBackend, make_backend
 from repro.service.framing import (
@@ -183,7 +184,11 @@ class ReconciliationServer:
             sharded = ShardedSet(hash64, num_shards, materialised)
             backend = make_backend(handle, sharded, self.codec)
         self.backend: ShardBackend = backend
+        self.cluster: Optional[ClusterInfo] = None
+        """Set by a cluster worker before ``start``: stamps every
+        session's WELCOME with the pool's routing tail."""
         self._server: Optional[asyncio.base_events.Server] = None
+        self._extra_servers: list[asyncio.base_events.Server] = []
         self._session_tasks: set[asyncio.Task] = set()
         self._sessions_finished = 0
         self._finished = asyncio.Event()
@@ -225,14 +230,43 @@ class ReconciliationServer:
 
     # -- lifecycle --------------------------------------------------------
 
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Bind and accept; returns the actual ``(host, port)``."""
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        reuse_port: bool = False,
+    ) -> tuple[str, int]:
+        """Bind and accept; returns the actual ``(host, port)``.
+
+        ``reuse_port`` binds with ``SO_REUSEPORT`` so N worker processes
+        can share one port, the kernel load-balancing accepts between
+        them (raises on platforms without it).
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._server = await asyncio.start_server(self._on_connection, host, port)
+        kwargs = {"reuse_port": True} if reuse_port else {}
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port, **kwargs
+        )
         sock_host, sock_port = self._server.sockets[0].getsockname()[:2]
         self._address = (sock_host, sock_port)
         return self._address
+
+    async def listen(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        reuse_port: bool = False,
+    ) -> tuple[str, int]:
+        """Accept sessions on an additional address (cluster entry port)."""
+        kwargs = {"reuse_port": True} if reuse_port else {}
+        extra = await asyncio.start_server(
+            self._on_connection, host, port, **kwargs
+        )
+        self._extra_servers.append(extra)
+        return extra.sockets[0].getsockname()[:2]
 
     @property
     def address(self) -> tuple[str, int]:
@@ -249,10 +283,27 @@ class ReconciliationServer:
         (forever when unset — cancel or :meth:`close` to stop)."""
         await self._finished.wait()
 
+    async def drain(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, let live sessions finish.
+
+        Sessions still running after ``timeout`` seconds are cancelled
+        by the :meth:`close` this always ends with.
+        """
+        if self._server is not None:
+            self._server.close()
+        for extra in self._extra_servers:
+            extra.close()
+        pending = {task for task in self._session_tasks if not task.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=timeout)
+        await self.close()
+
     async def close(self) -> None:
         """Stop accepting, cancel live sessions, release the socket."""
         if self._server is not None:
             self._server.close()
+        for extra in self._extra_servers:
+            extra.close()
         for task in list(self._session_tasks):
             task.cancel()
         for task in list(self._session_tasks):
@@ -262,6 +313,9 @@ class ReconciliationServer:
                 pass
         if self._server is not None:
             await self._server.wait_closed()
+        for extra in self._extra_servers:
+            await extra.wait_closed()
+        self._extra_servers.clear()
         if self._owns_store:
             self.backend.close()  # type: ignore[attr-defined]
             self._owns_store = False
@@ -333,6 +387,7 @@ class _Session:
             budget_grace=config.budget_grace,
             max_sketch_bound=config.max_sketch_bound,
             max_frame=config.max_frame,
+            cluster=server.cluster,
         )
 
     async def run(self) -> None:

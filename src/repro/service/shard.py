@@ -47,6 +47,46 @@ def shard_of(hash64: Callable[[bytes], int], item: bytes, num_shards: int) -> in
     return mix64(hash64(item) ^ _SHARD_SALT) % num_shards
 
 
+def hash_items(
+    hash64: Callable[[bytes], int], items: Sequence[bytes]
+) -> list[int]:
+    """The keyed 64-bit hashes of many items, in order.
+
+    These are exactly the values shard placement mixes *and* the codec
+    masks into checksums, so a caller that keeps them pays for hashing
+    once instead of twice (see :func:`partition_with_hashes` and
+    ``Scheme.new(..., item_hashes=...)``).  Routed through the hasher's
+    batch face when ``hash64`` is a bound method of one (equal-length
+    items only — the SipHash lane engine's contract); any other shape
+    takes the scalar loop, element-for-element identical.
+    """
+    if not items:
+        return []
+    hasher = getattr(hash64, "__self__", None)
+    batch = getattr(hasher, "hash64_batch", None)
+    if (
+        batch is not None
+        and getattr(hasher, "hash64", None) == hash64
+        and len(set(map(len, items))) <= 1
+    ):
+        return list(batch(items))
+    return [hash64(item) for item in items]
+
+
+def placements_from_hashes(hashes: Sequence[int], num_shards: int) -> list[int]:
+    """Shard placements from precomputed keyed hashes, in order.
+
+    ``placements_from_hashes(hash_items(h, items), n)`` is
+    element-for-element identical to ``shards_of(h, items, n)``.
+    """
+    n = len(hashes)
+    if NUMPY_LANE and n >= _NUMPY_MIN_BATCH:
+        arr = _np.array(hashes, dtype=_np.uint64)
+        mixed = mix64_lanes(arr ^ _np.uint64(_SHARD_SALT))
+        return (mixed % _np.uint64(num_shards)).astype(_np.int64).tolist()
+    return [mix64(h ^ _SHARD_SALT) % num_shards for h in hashes]
+
+
 def shards_of(
     hash64: Callable[[bytes], int], items: Sequence[bytes], num_shards: int
 ) -> list[int]:
@@ -98,19 +138,29 @@ class ShardedSet:
         items = items if isinstance(items, list) else list(items)
         # Batch the placement hashing but keep per-item add semantics
         # (duplicate detection and one version bump per item).
-        for item, shard in zip(items, shards_of(hash64, items, num_shards)):
+        for item, shard in zip(items, self.place_many(items)):
             members = self.shards[shard]
             if item in members:
                 raise KeyError(f"duplicate item: {item.hex()}")
             members.add(item)
             self.versions[shard] += 1
 
-    def shard_of(self, item: bytes) -> int:
+    # -- placement (the overridable core; subset sets remap it) -----------
+
+    def place(self, item: bytes) -> int:
+        """The local shard index ``item`` belongs to."""
         return shard_of(self.hash64, item, self.num_shards)
+
+    def place_many(self, items: Sequence[bytes]) -> list[int]:
+        """:meth:`place` of many items at once, in order."""
+        return shards_of(self.hash64, items, self.num_shards)
+
+    def shard_of(self, item: bytes) -> int:
+        return self.place(item)
 
     def add(self, item: bytes) -> int:
         """Place ``item``; returns its shard.  Raises ``KeyError`` on dup."""
-        shard = self.shard_of(item)
+        shard = self.place(item)
         members = self.shards[shard]
         if item in members:
             raise KeyError(f"duplicate item: {item.hex()}")
@@ -120,7 +170,7 @@ class ShardedSet:
 
     def remove(self, item: bytes) -> int:
         """Remove ``item``; returns its shard.  Raises ``KeyError`` if absent."""
-        shard = self.shard_of(item)
+        shard = self.place(item)
         members = self.shards[shard]
         if item not in members:
             raise KeyError(f"item not in set: {item.hex()}")
@@ -137,7 +187,7 @@ class ShardedSet:
         per churn event, not one per item.
         """
         items = items if isinstance(items, list) else list(items)
-        placed = shards_of(self.hash64, items, self.num_shards)
+        placed = self.place_many(items)
         seen: set[bytes] = set()
         for item, shard in zip(items, placed):
             if item in self.shards[shard] or item in seen:
@@ -158,7 +208,7 @@ class ShardedSet:
         one named twice in the batch — raises before anything changes).
         """
         items = items if isinstance(items, list) else list(items)
-        placed = shards_of(self.hash64, items, self.num_shards)
+        placed = self.place_many(items)
         seen: set[bytes] = set()
         for item, shard in zip(items, placed):
             if item not in self.shards[shard] or item in seen:
@@ -173,7 +223,7 @@ class ShardedSet:
         return placed
 
     def __contains__(self, item: bytes) -> bool:
-        return item in self.shards[self.shard_of(item)]
+        return item in self.shards[self.place(item)]
 
     def __len__(self) -> int:
         return sum(len(members) for members in self.shards)
@@ -181,6 +231,63 @@ class ShardedSet:
     def __iter__(self) -> Iterator[bytes]:
         for members in self.shards:
             yield from members
+
+
+class ShardSubsetSet(ShardedSet):
+    """A :class:`ShardedSet` owning only a subset of a larger shard space.
+
+    A cluster worker hosts the global shards ``owned`` out of
+    ``total_shards``: placement hashes against the *global* shard count
+    (so every peer agrees on routing) and then remaps to the worker's
+    dense local indices.  An item whose global shard is not owned raises
+    ``KeyError`` from mutations and is simply not contained.
+    """
+
+    def __init__(
+        self,
+        hash64: Callable[[bytes], int],
+        total_shards: int,
+        owned: Sequence[int],
+        items: Iterable[bytes] = (),
+    ) -> None:
+        owned = tuple(owned)
+        if not owned:
+            raise ValueError("a shard subset must own at least one shard")
+        if len(set(owned)) != len(owned):
+            raise ValueError(f"duplicate shards in subset: {owned}")
+        for g in owned:
+            if not 0 <= g < total_shards:
+                raise ValueError(f"shard {g} outside [0, {total_shards})")
+        self.total_shards = total_shards
+        self.owned = owned
+        self._local = {g: i for i, g in enumerate(owned)}
+        super().__init__(hash64, len(owned), items)
+
+    def place(self, item: bytes) -> int:
+        g = shard_of(self.hash64, item, self.total_shards)
+        try:
+            return self._local[g]
+        except KeyError:
+            raise KeyError(
+                f"item {item.hex()} places in unowned shard {g}"
+            ) from None
+
+    def place_many(self, items: Sequence[bytes]) -> list[int]:
+        local = self._local
+        out: list[int] = []
+        for item, g in zip(items, shards_of(self.hash64, items, self.total_shards)):
+            try:
+                out.append(local[g])
+            except KeyError:
+                raise KeyError(
+                    f"item {item.hex()} places in unowned shard {g}"
+                ) from None
+        return out
+
+    def __contains__(self, item: bytes) -> bool:
+        g = shard_of(self.hash64, item, self.total_shards)
+        local = self._local.get(g)
+        return local is not None and item in self.shards[local]
 
 
 def partition_items(
@@ -209,3 +316,37 @@ def partition_items(
     for item, shard in zip(items, placed):
         shards[shard].append(item)
     return shards
+
+
+def partition_with_hashes(
+    items: Sequence[bytes], hashes: Sequence[int], num_shards: int
+) -> tuple[list[list[bytes]], list[list[int]]]:
+    """:func:`partition_items` from precomputed keyed hashes.
+
+    Returns ``(parts, part_hashes)`` where ``parts`` is exactly what
+    ``partition_items`` would produce and ``part_hashes[s][i]`` is the
+    keyed hash of ``parts[s][i]`` — ready to seed codec checksums
+    without hashing the items a second time.
+    """
+    if len(items) != len(hashes):
+        raise ValueError(f"{len(items)} items but {len(hashes)} hashes")
+    parts: list[list[bytes]] = [[] for _ in range(num_shards)]
+    part_hashes: list[list[int]] = [[] for _ in range(num_shards)]
+    placed = placements_from_hashes(hashes, num_shards)
+    if NUMPY_LANE and len(items) >= _NUMPY_MIN_BATCH:
+        arr = _np.array(placed, dtype=_np.int64)
+        for shard in range(num_shards):
+            sel = _np.flatnonzero(arr == shard)
+            if sel.size == 1:
+                idx = int(sel[0])
+                parts[shard] = [items[idx]]
+                part_hashes[shard] = [hashes[idx]]
+            elif sel.size:
+                getter = itemgetter(*sel.tolist())
+                parts[shard] = list(getter(items))
+                part_hashes[shard] = list(getter(hashes))
+        return parts, part_hashes
+    for item, h, shard in zip(items, hashes, placed):
+        parts[shard].append(item)
+        part_hashes[shard].append(h)
+    return parts, part_hashes

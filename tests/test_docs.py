@@ -174,3 +174,47 @@ def test_snapshot_name_pattern_matches_store():
     # the documented printf-style pattern must agree with the code
     assert "shard-%04d.g<gen>.snap" in text
     assert _snap_name(3, 7) == "shard-0003.g7.snap"
+
+
+def test_journal_segment_naming_matches_store():
+    from repro.durable.store import (
+        JOURNAL_SEGMENT_GLOB,
+        _segment_worker,
+        journal_segment_name,
+    )
+
+    text = doc_text("durable-format.md")
+    body = section(
+        text, "journal.&lt;worker&gt;.log — per-worker journal segments"
+    )
+    # the documented examples and glob must agree with the code
+    for worker in (0, 1):
+        assert journal_segment_name(worker) in body
+    assert journal_segment_name(3) == "journal.3.log"
+    assert _segment_worker("journal.3.log") == 3
+    assert _segment_worker(JOURNAL_NAME) is None  # base journal never folds
+    assert JOURNAL_SEGMENT_GLOB in body
+    assert "journal_segment_name" in body
+    # the fold's documented merge order is the implemented one
+    assert "(seq, worker)" in body
+
+
+def test_cluster_docs_match_code():
+    from repro.cluster import worker_shards
+
+    arch = doc_text("architecture.md")
+    body = section(arch, "cluster — shards across cores")
+    assert "ClusterSupervisor" in body
+    assert "repro.cluster.worker" in body
+    # the documented striping rule is the implemented one
+    assert "{g : g % N == w}" in body
+    assert list(worker_shards(8, 4, 1)) == [1, 5]
+
+
+def test_readme_documents_workers_flag():
+    readme = (DOCS.parent / "README.md").read_text(encoding="utf-8")
+    body = section(readme, "Scaling across cores")
+    assert "--workers" in body
+    assert "journal.<worker>.log" in body
+    assert "WorkerUnavailable" in body
+    assert "SO_REUSEPORT" in body

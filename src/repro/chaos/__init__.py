@@ -1,0 +1,44 @@
+"""``repro.chaos`` — deterministic real-socket fault injection.
+
+The robustness claims of the service layer (typed failures, retryable
+sheds, bounded hangs) are only as good as the faults they were tested
+against.  This package makes those faults first-class and
+reproducible:
+
+:mod:`repro.chaos.schedule`
+    Seedable :class:`FaultSchedule` documents — which connection gets
+    which :class:`FaultSpec` (latency, jitter, throttling, partial
+    writes, corruption, mid-frame resets, blackholes, drops) — with
+    JSON round-tripping for replay.
+:mod:`repro.chaos.proxy`
+    :class:`ChaosProxy`, an asyncio TCP proxy that applies a schedule
+    to live traffic, per connection and per direction.
+:mod:`repro.chaos.orchestrator`
+    :class:`ChaosOrchestrator`, a proxied
+    :class:`~repro.cluster.ClusterSupervisor` pool where every
+    client hop crosses a proxy and worker kills compose with wire
+    faults.
+
+The soak benchmark (``benchmarks/bench_chaos_soak.py``) drives a
+client fleet through this stack and requires 100% completion — the
+number the CI chaos-smoke job gates on.
+"""
+
+from repro.chaos.orchestrator import ChaosOrchestrator
+from repro.chaos.proxy import ChaosProxy, ProxyStats
+from repro.chaos.schedule import (
+    ChaosError,
+    FaultSchedule,
+    FaultSpec,
+    default_schedule,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosOrchestrator",
+    "ChaosProxy",
+    "FaultSchedule",
+    "FaultSpec",
+    "ProxyStats",
+    "default_schedule",
+]

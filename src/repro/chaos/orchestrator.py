@@ -1,0 +1,124 @@
+"""Compose proxy faults with cluster process faults.
+
+:class:`ChaosOrchestrator` stands up a full
+:class:`~repro.cluster.ClusterSupervisor` pool and interposes one
+:class:`~repro.chaos.proxy.ChaosProxy` per worker: workers bind their
+real private ports, but the WELCOME routing tail advertises the proxy
+ports (``ClusterConfig.advertise_ports``), so *every* leg of a
+client's fan-out — the entry dial and each sibling dial — crosses a
+fault-injecting proxy.  Process faults (:meth:`kill_worker`) then
+compose with wire faults: a SIGKILL mid-session surfaces to clients as
+a mid-frame cut through the proxy, and the supervisor's restart brings
+the worker back behind the same advertised port.
+
+Requires the per-worker-port fallback (``reuse_port=False``): with a
+shared ``SO_REUSEPORT`` entry socket the kernel would route around the
+proxies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import signal
+from typing import Iterable, List, Optional
+
+from repro.chaos.proxy import ChaosProxy
+from repro.chaos.schedule import FaultSchedule, default_schedule
+from repro.cluster.supervisor import ClusterConfig, ClusterSupervisor, _free_port
+
+
+class ChaosOrchestrator:
+    """A proxied cluster pool: wire faults on every hop, kills on demand.
+
+    Accepts the same seeding arguments as
+    :class:`~repro.cluster.ClusterSupervisor`; the supplied
+    ``ClusterConfig`` is copied with ``reuse_port=False``,
+    ``entry_port=0`` and ``advertise_ports`` pointing at the proxies.
+    """
+
+    def __init__(
+        self,
+        items: Iterable[bytes] = (),
+        *,
+        schedule: Optional[FaultSchedule] = None,
+        config: Optional[ClusterConfig] = None,
+        **supervisor_kwargs: object,
+    ) -> None:
+        self.schedule = schedule or default_schedule()
+        base = config or ClusterConfig()
+        host = base.host
+        self._proxy_ports: List[int] = [
+            _free_port(host) for _ in range(base.num_workers)
+        ]
+        self.config = dataclasses.replace(
+            base,
+            reuse_port=False,
+            entry_port=0,
+            advertise_ports=list(self._proxy_ports),
+        )
+        self.supervisor = ClusterSupervisor(
+            items, config=self.config, **supervisor_kwargs
+        )
+        self.proxies: List[ChaosProxy] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> tuple:
+        """Boot workers, then proxies; returns the proxied entry address."""
+        if self._started:
+            raise RuntimeError("orchestrator already started")
+        self._started = True
+        await self.supervisor.start()
+        host = self.config.host
+        for index, real_port in enumerate(self.supervisor.ports):
+            proxy = ChaosProxy(host, real_port, self.schedule)
+            await proxy.start(host, self._proxy_ports[index])
+            self.proxies.append(proxy)
+        return self.entry_address
+
+    async def close(self) -> None:
+        for proxy in self.proxies:
+            await proxy.close()
+        self.proxies = []
+        await self.supervisor.close()
+
+    async def __aenter__(self) -> "ChaosOrchestrator":
+        try:
+            await self.start()
+        except BaseException:
+            await self.close()
+            raise
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- faults ------------------------------------------------------------
+
+    def kill_worker(self, index: int, sig: int = signal.SIGKILL) -> int:
+        """SIGKILL (by default) worker ``index``; the supervisor restarts
+        it behind the same proxy port.  Returns the dead pid."""
+        return self.supervisor.kill_worker(index, sig)
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def entry_address(self) -> tuple:
+        """The ``(host, port)`` clients dial — proxy 0, never a worker."""
+        return (self.config.host, self._proxy_ports[0])
+
+    @property
+    def restart_counts(self) -> tuple:
+        return self.supervisor.restart_counts
+
+    def proxy_stats(self) -> dict:
+        """Summed :class:`~repro.chaos.proxy.ProxyStats` across workers."""
+        total: dict = {}
+        for proxy in self.proxies:
+            for key, value in proxy.stats.snapshot().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+
+__all__ = ["ChaosOrchestrator"]

@@ -1,0 +1,143 @@
+"""Deterministic fault schedules for the chaos proxy.
+
+A schedule is a seed plus an ordered list of :class:`FaultSpec`
+entries.  The proxy assigns spec ``i % len(specs)`` to the ``i``-th
+accepted connection, and every random decision (jitter draws, which
+byte to corrupt) comes from a :class:`random.Random` derived from
+``(seed, connection index, direction)`` — so a soak run is exactly
+reproducible from its ``(seed, specs)`` pair, regardless of how the
+asyncio scheduler interleaves the connections themselves.
+
+Schedules round-trip through JSON (:meth:`FaultSchedule.to_json` /
+:meth:`FaultSchedule.from_json`) so a failing run's schedule can be
+committed next to the bug report and replayed verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass
+from typing import Tuple
+
+
+class ChaosError(ValueError):
+    """An invalid fault specification or schedule document."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One connection's worth of injected misbehaviour.
+
+    All fields default to "off"; the zero spec is a clean passthrough.
+    Rates and windows compose: a spec may both jitter and reset.
+    """
+
+    latency_s: float = 0.0
+    """Fixed one-way delay added to every forwarded chunk."""
+    jitter_s: float = 0.0
+    """Uniform extra delay in ``[0, jitter_s]`` per chunk (seeded)."""
+    bandwidth_bps: int = 0
+    """Throttle: forwarding sleeps ``len(chunk) / bandwidth_bps``; 0 = off."""
+    chunk_bytes: int = 0
+    """Partial writes: forward in slices of at most this many bytes
+    (each drained separately); 0 = forward chunks as received."""
+    corrupt_prob: float = 0.0
+    """Per-chunk probability of flipping one random byte (seeded)."""
+    reset_after_bytes: int = 0
+    """Hard-reset the connection after forwarding this many bytes in
+    one direction — a mid-frame cut, not a graceful close; 0 = off."""
+    blackhole_s: float = 0.0
+    """Accept, then forward nothing for this long and drop; 0 = off."""
+    drop: bool = False
+    """Abort the connection immediately on accept."""
+
+    def __post_init__(self) -> None:
+        for name in ("latency_s", "jitter_s", "blackhole_s"):
+            if getattr(self, name) < 0:
+                raise ChaosError(f"{name} must be >= 0")
+        for name in ("bandwidth_bps", "chunk_bytes", "reset_after_bytes"):
+            if getattr(self, name) < 0:
+                raise ChaosError(f"{name} must be >= 0")
+        if not 0.0 <= self.corrupt_prob <= 1.0:
+            raise ChaosError("corrupt_prob must be in [0, 1]")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultSpec":
+        known = cls.__dataclass_fields__
+        bad = set(doc) - set(known)
+        if bad:
+            raise ChaosError(f"unknown FaultSpec fields: {sorted(bad)}")
+        return cls(**doc)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seedable, cyclic assignment of :class:`FaultSpec` to connections."""
+
+    specs: Tuple[FaultSpec, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ChaosError("a schedule needs at least one FaultSpec")
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def spec_for(self, conn_index: int) -> FaultSpec:
+        """The spec governing the ``conn_index``-th accepted connection."""
+        return self.specs[conn_index % len(self.specs)]
+
+    def rng_for(self, conn_index: int, lane: int) -> random.Random:
+        """The RNG for one connection direction (lane 0 = client->server,
+        1 = server->client); independent of accept interleaving."""
+        return random.Random(self.seed * 1000003 + conn_index * 2 + lane)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "specs": [s.to_dict() for s in self.specs]},
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ChaosError(f"bad schedule JSON: {exc}") from None
+        if not isinstance(doc, dict) or "specs" not in doc:
+            raise ChaosError("schedule JSON must be {'seed': ..., 'specs': [...]}")
+        specs = [FaultSpec.from_dict(entry) for entry in doc["specs"]]
+        return cls(specs=tuple(specs), seed=int(doc.get("seed", 0)))
+
+
+def default_schedule(seed: int = 0) -> FaultSchedule:
+    """The soak benchmark's fault mix: clean, jittery, and mid-frame
+    resets — every fault a well-configured retry policy must survive.
+
+    Deliberately excludes corruption/blackhole/drop: those need
+    ``retry_frame_errors`` or larger budgets and are exercised by the
+    targeted tests instead of the throughput soak.
+    """
+    return FaultSchedule(
+        seed=seed,
+        specs=(
+            FaultSpec(),
+            FaultSpec(latency_s=0.002, jitter_s=0.004),
+            FaultSpec(reset_after_bytes=2048),
+            FaultSpec(jitter_s=0.003, chunk_bytes=512),
+            FaultSpec(reset_after_bytes=16384, latency_s=0.001),
+            FaultSpec(),
+        ),
+    )
+
+
+__all__ = [
+    "ChaosError",
+    "FaultSpec",
+    "FaultSchedule",
+    "default_schedule",
+]

@@ -26,6 +26,12 @@ Commands
 ``repro sync INPUT --port P [--push] [-o OUT]``
     Reconcile INPUT's items against a running ``serve`` instance; with
     ``--push`` the server also learns this side's exclusive items.
+``repro chaos INPUT --workers W [--schedule FILE] [--seed S]``
+    Serve INPUT through a fault-injecting chaos pool: a supervised
+    W-worker cluster where every client connection crosses a
+    deterministic fault proxy (``repro.chaos``) — latency, jitter,
+    partial writes, mid-frame resets — driven by a seeded schedule
+    (optionally loaded from a JSON file).  For drills and soak tests.
 ``repro sync INPUT --transport {tcp,sim,memory} [--peer FILE]``
     Same reconciliation, any transport: ``tcp`` (the default) talks to a
     ``serve`` instance, while ``sim`` and ``memory`` run the peer from
@@ -241,6 +247,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         block_size=args.block_size,
         max_symbols_per_shard=args.max_symbols,
         max_sessions=args.max_sessions,
+        max_concurrent_sessions=args.max_clients,
     )
     durable = None
     if args.data_dir is not None and args.checkpoint_every is not None:
@@ -313,6 +320,7 @@ def _serve_cluster(
         entry_port=args.port,
         block_size=args.block_size,
         max_symbols_per_shard=args.max_symbols,
+        max_concurrent_sessions=args.max_clients,
     )
 
     async def run_cluster() -> None:
@@ -346,6 +354,81 @@ def _serve_cluster(
 
     try:
         asyncio.run(run_cluster())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: a fault-proxied worker pool for resilience drills."""
+    import asyncio
+
+    from repro.chaos import ChaosError, ChaosOrchestrator, FaultSchedule, default_schedule
+    from repro.cluster import ClusterConfig, ClusterError
+
+    items = read_items(Path(args.input), args.item_size, args.format)
+    unique = check_unique(items, args.input)
+    params = scheme_params_from_args(args, len(items[0]))
+    if args.schedule is not None:
+        path = Path(args.schedule)
+        if not path.exists():
+            raise CliError(f"no such schedule file: {path}")
+        try:
+            schedule = FaultSchedule.from_json(path.read_text())
+        except ChaosError as exc:
+            raise CliError(f"{path}: {exc}") from exc
+    else:
+        schedule = default_schedule(args.seed)
+    config = ClusterConfig(
+        num_workers=args.workers,
+        host=args.host,
+        block_size=args.block_size,
+        max_symbols_per_shard=args.max_symbols,
+        max_concurrent_sessions=args.max_clients,
+    )
+
+    async def run_chaos() -> None:
+        orch = ChaosOrchestrator(
+            sorted(unique),
+            schedule=schedule,
+            config=config,
+            num_shards=args.shards,
+            **params,
+        )
+        try:
+            host, port = await orch.start()
+        except ClusterError as exc:
+            await orch.close()
+            raise CliError(str(exc)) from exc
+        print(
+            f"chaos: serving {len(unique)} items via {args.workers} "
+            f"fault-proxied workers ({len(schedule.specs)} fault specs, "
+            f"seed {schedule.seed}) on {host}:{port}",
+            flush=True,
+        )
+        try:
+            if args.max_conns:
+                total = 0
+                while total < args.max_conns:
+                    await asyncio.sleep(0.05)
+                    total = sum(p.stats.connections for p in orch.proxies)
+                while any(p.active_connections for p in orch.proxies):
+                    await asyncio.sleep(0.05)
+            else:
+                await orch.supervisor.wait()
+        finally:
+            stats = orch.proxy_stats()
+            await orch.close()
+            print(
+                f"chaos: {stats.get('connections', 0)} connections proxied, "
+                f"{stats.get('resets', 0)} reset, "
+                f"{stats.get('dropped', 0)} dropped, "
+                f"{stats.get('bytes_forwarded', 0)} bytes forwarded, "
+                f"restarts {tuple(orch.restart_counts)}"
+            )
+
+    try:
+        asyncio.run(run_chaos())
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
     return 0
@@ -674,7 +757,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes sharing the shards (default 1: in-process "
              "server; >1 spawns a supervised pool, one core each)",
     )
+    p_serve.add_argument(
+        "--max-clients", type=int, default=None,
+        help="concurrent-session admission cap (per worker with "
+             "--workers > 1); excess connections get a typed BUSY shed "
+             "with a retry-after hint instead of queueing",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="serve through a deterministic fault-injection proxy pool"
+    )
+    p_chaos.add_argument("input", help="items file to serve")
+    p_chaos.add_argument("--host", default="127.0.0.1")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="worker processes behind the proxies (default 2)")
+    p_chaos.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count (default 0: one per worker)",
+    )
+    p_chaos.add_argument("--block-size", type=int, default=64)
+    p_chaos.add_argument("--max-symbols", type=int, default=1 << 17)
+    p_chaos.add_argument(
+        "--max-clients", type=int, default=None,
+        help="per-worker admission cap (BUSY sheds past it)",
+    )
+    p_chaos.add_argument(
+        "--schedule", default=None,
+        help="fault schedule JSON file (default: the built-in mix of "
+             "latency, jitter, partial writes, and mid-frame resets)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="seed for the built-in schedule (default 0)")
+    p_chaos.add_argument(
+        "--max-conns", type=int, default=None,
+        help="exit once this many proxied connections have completed "
+             "(default: serve until interrupted)",
+    )
+    p_chaos.set_defaults(func=cmd_chaos, scheme="riblt")
 
     p_sync = sub.add_parser(
         "sync", help="reconcile a local file against a peer, over any transport"

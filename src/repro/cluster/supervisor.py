@@ -94,6 +94,23 @@ class ClusterConfig:
     restart_backoff: float = 0.1
     ready_timeout: float = 30.0
     drain_timeout: float = 5.0
+    max_concurrent_sessions: Optional[int] = None
+    """Per-worker admission cap (see
+    :class:`~repro.service.server.ServerConfig`); excess HELLOs are
+    answered with a ``BUSY`` shed instead of queueing."""
+    per_peer_rate: Optional[float] = None
+    """Per-worker per-peer-host connection rate (token bucket)."""
+    per_peer_burst: int = 8
+    max_session_bytes: Optional[int] = None
+    """Per-worker per-session served-byte bound before a mid-stream shed."""
+    busy_retry_after: Optional[float] = None
+    """Retry-after hint stamped into worker ``BUSY`` frames; ``None``
+    keeps :data:`~repro.service.defaults.DEFAULT_BUSY_RETRY_AFTER`."""
+    advertise_ports: Optional[List[int]] = None
+    """Ports published in the WELCOME routing tail *instead of* the
+    workers' real bind ports — one per worker.  This is how a fault
+    proxy (:mod:`repro.chaos`) interposes on cluster fan-out: workers
+    bind their private ports, clients are routed through the proxies."""
 
 
 class ClusterSupervisor:
@@ -170,6 +187,14 @@ class ClusterSupervisor:
             self._reuse = cfg.reuse_port
             if self._reuse and not reuse_port_available():
                 raise ClusterError("SO_REUSEPORT requested but unavailable")
+        if (
+            cfg.advertise_ports is not None
+            and len(cfg.advertise_ports) != cfg.num_workers
+        ):
+            raise ClusterError(
+                f"advertise_ports has {len(cfg.advertise_ports)} entries "
+                f"for {cfg.num_workers} workers"
+            )
         self.ports = [_free_port(cfg.host) for _ in range(cfg.num_workers)]
         if self._reuse:
             self.entry_port = cfg.entry_port or _free_port(cfg.host)
@@ -219,6 +244,7 @@ class ClusterSupervisor:
 
     async def _spawn(self, index: int) -> asyncio.subprocess.Process:
         cfg = self.config
+        advertised = cfg.advertise_ports or self.ports
         argv = [
             sys.executable,
             "-m",
@@ -229,12 +255,24 @@ class ClusterSupervisor:
             "--total-shards", str(self.total_shards),
             "--host", cfg.host,
             "--port", str(self.ports[index]),
-            "--ports", ",".join(str(p) for p in self.ports),
+            "--ports", ",".join(str(p) for p in advertised),
             "--entry-port", str(self.entry_port if self._reuse else 0),
             "--block-size", str(cfg.block_size),
             "--max-symbols", str(cfg.max_symbols_per_shard or 0),
             "--idle-timeout", str(cfg.idle_timeout or 0),
+            # -1 = unlimited: a cap of 0 is legal (drain mode, shed all).
+            "--max-clients", str(
+                -1 if cfg.max_concurrent_sessions is None
+                else cfg.max_concurrent_sessions
+            ),
+            "--peer-rate", str(cfg.per_peer_rate or 0),
+            "--peer-burst", str(cfg.per_peer_burst),
+            "--max-session-bytes", str(
+                -1 if cfg.max_session_bytes is None else cfg.max_session_bytes
+            ),
         ]
+        if cfg.busy_retry_after is not None:
+            argv += ["--busy-retry-after", str(cfg.busy_retry_after)]
         fsync = cfg.fsync and (
             self._durable.fsync if self._durable is not None else True
         )

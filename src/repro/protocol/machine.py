@@ -93,6 +93,7 @@ from repro.service.errors import (
     PeerError,
     ProtocolError,
     SchemeMismatch,
+    ServerBusy,
 )
 from repro.service.framing import (
     MAX_FRAME_BYTES,
@@ -100,10 +101,12 @@ from repro.service.framing import (
     BodyReader,
     ErrorCode,
     FrameDecoder,
+    FrameError,
     FrameType,
     SyncMode,
     TruncatedFrame,
     encode_frame,
+    pack_busy_body,
     pack_lp_str,
     pack_uvarints,
 )
@@ -149,6 +152,16 @@ def _raise_peer_error(body: bytes) -> None:
     """Map an ERROR frame to the typed exception the peer meant."""
     parser = BodyReader(body)
     code = parser.uvarint()
+    if code == ErrorCode.BUSY:
+        # BUSY alone carries structure past the code: uvarint
+        # retry_after_ms, then the message.  Parsed defensively — a
+        # peer that omitted the hint still sheds typed, just hintless.
+        try:
+            retry_ms = parser.uvarint()
+        except FrameError:
+            retry_ms = 0
+        message = parser.rest().decode("utf-8", errors="replace")
+        raise ServerBusy(f"server: {message}", retry_after=retry_ms / 1000.0)
     message = parser.rest().decode("utf-8", errors="replace")
     if code == ErrorCode.BUDGET:
         raise SymbolBudgetExceeded(
@@ -539,7 +552,14 @@ class InitiatorMachine(ReconcilerMachine):
         st.tally.payload_bytes += len(payload)
         reconciler = st.reconciler
         assert reconciler is not None
-        decoded = reconciler.absorb(payload)
+        try:
+            decoded = reconciler.absorb(payload)
+        except ValueError as exc:
+            # A scheme deserializer rejecting peer bytes is a wire-level
+            # corruption, not a caller bug: keep the failure typed.
+            raise ProtocolError(
+                f"shard {shard_id}: malformed SYMBOLS payload: {exc}"
+            ) from None
         st.tally.symbols = reconciler.symbols_absorbed
         if decoded:
             st.done = True
@@ -562,7 +582,10 @@ class InitiatorMachine(ReconcilerMachine):
     def _on_estimate(self, ftype: int, body: bytes) -> None:
         if ftype != FrameType.ESTIMATE:
             raise ProtocolError(f"expected ESTIMATE, got frame type {ftype:#x}")
-        remote = StrataEstimator.deserialize(body)
+        try:
+            remote = StrataEstimator.deserialize(body)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed ESTIMATE payload: {exc}") from None
         local = StrataEstimator.from_items(self.items)
         estimate = local.estimate(remote)
         self._estimator_rounds = 1
@@ -591,7 +614,12 @@ class InitiatorMachine(ReconcilerMachine):
             self._payloads[st.tally.shard].extend(blob)
         st.tally.payload_bytes += len(blob)
         sized = self.handle.sized_for(max(1, bound))
-        remote = sized.deserialize(blob)
+        try:
+            remote = sized.deserialize(blob)
+        except ValueError as exc:
+            raise ProtocolError(
+                f"shard {shard_id}: malformed SKETCH payload: {exc}"
+            ) from None
         local = sized.new(st.items, item_hashes=st.hashes)
         diff = remote.subtract(local)
         decode = diff.decode()
@@ -787,6 +815,26 @@ class ResponderMachine(ReconcilerMachine):
             return
         self._send_error(ErrorCode.IDLE, message)
         self._fail(IdleTimeout(message))
+
+    def shed(self, retry_after: float, message: str = "server busy") -> None:
+        """Hosting transport sheds this session for overload control.
+
+        Like :meth:`deadline_expired`, the trigger lives outside the
+        sans-io machine (the server's byte/session bound tripped
+        mid-session).  Emits the typed ``ErrorCode.BUSY`` frame with
+        the server's retry-after hint and fails the session with
+        :class:`~repro.service.errors.ServerBusy`, so the client backs
+        off and retries instead of diagnosing a mute reset.
+        """
+        if self.finished:
+            return
+        self.error_codes.append(int(ErrorCode.BUSY))
+        size = self._send_frame(
+            FrameType.ERROR, pack_busy_body(retry_after, message)
+        )
+        if self._mode == SyncMode.STREAM:
+            self.bytes_sent += size
+        self._fail(ServerBusy(message, retry_after=retry_after))
 
     # -- machine events ----------------------------------------------------
 

@@ -38,6 +38,7 @@ from repro.service.errors import (
     PeerError,
     ProtocolError,
     SchemeMismatch,
+    ServerBusy,
     ServiceError,
     WorkerUnavailable,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "ReconciliationServer",
     "RetryPolicy",
     "SchemeMismatch",
+    "ServerBusy",
     "ServerConfig",
     "ServerStats",
     "ServiceError",

@@ -15,10 +15,16 @@ patched — not rebuilt — by the incoming items.
 
 ``retry=RetryPolicy(...)`` makes connection-level failures survivable:
 refused/reset/timed-out connections are retried with exponential
-backoff and deterministic, seedable jitter.  Only ``ConnectionError``/
-``OSError`` retry — a *typed* protocol failure (budget exceeded, scheme
-mismatch, idle timeout, stale stream) means both ends are alive and
-disagree, and retrying would just replay the disagreement.
+backoff and deterministic, seedable jitter.  ``ConnectionError``/
+``OSError`` retry, and so does the typed
+:class:`~repro.service.errors.ServerBusy` an overloaded server sheds
+with — its server-suggested retry-after hint takes precedence over the
+policy's own (possibly shorter) backoff step.  Any other *typed*
+protocol failure (budget exceeded, scheme mismatch, idle timeout, stale
+stream) means both ends are alive and disagree, and retrying would just
+replay the disagreement — unless ``retry_frame_errors`` opts into
+treating corruption-shaped failures as transient (chaos testing over
+deliberately lossy links).
 """
 
 from __future__ import annotations
@@ -31,8 +37,15 @@ from typing import Iterable, Iterator, Optional
 import repro.protocol.machine as protocol_machine
 from repro.api.registry import Scheme, get_scheme
 from repro.protocol.events import ClusterInfo
+from repro.api.base import SymbolBudgetExceeded
 from repro.service.defaults import with_service_hasher
-from repro.service.errors import ProtocolError, SchemeMismatch, WorkerUnavailable
+from repro.service.errors import (
+    IdleTimeout,
+    ProtocolError,
+    SchemeMismatch,
+    ServerBusy,
+    WorkerUnavailable,
+)
 from repro.service.framing import FrameError, MAX_FRAME_BYTES, SyncMode
 from repro.service.shard import hash_items
 
@@ -62,6 +75,17 @@ class RetryPolicy:
     multiplier: float = 2.0
     jitter: float = 0.5
     seed: Optional[int] = None
+    retry_frame_errors: bool = False
+    """Also retry the typed failures wire corruption decays into —
+    :class:`~repro.service.framing.FrameError` (mangled framing),
+    :class:`~repro.service.errors.ProtocolError` (a corrupted type
+    byte), :class:`~repro.api.SymbolBudgetExceeded` (a poisoned coded
+    symbol that can never peel),
+    :class:`~repro.service.errors.IdleTimeout` (a stalled or
+    blackholed link hitting :func:`sync`'s ``idle_timeout``) —
+    excluding :class:`~repro.service.errors.SchemeMismatch`, which is
+    a real configuration disagreement a retry would only replay.  Off
+    by default: on a healthy link these indicate bugs, not weather."""
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -105,6 +129,12 @@ class SyncResult:
     bytes_sent: int = 0
     pushed: int = 0
     per_shard: list = field(default_factory=list)
+    attempts: int = 1
+    """Total connection attempts this sync spent (1 = first try won)."""
+    busy_waits: int = 0
+    """Attempts that ended in a typed ``BUSY`` shed and were retried
+    after the server's retry-after hint — the client-side view of the
+    server's shed counter."""
     payloads: Optional[dict] = None
     """Raw per-shard wire bytes, captured only when asked (golden tests)."""
 
@@ -154,6 +184,7 @@ async def sync(
     capture_payloads: bool = False,
     max_frame: int = MAX_FRAME_BYTES,
     retry: Optional[RetryPolicy] = None,
+    idle_timeout: Optional[float] = None,
     **params: object,
 ) -> SyncResult:
     """Reconcile ``items`` against the server at ``(host, port)``.
@@ -169,7 +200,11 @@ async def sync(
     to override; see :mod:`repro.service.defaults`).  ``retry`` bounds
     reconnects on
     connection-level failures (see :class:`RetryPolicy`); the default
-    ``None`` keeps the historical fail-fast behaviour.
+    ``None`` keeps the historical fail-fast behaviour.  ``idle_timeout``
+    is this side's stall deadline: a session in which no byte moves for
+    that long fails with a typed
+    :class:`~repro.service.errors.IdleTimeout` instead of hanging on a
+    blackholed link (``None`` = wait forever, the historical default).
     """
     materialised = list(dict.fromkeys(items))
     handle = get_scheme(scheme, **with_service_hasher(scheme, params))
@@ -211,6 +246,7 @@ async def sync(
                 item_hashes=item_hashes,
                 expect_worker=expect_worker,
                 on_cluster=on_cluster,
+                idle_timeout=idle_timeout,
             )
         finally:
             writer.close()
@@ -256,17 +292,42 @@ async def sync(
     if retry is None:
         return await _attempt()
     delays = retry.delays()
+    attempts = 1
+    busy_waits = 0
     while True:
         try:
-            return await _attempt()
+            result = await _attempt()
+            result.attempts = attempts
+            result.busy_waits = busy_waits
+            return result
+        except ServerBusy as exc:
+            # The server shed us with a retry-after hint; honour it —
+            # the longer of the hint and the policy's own backoff step,
+            # so a fleet's jittered schedules still decorrelate.
+            pause = next(delays, None)
+            if pause is None:
+                raise
+            busy_waits += 1
+            await asyncio.sleep(max(pause, exc.retry_after))
         except (ConnectionError, OSError):
-            # Typed protocol errors (ServiceError, SymbolBudgetExceeded,
-            # FrameError) propagate: both ends were alive and disagreed;
-            # replaying the session replays the disagreement.
             pause = next(delays, None)
             if pause is None:
                 raise
             await asyncio.sleep(pause)
+        except (FrameError, ProtocolError, SymbolBudgetExceeded, IdleTimeout) as exc:
+            # Typed protocol errors normally propagate: both ends were
+            # alive and disagreed; replaying the session replays the
+            # disagreement.  retry_frame_errors opts corruption-shaped
+            # failures (and blackhole stalls) back in (chaos testing) —
+            # but never a SchemeMismatch, which is configuration, not
+            # weather.
+            if not retry.retry_frame_errors or isinstance(exc, SchemeMismatch):
+                raise
+            pause = next(delays, None)
+            if pause is None:
+                raise
+            await asyncio.sleep(pause)
+        attempts += 1
 
 
 def sync_once(
@@ -292,12 +353,25 @@ async def _sync_over(
     item_hashes: Optional[list] = None,
     expect_worker: Optional[int] = None,
     on_cluster=None,
+    idle_timeout: Optional[float] = None,
 ) -> SyncResult:
     """Shuttle bytes between the stream pair and an initiator machine.
 
     ``on_cluster`` fires once, as soon as a cluster WELCOME tail is
     parsed (the caller fans out sessions to the sibling workers).
+    ``idle_timeout`` bounds every socket wait (read and drain): a link
+    that moves no byte for that long fails typed, never hangs.
     """
+
+    async def _bounded(awaitable, doing: str):
+        if idle_timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, timeout=idle_timeout)
+        except asyncio.TimeoutError:
+            raise IdleTimeout(
+                f"no progress {doing} for {idle_timeout:g}s"
+            ) from None
     machine = protocol_machine.InitiatorMachine(
         handle,
         items,
@@ -318,10 +392,10 @@ async def _sync_over(
         out = machine.take_output()
         if out:
             writer.write(out)
-            await writer.drain()
+            await _bounded(writer.drain(), "draining to server")
         if machine.finished:
             break
-        data = await reader.read(_READ_CHUNK)
+        data = await _bounded(reader.read(_READ_CHUNK), "reading from server")
         if not data:
             saw_eof = True
             machine.peer_closed()

@@ -14,6 +14,16 @@ from __future__ import annotations
 
 SERVICE_HASHER = "siphash"
 
+DEFAULT_BUSY_RETRY_AFTER = 0.5
+"""Seconds a shed client is told to wait before reconnecting.
+
+Stamped into the ``ErrorCode.BUSY`` frame whenever an overloaded server
+answers a HELLO with a shed (see
+:class:`~repro.service.server.ServerConfig`); long enough that a
+retrying fleet does not hammer a saturated server at its own backoff
+floor, short enough that a transient spike clears within one retry for
+the default :class:`~repro.service.client.RetryPolicy`."""
+
 
 def with_service_hasher(scheme: str, params: dict) -> dict:
     """Params with ``hasher`` defaulted to :data:`SERVICE_HASHER`.

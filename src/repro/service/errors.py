@@ -43,6 +43,23 @@ class WorkerUnavailable(ServiceError, ConnectionError):
     """
 
 
+class ServerBusy(ServiceError):
+    """The server shed this connection at admission (overload control).
+
+    Carries the server-suggested ``retry_after`` (seconds) from the
+    typed ``ErrorCode.BUSY`` frame.  Deliberately *not* a
+    :class:`ConnectionError`: the server is alive and answered — it
+    asked this client to back off, and
+    :class:`~repro.service.client.RetryPolicy` honours the hint by
+    waiting at least ``retry_after`` before the next attempt instead of
+    its own (possibly shorter) backoff step.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class PeerError(ServiceError):
     """The peer reported a failure this side cannot map to a typed error."""
 

@@ -23,6 +23,7 @@ Frame catalogue (bodies are varint-packed, see the pack helpers)::
     BYE         c->s  (empty)
     STATS       s->c  symbols_sent, bytes_sent, pushes_applied
     ERROR       both  code, utf-8 message
+                      (code BUSY: code, retry_after_ms, utf-8 message)
     ESTIMATE    s->c  <serialized strata estimator summary>
 
 ``ESTIMATE`` carries the responder's strata-estimator summary when both
@@ -36,6 +37,7 @@ backward-compatible.
 from __future__ import annotations
 
 import asyncio
+import math
 from enum import IntEnum
 from typing import Iterator, Optional
 
@@ -78,6 +80,7 @@ class ErrorCode(IntEnum):
     STALE = 4
     UNSUPPORTED = 5
     IDLE = 6
+    BUSY = 7
 
 
 class SyncMode(IntEnum):
@@ -273,3 +276,16 @@ def pack_lp(data: bytes) -> bytes:
 
 def pack_lp_str(text: str) -> bytes:
     return pack_lp(text.encode("utf-8"))
+
+
+def pack_busy_body(retry_after: float, message: str) -> bytes:
+    """The ``ERROR`` body for :data:`ErrorCode.BUSY`.
+
+    Alone in the error catalogue, BUSY carries structure beyond its
+    message: ``uvarint code | uvarint retry_after_ms | raw utf-8
+    message`` — the server-suggested backoff a shed client should wait
+    before reconnecting, in integer milliseconds so it varint-packs
+    tightly (sub-millisecond hints round up to 1 ms, never to "now").
+    """
+    millis = int(math.ceil(max(0.0, retry_after) * 1000.0))
+    return pack_uvarints(int(ErrorCode.BUSY), millis) + message.encode("utf-8")

@@ -36,8 +36,11 @@ from repro.service.framing import (
     MAX_FRAME_BYTES,
     ErrorCode,
     FrameError,
+    FrameType,
+    encode_frame,
+    pack_busy_body,
 )
-from repro.service.defaults import with_service_hasher
+from repro.service.defaults import DEFAULT_BUSY_RETRY_AFTER, with_service_hasher
 from repro.service.shard import ShardedSet, key_probe
 
 # Sketch-mode bound when the client's HELLO leaves it to the server
@@ -78,6 +81,31 @@ class ServerConfig:
     budget grace, and backpressure bookkeeping forever.  ``None``
     disables the deadline."""
 
+    max_concurrent_sessions: Optional[int] = None
+    """Admission cap on *live* sessions.  A connection arriving past it
+    is answered immediately with a typed ``ErrorCode.BUSY`` frame (the
+    retry-after hint included) and shed — never silently queued behind
+    sessions it cannot see.  ``None`` admits everything."""
+
+    per_peer_rate: Optional[float] = None
+    """Admissions per second allowed per peer host (token bucket,
+    ``per_peer_burst`` capacity).  A peer dialling faster is shed with
+    ``BUSY`` exactly like a session-cap overflow.  ``None`` disables
+    peer rate limiting."""
+
+    per_peer_burst: int = 8
+    """Token-bucket capacity per peer host: how many connections one
+    peer may open back-to-back before ``per_peer_rate`` throttles it."""
+
+    max_session_bytes: Optional[int] = None
+    """Per-session bound on coded bytes served.  A session crossing it
+    mid-stream is shed with ``BUSY`` (the work is real, the client may
+    retry later) so one enormous diff cannot monopolise the server's
+    memory and cycles.  ``None`` disables the bound."""
+
+    busy_retry_after: float = DEFAULT_BUSY_RETRY_AFTER
+    """Retry-after hint (seconds) stamped into every ``BUSY`` frame."""
+
 
 @dataclass
 class ServerStats:
@@ -86,6 +114,13 @@ class ServerStats:
     sessions_started: int = 0
     sessions_completed: int = 0
     sessions_dropped: int = 0
+    sessions_shed: int = 0
+    """Connections answered with a typed ``BUSY``: refused at admission
+    (those never count in ``sessions_started``) or cut mid-session by
+    the ``max_session_bytes`` bound (those do — they were admitted)."""
+    shed_reasons: dict = field(default_factory=dict)
+    """Shed counts keyed by reason string (``"session limit"``,
+    ``"peer rate limit"``, ``"session bytes"``)."""
     symbols_sent: int = 0
     bytes_sent: int = 0
     items_pushed: int = 0
@@ -93,6 +128,10 @@ class ServerStats:
 
     def count_error(self, code: ErrorCode) -> None:
         self.errors_sent[int(code)] = self.errors_sent.get(int(code), 0) + 1
+
+    def count_shed(self, reason: str) -> None:
+        self.sessions_shed += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
 
 
 class ReconciliationServer:
@@ -191,6 +230,8 @@ class ReconciliationServer:
         self._extra_servers: list[asyncio.base_events.Server] = []
         self._session_tasks: set[asyncio.Task] = set()
         self._sessions_finished = 0
+        self._active_sessions = 0
+        self._peer_buckets: dict = {}
         self._finished = asyncio.Event()
 
     # -- the served set ---------------------------------------------------
@@ -328,6 +369,64 @@ class ReconciliationServer:
     async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
+    # -- admission --------------------------------------------------------
+
+    _MAX_PEER_BUCKETS = 1024
+
+    def _admission_reason(self, writer: asyncio.StreamWriter) -> Optional[str]:
+        """Why this connection must be shed (``None`` = admit it)."""
+        config = self.config
+        cap = config.max_concurrent_sessions
+        if cap is not None and self._active_sessions >= cap:
+            return "session limit"
+        if config.per_peer_rate is not None:
+            peername = writer.get_extra_info("peername")
+            host = peername[0] if peername else "<unknown>"
+            if not self._take_peer_token(host):
+                return "peer rate limit"
+        return None
+
+    def _take_peer_token(self, host: str) -> bool:
+        """One admission token from ``host``'s bucket (refill-on-read)."""
+        rate = self.config.per_peer_rate or 0.0
+        burst = float(max(1, self.config.per_peer_burst))
+        now = asyncio.get_running_loop().time()
+        tokens, stamp = self._peer_buckets.get(host, (burst, now))
+        tokens = min(burst, tokens + (now - stamp) * rate)
+        granted = tokens >= 1.0
+        self._peer_buckets[host] = (tokens - 1.0 if granted else tokens, now)
+        if len(self._peer_buckets) > self._MAX_PEER_BUCKETS:
+            # A bucket refilled to capacity carries no state worth
+            # keeping; drop those so hostile peer churn cannot grow the
+            # table without bound.
+            for peer, (held, seen) in list(self._peer_buckets.items()):
+                if min(burst, held + (now - seen) * rate) >= burst:
+                    del self._peer_buckets[peer]
+        return granted
+
+    async def _shed(self, writer: asyncio.StreamWriter, reason: str) -> None:
+        """Answer an over-limit connection with ``BUSY`` and drop it.
+
+        No machine, no session state: the BUSY frame is written
+        immediately — the client pipelines its HELLO, so this *is* the
+        HELLO's answer, in bounded time — then the connection closes.
+        Every write is guarded: a peer that vanished first changes
+        nothing.
+        """
+        self.stats.count_shed(reason)
+        self.stats.count_error(ErrorCode.BUSY)
+        frame = encode_frame(
+            FrameType.ERROR,
+            pack_busy_body(
+                self.config.busy_retry_after, f"server busy: {reason}"
+            ),
+        )
+        try:
+            writer.write(frame)
+            await asyncio.wait_for(writer.drain(), timeout=5.0)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+
     # -- sessions ---------------------------------------------------------
 
     async def _on_connection(
@@ -336,19 +435,19 @@ class ReconciliationServer:
         task = asyncio.current_task()
         assert task is not None
         self._session_tasks.add(task)
-        self.stats.sessions_started += 1
-        session = _Session(self, reader, writer)
         cancelled = False
         try:
-            await session.run()
+            reason = self._admission_reason(writer)
+            if reason is not None:
+                await self._shed(writer, reason)
+                return
+            await self._run_admitted(reader, writer)
         except asyncio.CancelledError:
             # Server shutdown.  Absorb the cancellation: a handler task
             # that *ends* cancelled trips asyncio.streams' internal
-            # done-callback into logging a spurious traceback.  The
-            # session's own finally already accounted it as dropped.
+            # done-callback into logging a spurious traceback.  An
+            # admitted session's own finally already accounted it.
             cancelled = True
-        except (FrameError, ConnectionError, OSError):
-            pass  # accounted (as dropped) by the session's finally
         finally:
             self._session_tasks.discard(task)
             writer.close()
@@ -357,6 +456,19 @@ class ReconciliationServer:
                     await writer.wait_closed()
                 except (asyncio.CancelledError, ConnectionError, OSError):
                     pass
+
+    async def _run_admitted(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.sessions_started += 1
+        self._active_sessions += 1
+        session = _Session(self, reader, writer)
+        try:
+            await session.run()
+        except (FrameError, ConnectionError, OSError):
+            pass  # accounted (as dropped) by the session's finally
+        finally:
+            self._active_sessions -= 1
             self._sessions_finished += 1
             maximum = self.config.max_sessions
             if maximum is not None and self._sessions_finished >= maximum:
@@ -402,8 +514,19 @@ class _Session:
         read_task: asyncio.Task = asyncio.ensure_future(
             self.reader.read(_READ_CHUNK)
         )
+        byte_cap = self.server.config.max_session_bytes
         try:
             while not machine.finished:
+                if byte_cap is not None and machine.bytes_sent >= byte_cap:
+                    # The bound lives in the shell, not the machine: the
+                    # machine cannot know the deployment's memory story.
+                    # shed() queues the typed BUSY frame; the flush
+                    # below delivers it.
+                    self.server.stats.count_shed("session bytes")
+                    machine.shed(
+                        self.server.config.busy_retry_after,
+                        f"session exceeded {byte_cap} served bytes",
+                    )
                 out = machine.take_output()
                 if out:
                     self.writer.write(out)
@@ -465,12 +588,16 @@ class _Session:
                     machine.tick(loop.time())
             out = machine.take_output()
             if out:
-                self.writer.write(out)
-                # Bounded: a client that stopped reading must not pin
-                # the session in teardown forever.
+                # Bounded AND guarded: a client that stopped reading
+                # must not pin the session in teardown forever, and one
+                # that reset the connection mid-drain (the chaos proxy
+                # manufactures exactly this) must surface here — as a
+                # finished session whose final frame was lost — not as
+                # an unhandled ConnectionResetError in the event loop.
                 try:
+                    self.writer.write(out)
                     await asyncio.wait_for(self.writer.drain(), timeout=5.0)
-                except asyncio.TimeoutError:
+                except (asyncio.TimeoutError, ConnectionError, OSError):
                     pass
         finally:
             self._account()

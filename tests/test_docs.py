@@ -99,7 +99,12 @@ def test_doc_internal_links_resolve(page):
 
 def test_readme_links_docs():
     readme = (DOCS.parent / "README.md").read_text(encoding="utf-8")
-    for name in ("architecture.md", "wire-format.md", "durable-format.md"):
+    for name in (
+        "architecture.md",
+        "wire-format.md",
+        "durable-format.md",
+        "operations.md",
+    ):
         assert f"docs/{name}" in readme, f"README does not link docs/{name}"
 
 
@@ -145,6 +150,105 @@ def test_packed_bank_constants():
     # the documented stride formula quotes the 8-byte signed count field
     assert CodedSymbolBank.COUNT_BYTES == 8
     assert "ℓ + checksum_size + 8" in text
+
+
+def test_busy_body_layout_documented():
+    """wire-format.md must spell out BUSY's structured ERROR body, and
+    the documented layout must be the one ``pack_busy_body`` emits."""
+    from repro.service.framing import BodyReader, pack_busy_body
+
+    text = doc_text("wire-format.md")
+    assert "`uvarint retry_after_ms`" in text
+    assert "`pack_busy_body`" in text
+    reader = BodyReader(pack_busy_body(0.25, "busy"))
+    assert reader.uvarint() == int(ErrorCode.BUSY)
+    assert reader.uvarint() == 250  # milliseconds, as documented
+    assert reader.rest() == b"busy"
+
+
+# -- operations.md -----------------------------------------------------------
+
+
+def test_operations_overload_knobs_match_server_config():
+    """Every documented admission knob is a real ``ServerConfig`` field,
+    and every admission field the config grows must be documented."""
+    import dataclasses
+
+    from repro.service.server import ServerConfig
+
+    body = section(doc_text("operations.md"), "Overload control")
+    knobs = (
+        "max_concurrent_sessions",
+        "per_peer_rate",
+        "per_peer_burst",
+        "max_session_bytes",
+        "busy_retry_after",
+    )
+    fields = {f.name for f in dataclasses.fields(ServerConfig)}
+    for knob in knobs:
+        assert knob in fields, f"documented knob {knob!r} not on ServerConfig"
+        assert f"`{knob}`" in body, f"ServerConfig.{knob} undocumented"
+
+
+def test_operations_busy_default_and_shed_reasons():
+    import inspect
+
+    from repro.service import server
+    from repro.service.defaults import DEFAULT_BUSY_RETRY_AFTER
+
+    text = doc_text("operations.md")
+    assert f"`DEFAULT_BUSY_RETRY_AFTER = {DEFAULT_BUSY_RETRY_AFTER}`" in text
+    # The documented reason strings are the ones the server counts.
+    source = inspect.getsource(server)
+    for reason in ("session limit", "peer rate limit", "session bytes"):
+        assert f'"{reason}"' in text, f"shed reason {reason!r} undocumented"
+        assert f'"{reason}"' in source, f"doc invents shed reason {reason!r}"
+
+
+def test_operations_cluster_limit_fields_exist():
+    import dataclasses
+
+    from repro.cluster import ClusterConfig
+
+    body = section(doc_text("operations.md"), "Cluster limits")
+    fields = {f.name for f in dataclasses.fields(ClusterConfig)}
+    for name in (
+        "max_concurrent_sessions",
+        "per_peer_rate",
+        "per_peer_burst",
+        "max_session_bytes",
+        "busy_retry_after",
+        "advertise_ports",
+    ):
+        assert name in fields, f"documented field {name!r} not on ClusterConfig"
+        assert f"`{name}`" in body, f"ClusterConfig.{name} undocumented"
+
+
+def test_operations_chaos_schedule_fields_match_spec():
+    """The schedule-JSON table documents exactly the ``FaultSpec``
+    fields — no stale rows, no undocumented faults — and the documented
+    round-trip actually holds."""
+    import dataclasses
+
+    from repro.chaos import FaultSchedule, FaultSpec, default_schedule
+
+    body = section(doc_text("operations.md"), "Chaos schedule JSON")
+    documented = set(re.findall(r"^\|\s*`(\w+)`\s*\|", body, re.MULTILINE))
+    documented.discard("field")  # the table header row
+    assert documented == {f.name for f in dataclasses.fields(FaultSpec)}
+    assert '`{"seed": N, "specs": [...]}`' in body
+    schedule = default_schedule(7)
+    assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+
+def test_operations_cli_chaos_documented():
+    from repro import cli
+
+    text = doc_text("operations.md")
+    assert "`repro chaos`" in text
+    assert "`repro serve --max-clients`" in text
+    helps = cli.build_parser().format_help()
+    assert "chaos" in helps and "serve" in helps
 
 
 # -- durable-format.md -------------------------------------------------------

@@ -542,7 +542,10 @@ def test_hostile_estimate_header_fails_fast() -> None:
         FrameType.WELCOME, pack_uvarints(1, 1, 1, 64)  # SKETCH mode, 1 shard
     )
     initiator.bytes_received(welcome + encode_frame(FrameType.ESTIMATE, hostile))
-    assert initiator.finished and isinstance(initiator.failed, ValueError)
+    # The machine wraps the deserializer's rejection into the wire-level
+    # typed failure (retryable, never untyped).
+    assert initiator.finished and isinstance(initiator.failed, ProtocolError)
+    assert "cell bytes" in str(initiator.failed)
 
 
 def test_cli_sync_local_transport_rejects_push(tmp_path, capsys) -> None:
